@@ -1,0 +1,5 @@
+"""Paper-figure and ablation benchmarks (pytest-benchmark front end).
+
+Package marker so `pytest benchmarks/` (without `python -m`) resolves
+`benchmarks.conftest` imports regardless of sys.path handling.
+"""

@@ -1,0 +1,32 @@
+"""Shared fixtures for the paper-figure benchmarks.
+
+Every figure bench runs on the ``lan`` profile — loopback TCP shaped to
+the paper's 100 Mbit Ethernet testbed (see DESIGN.md §3).  Baselines
+run against the common (Fig. 1) architecture; Our Approach runs against
+the staged (Fig. 2) architecture with the SPI handlers, matching the
+paper's deployment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import echo_testbed
+
+
+@pytest.fixture(scope="session")
+def common_bed():
+    """Common-architecture echo server (baseline side)."""
+    with echo_testbed(profile="lan", architecture="common", spi=False) as bed:
+        yield bed
+
+
+@pytest.fixture(scope="session")
+def staged_bed():
+    """Staged-architecture echo server with SPI handlers (Our Approach)."""
+    with echo_testbed(profile="lan", architecture="staged", spi=True) as bed:
+        yield bed
+
+
+def bed_for(approach: str, common_bed, staged_bed):
+    return staged_bed if approach == "our-approach" else common_bed

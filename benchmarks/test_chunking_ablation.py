@@ -1,0 +1,84 @@
+"""Chunked-transfer ablation (related work: Chiu et al.'s "message
+chunking and streaming").
+
+Measures the framing cost of chunked responses against plain
+Content-Length framing for large echo responses, on bare loopback TCP
+(the shaped link's stop-and-wait model would overcharge multi-send
+trains — see DESIGN.md §3).  The claim under test: chunking is cheap
+enough to leave on (its benefit — bounded buffering / earlier first
+byte — costs little).
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.apps.echo import ECHO_NS, ECHO_SERVICE, make_echo_payload, make_echo_service
+from repro.client.proxy import ServiceProxy
+from repro.server.staged_arch import StagedSoapServer
+from repro.transport.tcp import TcpTransport
+
+PAYLOAD = make_echo_payload(1_000_000)
+
+
+@pytest.fixture(scope="module", params=[None, 64 * 1024], ids=["content-length", "chunked"])
+def echo_server(request):
+    transport = TcpTransport()
+    server = StagedSoapServer(
+        [make_echo_service()],
+        transport=transport,
+        address=("127.0.0.1", 0),
+        chunk_responses_over=request.param,
+    )
+    address = server.start()
+    yield request.param, transport, address
+    server.stop()
+
+
+def big_echo(transport, address):
+    proxy = ServiceProxy(
+        transport, address, namespace=ECHO_NS, service_name=ECHO_SERVICE,
+        reuse_connections=True,
+    )
+    try:
+        result = proxy.call("echo", payload=PAYLOAD)
+        assert len(result) == len(PAYLOAD)
+        return result
+    finally:
+        proxy.close()
+
+
+def test_chunking_point(benchmark, echo_server):
+    mode, transport, address = echo_server
+    benchmark.group = "chunking ablation (1 MB echo, loopback)"
+    result = benchmark.pedantic(
+        big_echo, args=(transport, address), rounds=3, warmup_rounds=1, iterations=1
+    )
+    assert result == PAYLOAD
+
+
+def test_chunking_overhead_is_modest(benchmark):
+    benchmark.group = "claims"
+    times = {}
+    for chunked in (None, 64 * 1024):
+        transport = TcpTransport()
+        server = StagedSoapServer(
+            [make_echo_service()],
+            transport=transport,
+            address=("127.0.0.1", 0),
+            chunk_responses_over=chunked,
+        )
+        address = server.start()
+        try:
+            samples = []
+            for _ in range(4):
+                start = time.perf_counter()
+                big_echo(transport, address)
+                samples.append(time.perf_counter() - start)
+            times["chunked" if chunked else "plain"] = statistics.median(samples)
+        finally:
+            server.stop()
+    benchmark.extra_info["ms"] = {k: v * 1e3 for k, v in times.items()}
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert times["chunked"] < times["plain"] * 1.5

@@ -1,0 +1,76 @@
+"""Win decomposition: where does the packing speedup come from?
+
+The paper attributes the gain to eliminating (M-1) TCP connections AND
+(M-1) HTTP+SOAP message overheads.  This ablation (not in the paper)
+separates the two with a four-strategy ladder:
+
+1. serial, fresh connection each    — pays both overheads M times
+2. serial over one keep-alive conn  — connection overhead paid once,
+                                      message overhead still M times
+3. packed                           — both paid once
+4. multiple threads                 — both paid M times, but overlapped
+
+The gap 1→2 is the handshake saving, 2→3 is the message saving.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.bench.workloads import echo_calls, echo_testbed, make_invoker
+
+M = 32
+PAYLOAD = 100
+LADDER = ["no-optimization", "serial-keepalive", "multiple-threads", "our-approach"]
+
+
+@pytest.fixture(scope="module")
+def beds():
+    with echo_testbed(profile="lan", architecture="common", spi=False) as common:
+        with echo_testbed(profile="lan", architecture="staged", spi=True) as staged:
+            yield {"common": common, "staged": staged}
+
+
+def bed_for(approach, beds):
+    return beds["staged"] if approach == "our-approach" else beds["common"]
+
+
+def run_once(bed, approach):
+    proxy = bed.make_proxy()
+    try:
+        make_invoker(approach, proxy).invoke_all(echo_calls(M, PAYLOAD), timeout=300)
+    finally:
+        proxy.close()
+
+
+@pytest.mark.parametrize("approach", LADDER)
+def test_decomposition_point(benchmark, beds, approach):
+    benchmark.group = f"win decomposition (M={M}, {PAYLOAD} B, lan)"
+    benchmark.pedantic(
+        run_once,
+        args=(bed_for(approach, beds), approach),
+        rounds=3,
+        warmup_rounds=1,
+        iterations=1,
+    )
+
+
+def test_ladder_is_monotone(benchmark, beds):
+    benchmark.group = "claims"
+
+    def timed(approach):
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            run_once(bed_for(approach, beds), approach)
+            samples.append(time.perf_counter() - start)
+        return statistics.median(samples)
+
+    times = {approach: timed(approach) for approach in LADDER}
+    benchmark.extra_info["ms"] = {k: v * 1e3 for k, v in times.items()}
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # keep-alive alone removes the handshakes (paper's first saving)...
+    assert times["serial-keepalive"] < times["no-optimization"]
+    # ...but message packing removes much more (the second saving)
+    assert times["our-approach"] < times["serial-keepalive"] / 2

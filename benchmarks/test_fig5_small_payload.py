@@ -1,0 +1,30 @@
+"""Figure 5: latency of M echo requests, 10-byte payloads.
+
+Paper result: Our Approach is slowest at M=1 (pack overhead), then wins
+increasingly with M, up to ~10x over No Optimization at M=128.
+"""
+
+import pytest
+
+from benchmarks.conftest import bed_for
+from repro.bench.workloads import run_point
+
+PAYLOAD = 10
+M_VALUES = [1, 8, 64, 128]
+APPROACHES = ["no-optimization", "multiple-threads", "our-approach"]
+
+
+@pytest.mark.parametrize("m", M_VALUES)
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_fig5(benchmark, approach, m, common_bed, staged_bed):
+    bed = bed_for(approach, common_bed, staged_bed)
+    benchmark.group = f"fig5 10B M={m}"
+    results = benchmark.pedantic(
+        run_point,
+        args=(bed, approach, m, PAYLOAD),
+        rounds=3,
+        warmup_rounds=1,
+        iterations=1,
+    )
+    assert len(results) == m
+    assert all(len(r) == PAYLOAD for r in results)

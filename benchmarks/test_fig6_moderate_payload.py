@@ -1,0 +1,30 @@
+"""Figure 6: latency of M echo requests, 1 KB payloads.
+
+Paper result: Our Approach still the fastest of the three for moderate
+payloads, with the gap growing in M.
+"""
+
+import pytest
+
+from benchmarks.conftest import bed_for
+from repro.bench.workloads import run_point
+
+PAYLOAD = 1000
+M_VALUES = [1, 8, 64]
+APPROACHES = ["no-optimization", "multiple-threads", "our-approach"]
+
+
+@pytest.mark.parametrize("m", M_VALUES)
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_fig6(benchmark, approach, m, common_bed, staged_bed):
+    bed = bed_for(approach, common_bed, staged_bed)
+    benchmark.group = f"fig6 1KB M={m}"
+    results = benchmark.pedantic(
+        run_point,
+        args=(bed, approach, m, PAYLOAD),
+        rounds=3,
+        warmup_rounds=1,
+        iterations=1,
+    )
+    assert len(results) == m
+    assert all(len(r) == PAYLOAD for r in results)

@@ -1,0 +1,33 @@
+"""Figure 7: latency of M echo requests, 100 KB payloads.
+
+Paper result: with huge payloads the packed approach stops winning —
+"Our Approach becomes the most time consuming if the services request
+data is huge" — because the eliminated per-message overhead is
+negligible next to payload transfer, while packing forfeits transfer
+overlap and adds assembly cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import bed_for
+from repro.bench.workloads import run_point
+
+PAYLOAD = 100_000
+M_VALUES = [1, 8, 16]
+APPROACHES = ["no-optimization", "multiple-threads", "our-approach"]
+
+
+@pytest.mark.parametrize("m", M_VALUES)
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_fig7(benchmark, approach, m, common_bed, staged_bed):
+    bed = bed_for(approach, common_bed, staged_bed)
+    benchmark.group = f"fig7 100KB M={m}"
+    results = benchmark.pedantic(
+        run_point,
+        args=(bed, approach, m, PAYLOAD),
+        rounds=2,
+        warmup_rounds=0,
+        iterations=1,
+    )
+    assert len(results) == m
+    assert all(len(r) == PAYLOAD for r in results)

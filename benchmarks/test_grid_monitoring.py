@@ -1,0 +1,84 @@
+"""Application-level bench: grid job monitoring (the intro's domain).
+
+A portal submits a batch of jobs, polls them to completion and fetches
+the results — comparing the classic one-message-per-call client with
+the SPI-packed monitor.  Complements the travel-agent experiment with
+the paper's other motivating scenario.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.apps.grid import GRID_NS, GRID_SERVICE, GridMonitor, make_grid_service
+from repro.bench.workloads import build_transport
+from repro.client.proxy import ServiceProxy
+from repro.core.dispatcher import spi_server_handlers
+from repro.server.handlers import HandlerChain
+from repro.server.staged_arch import StagedSoapServer
+
+JOBS = 10
+
+
+@pytest.fixture(scope="module")
+def grid_env():
+    transport = build_transport("lan")
+    service = make_grid_service(workers=8, work_units=20)
+    server = StagedSoapServer(
+        [service],
+        transport=transport,
+        address=("127.0.0.1", 0),
+        chain=HandlerChain(spi_server_handlers()),
+    )
+    address = server.start()
+    yield transport, address
+    server.stop()
+    service.job_store.shutdown()
+
+
+def campaign(transport, address, use_packing):
+    proxy = ServiceProxy(
+        transport, address, namespace=GRID_NS, service_name=GRID_SERVICE,
+        reuse_connections=True,
+    )
+    monitor = GridMonitor(proxy, use_packing=use_packing)
+    try:
+        job_ids = monitor.submit_batch([f"frame-{use_packing}-{i}" for i in range(JOBS)])
+        monitor.wait_all_done(job_ids, timeout=60)
+        return monitor.fetch_results(job_ids)
+    finally:
+        proxy.close()
+
+
+@pytest.mark.parametrize("use_packing", [False, True], ids=["serial", "packed"])
+def test_grid_campaign(benchmark, grid_env, use_packing):
+    transport, address = grid_env
+    benchmark.group = f"grid monitoring ({JOBS} jobs: submit+poll+fetch)"
+    results = benchmark.pedantic(
+        campaign,
+        args=(transport, address, use_packing),
+        rounds=3,
+        warmup_rounds=1,
+        iterations=1,
+    )
+    assert len(results) == JOBS
+
+
+def test_packed_monitoring_is_faster(benchmark, grid_env):
+    benchmark.group = "claims"
+    transport, address = grid_env
+
+    def timed(use_packing):
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            campaign(transport, address, use_packing)
+            samples.append(time.perf_counter() - start)
+        return statistics.median(samples)
+
+    serial = timed(False)
+    packed = timed(True)
+    benchmark.extra_info["ms"] = {"serial": serial * 1e3, "packed": packed * 1e3}
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert packed < serial

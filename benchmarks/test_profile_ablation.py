@@ -1,0 +1,70 @@
+"""Network-profile ablation: the packing win vs. link latency.
+
+Generalizes §4.2's overhead argument: packing eliminates (M-1)
+connection setups and message round-trip overheads, so its advantage
+must grow with per-message latency — small on bare loopback, larger on
+the paper's LAN, larger still on a WAN.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.bench.workloads import echo_testbed, run_point
+
+M = 16
+PAYLOAD = 100
+PROFILES = ["loopback", "lan", "wan"]
+
+
+@pytest.fixture(scope="module")
+def beds():
+    opened = {}
+    stack = []
+    for profile in PROFILES:
+        for architecture, spi in (("common", False), ("staged", True)):
+            cm = echo_testbed(profile=profile, architecture=architecture, spi=spi)
+            bed = cm.__enter__()
+            stack.append(cm)
+            opened[(profile, architecture)] = bed
+    yield opened
+    for cm in reversed(stack):
+        cm.__exit__(None, None, None)
+
+
+def timed(bed, approach, repeats=3):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_point(bed, approach, M, PAYLOAD)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+@pytest.mark.parametrize("profile", PROFILES)
+@pytest.mark.parametrize("approach", ["no-optimization", "our-approach"])
+def test_profile_point(benchmark, beds, profile, approach):
+    architecture = "staged" if approach == "our-approach" else "common"
+    bed = beds[(profile, architecture)]
+    benchmark.group = f"profile ablation ({profile}, M={M})"
+    benchmark.pedantic(
+        run_point,
+        args=(bed, approach, M, PAYLOAD),
+        rounds=3,
+        warmup_rounds=1,
+        iterations=1,
+    )
+
+
+def test_packing_win_grows_with_latency(benchmark, beds):
+    benchmark.group = "claims"
+    speedups = {}
+    for profile in PROFILES:
+        serial = timed(beds[(profile, "common")], "no-optimization")
+        packed = timed(beds[(profile, "staged")], "our-approach")
+        speedups[profile] = serial / packed
+    benchmark.extra_info["speedups"] = speedups
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert speedups["lan"] > speedups["loopback"]
+    assert speedups["wan"] > speedups["lan"]

@@ -1,0 +1,75 @@
+"""WS-Security ablation (§4.2/§5).
+
+Paper: "considering the implementation of some web service
+specifications which will add the overhead in SOAP Header, such as
+WS-security, our approach is more attractive in this case."
+
+With a signed WSS header on every message, the serial baseline pays
+M headers while the packed message pays one — so packing's speedup
+must be at least as large with WSS as without.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.bench.workloads import (
+    echo_calls,
+    echo_testbed,
+    make_invoker,
+    secured_proxy,
+)
+
+M = 32
+PAYLOAD = 100
+
+
+@pytest.fixture(scope="module")
+def spi_bed():
+    with echo_testbed(profile="lan", architecture="staged", spi=True) as bed:
+        yield bed
+
+
+def run_once(bed, approach, wss):
+    proxy = secured_proxy(bed) if wss else bed.make_proxy()
+    try:
+        make_invoker(approach, proxy).invoke_all(echo_calls(M, PAYLOAD), timeout=300)
+    finally:
+        proxy.close()
+
+
+def timed(bed, approach, wss, repeats=3):
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_once(bed, approach, wss)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+@pytest.mark.parametrize("wss", [False, True], ids=["plain", "ws-security"])
+@pytest.mark.parametrize("approach", ["no-optimization", "our-approach"])
+def test_wss_point(benchmark, spi_bed, approach, wss):
+    benchmark.group = f"wss ablation ({'wss' if wss else 'plain'})"
+    benchmark.pedantic(
+        run_once,
+        args=(spi_bed, approach, wss),
+        rounds=3,
+        warmup_rounds=1,
+        iterations=1,
+    )
+
+
+def test_wss_makes_packing_more_attractive(benchmark, spi_bed):
+    benchmark.group = "claims"
+    plain_speedup = timed(spi_bed, "no-optimization", False) / timed(
+        spi_bed, "our-approach", False
+    )
+    wss_speedup = timed(spi_bed, "no-optimization", True) / timed(
+        spi_bed, "our-approach", True
+    )
+    benchmark.extra_info["speedup"] = {"plain": plain_speedup, "wss": wss_speedup}
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # allow a little noise, but WSS must not *reduce* the advantage
+    assert wss_speedup >= plain_speedup * 0.9

@@ -1,0 +1,32 @@
+"""repro — reproduction of "Application-aware Interface for SOAP
+Communication in Web Services" (CLUSTER 2006).
+
+The package implements **SPI**, the paper's SOAP Passing Interface, and
+every substrate it runs on: an XML parser/writer, a SOAP 1.1 engine, an
+HTTP/1.1 client and server, WSDL tooling, the common and staged-thread-
+pool server architectures, and a calibrated network-emulation transport
+reproducing the paper's 100 Mbit testbed.
+
+Quickstart::
+
+    from repro import spi
+    from repro.apps.echo import make_echo_service
+    from repro.server import StagedSoapServer
+    from repro.transport import TcpTransport
+
+    server = StagedSoapServer([make_echo_service()])
+    with server.running() as address:
+        client = spi.connect(address, "EchoService")
+        with client.pack() as batch:
+            futures = [batch.call("echo", payload=f"msg {i}") for i in range(8)]
+        print([f.result() for f in futures])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,31 @@
+"""Demo applications: echo (latency experiments), weather (Fig. 4),
+travel agent (Fig. 3/8)."""
+
+from repro.apps.echo import ECHO_NS, ECHO_SERVICE, make_echo_payload, make_echo_service
+from repro.apps.grid import GRID_NS, GRID_SERVICE, GridMonitor, make_grid_service
+from repro.apps.travel import TravelAgent, deploy_travel_system
+from repro.apps.weather import (
+    WEATHER_NS,
+    WEATHER_SERVICE,
+    figure4_document,
+    figure4_envelope,
+    make_weather_service,
+)
+
+__all__ = [
+    "ECHO_NS",
+    "ECHO_SERVICE",
+    "GRID_NS",
+    "GRID_SERVICE",
+    "GridMonitor",
+    "TravelAgent",
+    "make_grid_service",
+    "WEATHER_NS",
+    "WEATHER_SERVICE",
+    "deploy_travel_system",
+    "figure4_document",
+    "figure4_envelope",
+    "make_echo_payload",
+    "make_echo_service",
+    "make_weather_service",
+]

@@ -1,0 +1,130 @@
+"""``python -m repro.apps.call`` — one-shot SOAP client CLI.
+
+Examples (against ``python -m repro.apps.serve``)::
+
+    python -m repro.apps.call 127.0.0.1:8080 urn:repro:echo echo payload=hello
+    python -m repro.apps.call 127.0.0.1:8080 urn:repro:weather \\
+        GetWeather city=Beijing country=China
+    # pack several calls into one SOAP message:
+    python -m repro.apps.call 127.0.0.1:8080 urn:repro:weather --pack \\
+        GetWeather city=Beijing country=China -- \\
+        GetWeather city=Shanghai country=China
+
+Parameter values are parsed as int/float/bool when they look like one;
+prefix with ``str:`` to force a string (``n=str:42``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.client.proxy import ServiceProxy
+from repro.core.batch import PackBatch
+from repro.errors import ReproError
+from repro.transport.tcp import TcpTransport
+
+
+def parse_value(text: str) -> Any:
+    """Coerce CLI text to int/float/bool; ``str:`` prefix forces a string."""
+    if text.startswith("str:"):
+        return text[4:]
+    if text in ("true", "false"):
+        return text == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def parse_call(tokens: list[str]) -> tuple[str, dict[str, Any]]:
+    """Split ['op', 'a=1', ...] into (operation, params)."""
+    if not tokens:
+        raise ReproError("empty call specification")
+    operation, *pairs = tokens
+    params: dict[str, Any] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep:
+            raise ReproError(f"'{pair}' is not name=value")
+        params[name] = parse_value(value)
+    return operation, params
+
+
+def split_calls(tokens: list[str]) -> list[list[str]]:
+    """Split a token list into per-call groups at '--' separators."""
+    calls: list[list[str]] = [[]]
+    for token in tokens:
+        if token == "--":
+            calls.append([])
+        else:
+            calls[-1].append(token)
+    return [c for c in calls if c]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apps.call",
+        description="Invoke SOAP operations; --pack batches them into one message.",
+    )
+    parser.add_argument("address", help="host:port of the server")
+    parser.add_argument("namespace", help="service namespace (urn:repro:echo, ...)")
+    parser.add_argument("--pack", action="store_true", help="pack all calls into one message")
+    parser.add_argument(
+        "call", nargs=argparse.REMAINDER,
+        help="operation name=value ... [-- operation name=value ...]",
+    )
+    args = parser.parse_args(argv)
+
+    host, _, port_text = args.address.partition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        parser.error(f"'{args.address}' is not host:port")
+
+    # argparse.REMAINDER swallows options that appear after the
+    # positionals, so honour a --pack found among the call tokens too
+    tokens = list(args.call)
+    if "--pack" in tokens:
+        tokens.remove("--pack")
+        args.pack = True
+
+    calls = [parse_call(call) for call in split_calls(tokens)]
+    if not calls:
+        parser.error("no calls given")
+
+    proxy = ServiceProxy(
+        TcpTransport(), (host, port),
+        namespace=args.namespace,
+        service_name=args.namespace.rsplit(":", 1)[-1],
+    )
+    try:
+        if args.pack:
+            batch = PackBatch(proxy)
+            futures = [batch.call(op, **params) for op, params in calls]
+            batch.flush()
+            for (op, _), future in zip(calls, futures):
+                error = future.exception(timeout=30)
+                if error is not None:
+                    print(f"{op}: FAULT {error}", file=sys.stderr)
+                else:
+                    print(f"{op}: {future.result(timeout=0)!r}")
+        else:
+            for op, params in calls:
+                print(f"{op}: {proxy.call(op, **params)!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        proxy.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Echo service — the workload of the paper's latency experiments.
+
+§4.1: "we use Echo services, which only return the data whatever they
+received, to substitute the services of aforementioned use case on
+server side.  We simulate the size of the services request parameters
+by varying the size of the echo service request data."
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.server.service import ServiceDefinition, service_from_functions
+
+ECHO_NS = "urn:repro:echo"
+ECHO_SERVICE = "EchoService"
+
+# deterministic filler used to build N-byte payloads; the paper sends
+# "a single array containing 10, 1K, and 100K characters"
+_FILLER = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def make_echo_payload(size: int) -> str:
+    """An exactly ``size``-character deterministic payload."""
+    if size <= 0:
+        return ""
+    repeats = size // len(_FILLER) + 1
+    return (_FILLER * repeats)[:size]
+
+
+def make_echo_service() -> ServiceDefinition:
+    """The Echo service: returns whatever it receives."""
+
+    def echo(payload: str) -> str:
+        """Return the payload unchanged."""
+        return payload
+
+    def echoLength(payload: str) -> int:
+        """Return only the payload length (response-size asymmetry tests)."""
+        return len(payload)
+
+    def delayedEcho(payload: str, delay_ms: int) -> str:
+        """Echo after sleeping ``delay_ms`` — a stand-in for real
+        service work when measuring server-side concurrency."""
+        time.sleep(delay_ms / 1000.0)
+        return payload
+
+    return service_from_functions(
+        ECHO_SERVICE,
+        ECHO_NS,
+        {"echo": echo, "echoLength": echoLength, "delayedEcho": delayedEcho},
+    )

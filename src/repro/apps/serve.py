@@ -1,0 +1,98 @@
+"""``python -m repro.apps.serve`` — run a demo SPI-enabled SOAP server.
+
+Deploys every demo service (echo, weather, the travel trio, the credit
+card service and the SPI plan runner) in one container on real TCP,
+with the SPI pack handlers and diagnostics installed.  Useful for
+poking at the stack with a real client::
+
+    python -m repro.apps.serve --port 8080
+    # another shell:
+    python -m repro.apps.call 127.0.0.1:8080 urn:repro:echo echo payload=hello
+    curl 'http://127.0.0.1:8080/services/EchoService?wsdl'
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+
+from repro.apps.echo import make_echo_service
+from repro.apps.grid import make_grid_service
+from repro.apps.travel import (
+    AIRLINE_NAMES,
+    HOTEL_NAMES,
+    make_airline_service,
+    make_credit_card_service,
+    make_hotel_service,
+)
+from repro.apps.weather import make_weather_service
+from repro.core.dispatcher import spi_server_handlers
+from repro.core.remote_exec import make_plan_runner_service
+from repro.diagnostics import PackMetricsHandler
+from repro.server.handlers import HandlerChain
+from repro.server.staged_arch import StagedSoapServer
+from repro.transport.tcp import TcpTransport
+
+
+def build_server(host: str, port: int, *, app_workers: int = 16) -> tuple[StagedSoapServer, PackMetricsHandler]:
+    """Assemble the full demo container with SPI + metrics handlers."""
+    services = [
+        make_echo_service(),
+        make_weather_service(),
+        make_grid_service(),
+        make_credit_card_service(),
+        *[make_airline_service(n, 480 + 70 * i) for i, n in enumerate(AIRLINE_NAMES)],
+        *[make_hotel_service(n, 120 + 35 * i) for i, n in enumerate(HOTEL_NAMES)],
+    ]
+    metrics = PackMetricsHandler()
+    chain = HandlerChain([metrics, *spi_server_handlers()])
+    server = StagedSoapServer(
+        services,
+        transport=TcpTransport(),
+        address=(host, port),
+        chain=chain,
+        app_workers=app_workers,
+    )
+    server.container.deploy(make_plan_runner_service(server.container))
+    return server, metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; serves until SIGINT/SIGTERM."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apps.serve",
+        description="Run the demo SPI-enabled SOAP server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--workers", type=int, default=16, help="application-stage workers")
+    args = parser.parse_args(argv)
+
+    server, metrics = build_server(args.host, args.port, app_workers=args.workers)
+    address = server.start()
+    print(f"SPI demo server listening on {address[0]}:{address[1]}")
+    print("deployed services:")
+    for service in server.container.services():
+        print(f"  {service.name:<24} {service.namespace}")
+        print(f"    wsdl: http://{address[0]}:{address[1]}/services/{service.name}?wsdl")
+
+    stop = threading.Event()
+
+    def handle_signal(signum, frame):  # pragma: no cover - interactive
+        stop.set()
+
+    signal.signal(signal.SIGINT, handle_signal)
+    signal.signal(signal.SIGTERM, handle_signal)
+    try:
+        while not stop.wait(timeout=1.0):
+            pass
+    finally:
+        print("\npack metrics:", metrics.snapshot())
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -1,0 +1,434 @@
+"""The W3C travel-agent use case (paper §3.1 Figure 3, §4.3 Figure 8).
+
+"The scenarios describe how a user would make a reservation for a
+vacation package (flight and hotel room) by a travel agent service."
+
+Topology, as deployed in §4.3: "airline services, hotel services, and
+credit card service are deployed on three server nodes" — three airline
+services share one container/node, three hotel services another, the
+credit-card service a third.  The travel agent runs on the client node.
+
+The agent performs eleven invocations (Fig. 8):
+
+1. query a flight list from each of the 3 airlines        (3 messages)
+2. reserve the most economical flight                      (1)
+3. query a room list from each of the 3 hotels             (3)
+4. reserve the most economical room                        (1)
+5. confirm payment with the credit-card service            (1)
+6. confirm the flight reservation                          (1)
+7. confirm the room reservation                            (1)
+
+The SPI optimization packs steps 1 and 3 — three messages each become
+one — cutting eleven messages to seven.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.client.proxy import ServiceProxy
+from repro.core.batch import PackBatch
+from repro.core.dispatcher import spi_server_handlers
+from repro.errors import ServiceError
+from repro.server.handlers import HandlerChain
+from repro.server.service import ServiceDefinition, service_from_functions
+from repro.server.staged_arch import StagedSoapServer
+from repro.soap.fault import ClientFaultCause
+from repro.transport.base import Address, Transport
+
+AIRLINE_NAMES = ("AirChina", "DragonAir", "EastPacific")
+HOTEL_NAMES = ("GrandBeijing", "LakeView", "RedLantern")
+
+CREDIT_NS = "urn:repro:creditcard"
+
+
+def airline_ns(name: str) -> str:
+    """Namespace of one airline service."""
+    return f"urn:repro:airline:{name}"
+
+
+def hotel_ns(name: str) -> str:
+    """Namespace of one hotel service."""
+    return f"urn:repro:hotel:{name}"
+
+
+# -- server-side services -----------------------------------------------------
+
+
+class _ReservationBook:
+    """Thread-safe reservation ledger shared by airline/hotel services."""
+
+    def __init__(self, prefix: str) -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(1)
+        self._reservations: dict[str, dict[str, Any]] = {}
+        self._lock = threading.Lock()
+
+    def reserve(self, item_id: str) -> str:
+        with self._lock:
+            reservation_id = f"{self._prefix}-{next(self._counter)}"
+            self._reservations[reservation_id] = {"item": item_id, "confirmed": False}
+        return reservation_id
+
+    def confirm(self, reservation_id: str, authorization_id: str) -> str:
+        with self._lock:
+            record = self._reservations.get(reservation_id)
+            if record is None:
+                raise ClientFaultCause(f"unknown reservation '{reservation_id}'")
+            if not authorization_id:
+                raise ClientFaultCause("missing authorization id")
+            record["confirmed"] = True
+            record["authorization"] = authorization_id
+        return "OK"
+
+    def confirmed_count(self) -> int:
+        with self._lock:
+            return sum(1 for r in self._reservations.values() if r["confirmed"])
+
+
+def make_airline_service(name: str, base_price: int) -> ServiceDefinition:
+    """One airline: deterministic flight inventory priced off ``base_price``."""
+    book = _ReservationBook(f"FL-{name}")
+
+    def queryFlights(origin: str, destination: str) -> list:
+        """Flights between two cities with prices."""
+        return [
+            {
+                "flightId": f"{name}-{origin}-{destination}-{i}",
+                "airline": name,
+                "price": base_price + 40 * i,
+                "departure": f"0{6 + 2 * i}:00",
+            }
+            for i in range(3)
+        ]
+
+    def reserveFlight(flightId: str) -> str:
+        """Reserve a flight; returns the reservation id."""
+        return book.reserve(flightId)
+
+    def confirmReservation(reservationId: str, authorizationId: str) -> str:
+        """Confirm a reservation against a payment authorization."""
+        return book.confirm(reservationId, authorizationId)
+
+    service = service_from_functions(
+        f"{name}Airline",
+        airline_ns(name),
+        {
+            "queryFlights": queryFlights,
+            "reserveFlight": reserveFlight,
+            "confirmReservation": confirmReservation,
+        },
+    )
+    service.reservation_book = book  # type: ignore[attr-defined]
+    return service
+
+
+def make_hotel_service(name: str, base_rate: int) -> ServiceDefinition:
+    """One hotel: deterministic room inventory priced off ``base_rate``."""
+    book = _ReservationBook(f"RM-{name}")
+
+    def queryRooms(city: str) -> list:
+        """Available rooms in a city with nightly rates."""
+        return [
+            {
+                "roomId": f"{name}-{city}-{i}",
+                "hotel": name,
+                "ratePerNight": base_rate + 25 * i,
+                "category": ("standard", "deluxe", "suite")[i],
+            }
+            for i in range(3)
+        ]
+
+    def reserveRoom(roomId: str) -> str:
+        """Reserve a room; returns the reservation id."""
+        return book.reserve(roomId)
+
+    def confirmReservation(reservationId: str, authorizationId: str) -> str:
+        """Confirm a reservation against a payment authorization."""
+        return book.confirm(reservationId, authorizationId)
+
+    service = service_from_functions(
+        f"{name}Hotel",
+        hotel_ns(name),
+        {
+            "queryRooms": queryRooms,
+            "reserveRoom": reserveRoom,
+            "confirmReservation": confirmReservation,
+        },
+    )
+    service.reservation_book = book  # type: ignore[attr-defined]
+    return service
+
+
+def make_credit_card_service() -> ServiceDefinition:
+    """Payment authorization endpoint."""
+    counter = itertools.count(1)
+    lock = threading.Lock()
+
+    def authorizePayment(account: str, amount: int) -> str:
+        """Authorize a charge; returns the authorization id."""
+        if not account.startswith("ACCT-"):
+            raise ClientFaultCause(f"malformed account '{account}'")
+        if amount <= 0:
+            raise ClientFaultCause("amount must be positive")
+        with lock:
+            return f"AUTH-{next(counter)}"
+
+    return service_from_functions(
+        "CreditCard", CREDIT_NS, {"authorizePayment": authorizePayment}
+    )
+
+
+# -- deployment -----------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class TravelSystem:
+    """The three deployed server nodes plus their addresses."""
+
+    airline_server: StagedSoapServer
+    hotel_server: StagedSoapServer
+    credit_server: StagedSoapServer
+    airline_address: Address = None
+    hotel_address: Address = None
+    credit_address: Address = None
+
+    def stop(self) -> None:
+        """Stop all three server nodes."""
+        for server in (self.airline_server, self.hotel_server, self.credit_server):
+            server.stop()
+
+
+@contextlib.contextmanager
+def deploy_travel_system(
+    transport_factory=None,
+    *,
+    addresses: tuple[Address, Address, Address] | None = None,
+) -> Iterator[tuple[TravelSystem, Any]]:
+    """Start the three server nodes; yields (system, transport).
+
+    ``transport_factory`` builds one transport shared by all nodes
+    (default: in-process).  Every node gets the SPI handler pair, so
+    packed and unpacked clients both work.
+    """
+    if transport_factory is None:
+        from repro.transport.inproc import InProcTransport
+
+        transport = InProcTransport()
+        node_addresses = addresses or ("airline-node", "hotel-node", "credit-node")
+    else:
+        transport = transport_factory()
+        node_addresses = addresses or (
+            ("127.0.0.1", 0),
+            ("127.0.0.1", 0),
+            ("127.0.0.1", 0),
+        )
+
+    airline_server = StagedSoapServer(
+        [make_airline_service(n, 480 + 70 * i) for i, n in enumerate(AIRLINE_NAMES)],
+        transport=transport,
+        address=node_addresses[0],
+        chain=HandlerChain(spi_server_handlers()),
+    )
+    hotel_server = StagedSoapServer(
+        [make_hotel_service(n, 120 + 35 * i) for i, n in enumerate(HOTEL_NAMES)],
+        transport=transport,
+        address=node_addresses[1],
+        chain=HandlerChain(spi_server_handlers()),
+    )
+    credit_server = StagedSoapServer(
+        [make_credit_card_service()],
+        transport=transport,
+        address=node_addresses[2],
+        chain=HandlerChain(spi_server_handlers()),
+    )
+
+    system = TravelSystem(airline_server, hotel_server, credit_server)
+    system.airline_address = airline_server.start()
+    system.hotel_address = hotel_server.start()
+    system.credit_address = credit_server.start()
+    try:
+        yield system, transport
+    finally:
+        system.stop()
+
+
+# -- the travel agent (client-side orchestration) -------------------------------
+
+
+@dataclass(slots=True)
+class Itinerary:
+    flight: dict[str, Any]
+    room: dict[str, Any]
+    flight_reservation: str
+    room_reservation: str
+    authorization: str
+    total_price: int
+    soap_messages: int
+    invocations: int = 11
+
+
+@dataclass(slots=True)
+class TravelAgent:
+    """Runs the Figure 8 booking sequence, optionally SPI-optimized.
+
+    With ``use_packing`` the agent packs step 1 (three airline queries)
+    and step 3 (three hotel queries) exactly as §4.3 describes: "packing
+    the three flight request messages into one SOAP message, and
+    likewise in step 3".
+    """
+
+    transport: Transport
+    airline_address: Address
+    hotel_address: Address
+    credit_address: Address
+    use_packing: bool = False
+    reuse_connections: bool = False
+    _proxies: dict[str, ServiceProxy] = field(default_factory=dict)
+
+    def book_vacation(
+        self, origin: str, destination: str, account: str = "ACCT-42"
+    ) -> Itinerary:
+        """Run the eleven-invocation booking sequence of Figure 8."""
+        messages = 0
+
+        # step 1: flight lists from every airline
+        if self.use_packing:
+            flights, n = self._packed_queries(
+                self.airline_address,
+                [(airline_ns(a), "queryFlights",
+                  {"origin": origin, "destination": destination})
+                 for a in AIRLINE_NAMES],
+            )
+        else:
+            flights, n = self._serial_queries(
+                self.airline_address,
+                [(airline_ns(a), "queryFlights",
+                  {"origin": origin, "destination": destination})
+                 for a in AIRLINE_NAMES],
+            )
+        messages += n
+        flight = min(
+            (f for flight_list in flights for f in flight_list),
+            key=lambda f: f["price"],
+        )
+
+        # step 2: reserve the most economical flight
+        flight_reservation = self._call(
+            self.airline_address, airline_ns(flight["airline"]),
+            "reserveFlight", flightId=flight["flightId"],
+        )
+        messages += 1
+
+        # step 3: room lists from every hotel
+        if self.use_packing:
+            rooms, n = self._packed_queries(
+                self.hotel_address,
+                [(hotel_ns(h), "queryRooms", {"city": destination}) for h in HOTEL_NAMES],
+            )
+        else:
+            rooms, n = self._serial_queries(
+                self.hotel_address,
+                [(hotel_ns(h), "queryRooms", {"city": destination}) for h in HOTEL_NAMES],
+            )
+        messages += n
+        room = min(
+            (r for room_list in rooms for r in room_list),
+            key=lambda r: r["ratePerNight"],
+        )
+
+        # step 4: reserve the most economical room
+        room_reservation = self._call(
+            self.hotel_address, hotel_ns(room["hotel"]),
+            "reserveRoom", roomId=room["roomId"],
+        )
+        messages += 1
+
+        # step 5: confirm payment
+        total = flight["price"] + room["ratePerNight"]
+        authorization = self._call(
+            self.credit_address, CREDIT_NS,
+            "authorizePayment", account=account, amount=total,
+        )
+        messages += 1
+
+        # steps 6-7: confirm both reservations with the authorization id
+        self._call(
+            self.airline_address, airline_ns(flight["airline"]),
+            "confirmReservation",
+            reservationId=flight_reservation, authorizationId=authorization,
+        )
+        self._call(
+            self.hotel_address, hotel_ns(room["hotel"]),
+            "confirmReservation",
+            reservationId=room_reservation, authorizationId=authorization,
+        )
+        messages += 2
+
+        return Itinerary(
+            flight=flight,
+            room=room,
+            flight_reservation=flight_reservation,
+            room_reservation=room_reservation,
+            authorization=authorization,
+            total_price=total,
+            soap_messages=messages,
+        )
+
+    def close(self) -> None:
+        """Close every proxy this agent opened."""
+        for proxy in self._proxies.values():
+            proxy.close()
+        self._proxies.clear()
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _proxy(self, address: Address, namespace: str) -> ServiceProxy:
+        key = f"{address}|{namespace}"
+        proxy = self._proxies.get(key)
+        if proxy is None:
+            proxy = ServiceProxy(
+                self.transport,
+                address,
+                namespace=namespace,
+                service_name=namespace.rsplit(":", 1)[-1],
+                reuse_connections=self.reuse_connections,
+            )
+            self._proxies[key] = proxy
+        return proxy
+
+    def _call(self, address: Address, namespace: str, operation: str, **params: Any) -> Any:
+        return self._proxy(address, namespace).call(operation, **params)
+
+    def _serial_queries(
+        self, address: Address, queries: list[tuple[str, str, dict]]
+    ) -> tuple[list[Any], int]:
+        results = [
+            self._call(address, ns, op, **params) for ns, op, params in queries
+        ]
+        return results, len(queries)
+
+    def _packed_queries(
+        self, address: Address, queries: list[tuple[str, str, dict]]
+    ) -> tuple[list[Any], int]:
+        anchor_ns = queries[0][0]
+        batch = PackBatch(self._proxy(address, anchor_ns))
+        futures = [
+            batch.call_service(ns, op, **params) for ns, op, params in queries
+        ]
+        batch.flush()
+        return [f.result(timeout=30) for f in futures], 1
+
+
+def validate_itinerary(itinerary: Itinerary) -> None:
+    """Cross-checks used by tests and benches."""
+    if itinerary.flight["price"] > min(480, 550, 620):
+        raise ServiceError("did not pick the most economical airline")
+    if not itinerary.authorization.startswith("AUTH-"):
+        raise ServiceError("missing payment authorization")
+    if itinerary.invocations != 11:
+        raise ServiceError("Figure 8 requires eleven invocations")

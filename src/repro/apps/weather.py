@@ -1,0 +1,75 @@
+"""Weather service — the Figure 4 example workload.
+
+The paper's Figure 4 shows a gSOAP-generated packed message to
+"WebServiceX.NET that provides many services including weather service"
+carrying two requests: the weather in Beijing and in Shanghai.  This
+module is a local stand-in for that public endpoint (DESIGN.md §3
+substitution 3) plus the helper that regenerates the figure's message.
+"""
+
+from __future__ import annotations
+
+from repro.core.packformat import build_parallel_method
+from repro.server.service import ServiceDefinition, service_from_functions
+from repro.soap.envelope import Envelope
+from repro.soap.fault import ClientFaultCause
+from repro.soap.serializer import serialize_rpc_request
+
+WEATHER_NS = "urn:repro:weather"
+WEATHER_SERVICE = "GlobalWeather"
+
+# deterministic synthetic observations, keyed by (city, country)
+_OBSERVATIONS: dict[tuple[str, str], dict] = {
+    ("Beijing", "China"): {"sky": "haze", "temperature_c": 28, "wind_kmh": 9},
+    ("Shanghai", "China"): {"sky": "rain", "temperature_c": 24, "wind_kmh": 18},
+    ("Guangzhou", "China"): {"sky": "storm", "temperature_c": 31, "wind_kmh": 22},
+    ("Edinburgh", "UK"): {"sky": "drizzle", "temperature_c": 14, "wind_kmh": 25},
+    ("Honolulu", "USA"): {"sky": "clear", "temperature_c": 27, "wind_kmh": 12},
+    ("Seattle", "USA"): {"sky": "overcast", "temperature_c": 17, "wind_kmh": 10},
+}
+
+
+def make_weather_service() -> ServiceDefinition:
+    """WebServiceX-shaped weather lookups."""
+
+    def GetWeather(city: str, country: str) -> str:
+        """One-line weather report for a city."""
+        observation = _OBSERVATIONS.get((city, country))
+        if observation is None:
+            raise ClientFaultCause(f"no observations for {city}, {country}")
+        return (
+            f"{city}, {country}: {observation['sky']}, "
+            f"{observation['temperature_c']}C, wind {observation['wind_kmh']} km/h"
+        )
+
+    def GetCitiesByCountry(country: str) -> list:
+        """Known cities for a country."""
+        return sorted(c for c, k in _OBSERVATIONS if k == country)
+
+    return service_from_functions(
+        WEATHER_SERVICE,
+        WEATHER_NS,
+        {"GetWeather": GetWeather, "GetCitiesByCountry": GetCitiesByCountry},
+    )
+
+
+def figure4_envelope() -> Envelope:
+    """The packed two-city request message of the paper's Figure 4:
+    'The first request gets the weather in Beijing, China and the second
+    gets that in Shanghai, China.'"""
+    entries = [
+        serialize_rpc_request(
+            WEATHER_NS, "GetWeather", {"city": "Beijing", "country": "China"}
+        ),
+        serialize_rpc_request(
+            WEATHER_NS, "GetWeather", {"city": "Shanghai", "country": "China"}
+        ),
+    ]
+    envelope = Envelope()
+    envelope.add_body(build_parallel_method(entries))
+    return envelope
+
+
+def figure4_document() -> str:
+    """Figure 4's message as pretty-printable XML text."""
+    return figure4_envelope().to_string()

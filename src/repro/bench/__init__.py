@@ -1,0 +1,33 @@
+"""Benchmark harness: testbeds, measurement, figure regeneration.
+
+Run ``python -m repro.bench all`` to regenerate every evaluation
+artifact of the paper; the pytest-benchmark front end lives in the
+top-level ``benchmarks/`` directory.
+"""
+
+from repro.bench.harness import Measurement, measure, speedup
+from repro.bench.report import FigureResult, ScalarResult
+from repro.bench.workloads import (
+    APPROACHES,
+    Testbed,
+    build_transport,
+    echo_calls,
+    echo_testbed,
+    make_invoker,
+    run_point,
+)
+
+__all__ = [
+    "APPROACHES",
+    "FigureResult",
+    "Measurement",
+    "ScalarResult",
+    "Testbed",
+    "build_transport",
+    "echo_calls",
+    "echo_testbed",
+    "make_invoker",
+    "measure",
+    "run_point",
+    "speedup",
+]

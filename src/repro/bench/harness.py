@@ -1,0 +1,80 @@
+"""Measurement utilities for the experiment harness."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(slots=True)
+class Measurement:
+    """Wall-clock samples for one experiment point."""
+
+    label: str
+    samples_s: list[float] = field(default_factory=list)
+
+    @property
+    def best_s(self) -> float:
+        return min(self.samples_s)
+
+    @property
+    def mean_s(self) -> float:
+        return statistics.fmean(self.samples_s)
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.samples_s)
+
+    @property
+    def stdev_s(self) -> float:
+        return statistics.stdev(self.samples_s) if len(self.samples_s) > 1 else 0.0
+
+    @property
+    def best_ms(self) -> float:
+        return self.best_s * 1e3
+
+    @property
+    def median_ms(self) -> float:
+        return self.median_s * 1e3
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly summary of the samples."""
+        return {
+            "label": self.label,
+            "best_ms": self.best_ms,
+            "median_ms": self.median_ms,
+            "mean_ms": self.mean_s * 1e3,
+            "stdev_ms": self.stdev_s * 1e3,
+            "samples": len(self.samples_s),
+        }
+
+
+def measure(
+    fn: Callable[[], Any],
+    *,
+    label: str = "",
+    repeats: int = 3,
+    warmup: int = 1,
+) -> Measurement:
+    """Time ``fn`` ``repeats`` times after ``warmup`` unrecorded runs.
+
+    The function is expected to perform one complete experiment point
+    (e.g. "issue M echo requests and wait for all responses").
+    """
+    for _ in range(warmup):
+        fn()
+    measurement = Measurement(label)
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        measurement.samples_s.append(time.perf_counter() - start)
+    return measurement
+
+
+def speedup(baseline: Measurement, candidate: Measurement) -> float:
+    """How many times faster ``candidate`` is than ``baseline`` (medians)."""
+    if candidate.median_s == 0:
+        return float("inf")
+    return baseline.median_s / candidate.median_s

@@ -1,0 +1,140 @@
+"""Result tables: the rows/series the paper's figures report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.harness import Measurement
+
+
+@dataclass(slots=True)
+class FigureSeries:
+    """One line of a figure: an approach's time at each M."""
+
+    approach: str
+    points: dict[int, Measurement] = field(default_factory=dict)
+
+    def ms_at(self, m: int) -> float:
+        """Median milliseconds at one M value."""
+        return self.points[m].median_ms
+
+
+@dataclass(slots=True)
+class FigureResult:
+    """A regenerated figure: payload size, M axis, one series per approach."""
+
+    figure_id: str
+    title: str
+    payload_bytes: int
+    m_values: list[int]
+    series: dict[str, FigureSeries] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def record(self, approach: str, m: int, measurement: Measurement) -> None:
+        """Store one (approach, M) measurement."""
+        self.series.setdefault(approach, FigureSeries(approach)).points[m] = measurement
+
+    def speedup_at(self, m: int, *, baseline: str, candidate: str) -> float:
+        """baseline/candidate median ratio at one M."""
+        return self.series[baseline].ms_at(m) / self.series[candidate].ms_at(m)
+
+    def to_table(self) -> str:
+        """ASCII table matching the figure's axes: M rows, one column
+        per approach, milliseconds (the paper's y-axis unit)."""
+        approaches = list(self.series)
+        header = ["M"] + approaches
+        rows: list[list[str]] = []
+        for m in self.m_values:
+            row = [str(m)]
+            for approach in approaches:
+                point = self.series[approach].points.get(m)
+                row.append(f"{point.median_ms:10.2f}" if point else "-")
+            rows.append(row)
+        lines = [
+            f"{self.figure_id}: {self.title} (payload {self.payload_bytes} B, ms, median)",
+            _format_row(header),
+            _format_row(["-" * len(h) for h in header]),
+        ]
+        lines.extend(_format_row(row) for row in rows)
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured table, ready for EXPERIMENTS.md."""
+        approaches = list(self.series)
+        lines = [
+            f"### {self.figure_id} — payload {self.payload_bytes} B (ms, median)",
+            "",
+            "| M | " + " | ".join(approaches) + " |",
+            "|---|" + "|".join(["---"] * len(approaches)) + "|",
+        ]
+        for m in self.m_values:
+            cells = []
+            for approach in approaches:
+                point = self.series[approach].points.get(m)
+                cells.append(f"{point.median_ms:.2f}" if point else "-")
+            lines.append(f"| {m} | " + " | ".join(cells) + " |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-friendly form of the whole figure."""
+        return {
+            "figure": self.figure_id,
+            "title": self.title,
+            "payload_bytes": self.payload_bytes,
+            "m_values": self.m_values,
+            "series": {
+                name: {m: p.median_ms for m, p in s.points.items()}
+                for name, s in self.series.items()
+            },
+            "notes": list(self.notes),
+        }
+
+
+def _format_row(cells: list[str]) -> str:
+    return " | ".join(f"{cell:>18}" for cell in cells)
+
+
+@dataclass(slots=True)
+class ScalarResult:
+    """A single paper-vs-measured comparison (e.g. travel agent times)."""
+
+    name: str
+    rows: list[tuple[str, float]] = field(default_factory=list)
+    unit: str = "ms"
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, label: str, value: float) -> None:
+        """Append one labelled value row."""
+        self.rows.append((label, value))
+
+    def to_table(self) -> str:
+        """ASCII table for terminal output."""
+        lines = [self.name]
+        for label, value in self.rows:
+            lines.append(f"  {label:<44} {value:12.2f} {self.unit}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured table, ready for EXPERIMENTS.md."""
+        lines = [f"### {self.name}", "", "| measurement | value |", "|---|---|"]
+        for label, value in self.rows:
+            lines.append(f"| {label} | {value:.2f} {self.unit} |")
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form of the result."""
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "rows": {label: value for label, value in self.rows},
+            "notes": list(self.notes),
+        }

@@ -1,0 +1,179 @@
+"""Testbeds and client strategies for the paper's experiments.
+
+:func:`echo_testbed` deploys the Echo service on a chosen transport
+profile and server architecture; :func:`make_invoker` instantiates the
+three client strategies of §4.1:
+
+* ``no-optimization``  — Serial Service Requests in Multiple SOAP Messages
+* ``multiple-threads`` — Parallel Service Requests in Multiple SOAP Messages
+* ``our-approach``     — Parallel Service Requests in One SOAP Message (SPI)
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.apps.echo import ECHO_NS, ECHO_SERVICE, make_echo_payload, make_echo_service
+from repro.client.invoker import (
+    Call,
+    Invoker,
+    KeepAliveSerialInvoker,
+    SerialInvoker,
+    ThreadedInvoker,
+)
+from repro.client.proxy import ServiceProxy
+from repro.core.batch import PackedInvoker
+from repro.core.dispatcher import spi_server_handlers
+from repro.errors import ReproError
+from repro.server.common_arch import CommonSoapServer
+from repro.server.handlers import HandlerChain
+from repro.server.staged_arch import StagedSoapServer
+from repro.soap.wssecurity import Credentials, attach_security_header
+from repro.transport.base import Transport
+from repro.transport.inproc import InProcTransport
+from repro.transport.netprofile import PAPER_LAN, WAN, NetworkProfile
+from repro.transport.shaped import ShapedTransport
+from repro.transport.tcp import TcpTransport
+
+APPROACHES = ("no-optimization", "multiple-threads", "our-approach")
+
+PROFILES: dict[str, NetworkProfile | None] = {
+    "inproc": None,
+    "loopback": None,
+    "lan": PAPER_LAN,
+    "wan": WAN,
+}
+
+
+def build_transport(profile: str) -> Transport:
+    """One of: inproc (queues), loopback (bare TCP), lan/wan (shaped TCP)."""
+    if profile == "inproc":
+        return InProcTransport()
+    if profile == "loopback":
+        return TcpTransport()
+    network = PROFILES.get(profile)
+    if network is None:
+        raise ReproError(f"unknown transport profile '{profile}'")
+    return ShapedTransport(TcpTransport(), network)
+
+
+@dataclass(slots=True)
+class Testbed:
+    """A running echo deployment + how to reach it."""
+
+    transport: Transport
+    server: object  # CommonSoapServer | StagedSoapServer
+    address: object
+    profile: str
+    architecture: str
+
+    def make_proxy(self, *, reuse_connections: bool = False) -> ServiceProxy:
+        """A fresh client proxy for this deployment."""
+        return ServiceProxy(
+            self.transport,
+            self.address,
+            namespace=ECHO_NS,
+            service_name=ECHO_SERVICE,
+            reuse_connections=reuse_connections,
+        )
+
+
+@contextlib.contextmanager
+def echo_testbed(
+    *,
+    profile: str = "lan",
+    architecture: str = "staged",
+    spi: bool = True,
+    app_workers: int = 32,
+) -> Iterator[Testbed]:
+    """Deploy the Echo service and yield a ready Testbed."""
+    transport = build_transport(profile)
+    address = "echo-bench" if profile == "inproc" else ("127.0.0.1", 0)
+    chain = HandlerChain(spi_server_handlers()) if spi else None
+
+    if architecture == "common":
+        server = CommonSoapServer(
+            [make_echo_service()], transport=transport, address=address, chain=chain
+        )
+    elif architecture == "staged":
+        server = StagedSoapServer(
+            [make_echo_service()],
+            transport=transport,
+            address=address,
+            chain=chain,
+            app_workers=app_workers,
+        )
+    else:
+        raise ReproError(f"unknown architecture '{architecture}'")
+
+    bound = server.start()
+    try:
+        yield Testbed(transport, server, bound, profile, architecture)
+    finally:
+        server.stop()
+
+
+def make_invoker(approach: str, proxy: ServiceProxy) -> Invoker:
+    """Instantiate one of the §4.1 client strategies."""
+    if approach == "no-optimization":
+        return SerialInvoker(proxy)
+    if approach == "serial-keepalive":
+        return KeepAliveSerialInvoker(proxy)
+    if approach == "multiple-threads":
+        return ThreadedInvoker(proxy)
+    if approach == "our-approach":
+        return PackedInvoker(proxy)
+    raise ReproError(f"unknown approach '{approach}'")
+
+
+def echo_calls(m: int, n: int) -> list[Call]:
+    """M echo requests, each carrying an N-character payload."""
+    payload = make_echo_payload(n)
+    return Call.many("echo", [{"payload": payload}] * m)
+
+
+def run_point(testbed: Testbed, approach: str, m: int, n: int) -> list:
+    """Execute one experiment point: M requests of N bytes, one strategy.
+
+    Returns the echoed results (validated by the caller or tests).
+    Each point uses a fresh non-pooled proxy so connection counts match
+    the paper's model: M connections for the two baselines, one for the
+    packed approach.
+    """
+    proxy = testbed.make_proxy(reuse_connections=False)
+    invoker = make_invoker(approach, proxy)
+    try:
+        return invoker.invoke_all(echo_calls(m, n), timeout=300)
+    finally:
+        proxy.close()
+
+
+BENCH_CREDENTIALS = Credentials("bench-user", b"bench-secret-key")
+
+
+def secured_proxy(testbed: Testbed) -> ServiceProxy:
+    """A proxy whose every request carries a full-size WS-Security
+    header (UsernameToken + X.509 BinarySecurityToken + XML-DSig
+    Signature, ~3.4 KB) — used by the header-overhead ablation.  The
+    echo server does not verify the token (the experiment is about
+    header *bytes*, as in §4.2's WS-Security argument), but the header
+    is real and signed."""
+    proxy = testbed.make_proxy()
+    # Pre-build one header per proxy; PackBatch/ServiceProxy copy it
+    # per message, so each message pays the full header size.
+    from repro.soap.envelope import Envelope
+    from repro.xmlcore.tree import Element
+
+    probe = Envelope()
+    probe.add_body(Element("probe"))
+    header = attach_security_header(
+        probe, BENCH_CREDENTIALS, include_certificate=True
+    )
+    # remove mustUnderstand so the echo server doesn't reject it
+    from repro.soap.constants import MUST_UNDERSTAND_ATTR
+
+    header.attributes.pop(MUST_UNDERSTAND_ATTR, None)
+    proxy.extra_headers = [header]
+    return proxy

@@ -1,0 +1,22 @@
+"""Client side: dynamic proxies, invocation strategies, futures."""
+
+from repro.client.futures import InvocationFuture, wait_all
+from repro.client.invoker import (
+    Call,
+    Invoker,
+    KeepAliveSerialInvoker,
+    SerialInvoker,
+    ThreadedInvoker,
+)
+from repro.client.proxy import ServiceProxy
+
+__all__ = [
+    "Call",
+    "InvocationFuture",
+    "Invoker",
+    "KeepAliveSerialInvoker",
+    "SerialInvoker",
+    "ServiceProxy",
+    "ThreadedInvoker",
+    "wait_all",
+]

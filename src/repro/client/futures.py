@@ -1,0 +1,89 @@
+"""Client-side invocation futures.
+
+The SPI client dispatcher "extract[s] multiple services response data
+from one SOAP message and return[s] them to the corresponding client
+methods" — futures are those corresponding client methods' handles.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.errors import InvocationError
+
+
+class InvocationFuture:
+    """Result handle for one service invocation.
+
+    ``result()`` re-raises whatever failure the invocation produced
+    (a :class:`~repro.errors.SoapFaultError` for server faults,
+    transport/HTTP errors otherwise).
+    """
+
+    __slots__ = ("operation", "request_id", "_event", "_value", "_error", "_callbacks", "_lock")
+
+    def __init__(self, operation: str, request_id: str | None = None) -> None:
+        self.operation = operation
+        self.request_id = request_id
+        self._event = threading.Event()
+        self._value: Any = None
+        self._error: BaseException | None = None
+        self._callbacks: list[Callable[["InvocationFuture"], None]] = []
+        self._lock = threading.Lock()
+
+    def resolve(self, value: Any) -> None:
+        """Complete the invocation with a result value."""
+        self._finish(value, None)
+
+    def fail(self, error: BaseException) -> None:
+        """Complete the invocation with an error."""
+        self._finish(None, error)
+
+    def done(self) -> bool:
+        """True once resolved or failed."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The invocation's value; re-raises its failure."""
+        if not self._event.wait(timeout):
+            raise InvocationError(
+                f"invocation of '{self.operation}' did not complete in time"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The failure, or None on success; waits up to ``timeout``."""
+        if not self._event.wait(timeout):
+            raise InvocationError(
+                f"invocation of '{self.operation}' did not complete in time"
+            )
+        return self._error
+
+    def add_done_callback(self, callback: Callable[["InvocationFuture"], None]) -> None:
+        """Run ``callback(self)`` on completion (immediately if done)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def _finish(self, value: Any, error: BaseException | None) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise InvocationError(
+                    f"future for '{self.operation}' resolved twice"
+                )
+            self._value = value
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+def wait_all(futures: list[InvocationFuture], timeout: float | None = None) -> list[Any]:
+    """Results of every future, in order; first failure propagates."""
+    return [future.result(timeout) for future in futures]

@@ -1,0 +1,182 @@
+"""Dynamic service proxy — the classic one-call-one-message client."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.soap.wssecurity import Credentials
+
+from repro.errors import InvocationError
+from repro.http.connection import ConnectionPool, HttpConnection
+from repro.http.message import Headers, HttpRequest
+from repro.soap.constants import SOAP_ACTION_HEADER, SOAP_CONTENT_TYPE
+from repro.soap.deserializer import parse_response_envelope
+from repro.soap.envelope import Envelope
+from repro.soap.serializer import build_request_envelope
+from repro.transport.base import Address, Transport
+from repro.wsdl.model import WsdlService
+from repro.wsdl.parser import parse_wsdl
+from repro.xmlcore.tree import Element
+
+
+class ServiceProxy:
+    """Callable stub for one remote service.
+
+    ``proxy.call("echo", payload="x")`` or ``proxy.echo(payload="x")``
+    issues one SOAP message per invocation — the paper's baseline
+    communication model that SPI improves upon.
+
+    Connection policy:
+
+    * ``reuse_connections=False`` (default) opens a fresh connection per
+      call, matching the paper's "No Optimization" client and its
+      M-TCP-connections cost model;
+    * ``reuse_connections=True`` goes through a keep-alive pool.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        address: Address,
+        *,
+        namespace: str,
+        service_name: str = "Service",
+        path: str | None = None,
+        reuse_connections: bool = False,
+        interface: WsdlService | None = None,
+        extra_headers: list[Element] | None = None,
+        credentials: "Credentials | None" = None,
+    ) -> None:
+        """``credentials``: when given, every outgoing envelope is signed
+        with a WS-Security UsernameToken over its (possibly packed)
+        body, so servers running a
+        :class:`~repro.server.security_handler.SecurityVerifyHandler`
+        accept it.  One signature covers an entire packed batch."""
+        self.transport = transport
+        self.address = address
+        self.namespace = namespace
+        self.service_name = service_name
+        self.path = path or f"/services/{service_name}"
+        self.reuse_connections = reuse_connections
+        self.interface = interface
+        self.extra_headers = list(extra_headers or [])
+        self.credentials = credentials
+        self._pool = ConnectionPool(transport) if reuse_connections else None
+        self.calls = 0
+        self.connections_opened = 0
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_wsdl(
+        cls,
+        document: str | bytes,
+        transport: Transport,
+        address: Address,
+        **kwargs: Any,
+    ) -> "ServiceProxy":
+        """Build a proxy whose operations are checked against a WSDL."""
+        service = parse_wsdl(document).service
+        return cls(
+            transport,
+            address,
+            namespace=service.namespace,
+            service_name=service.name,
+            interface=service,
+            **kwargs,
+        )
+
+    # -- invocation --------------------------------------------------------------
+
+    def call(self, operation: str, /, **params: Any) -> Any:
+        """Invoke ``operation`` synchronously and return its result."""
+        self._check_interface(operation, params)
+        envelope = build_request_envelope(
+            self.namespace, operation, params, headers=[h.copy() for h in self.extra_headers]
+        )
+        response_envelope = self.exchange(envelope, operation)
+        self.calls += 1
+        return parse_response_envelope(response_envelope).value
+
+    def exchange(self, envelope: Envelope, action: str = "") -> Envelope:
+        """Send a raw request envelope, return the raw response envelope.
+
+        This is the hook the SPI packed client shares: it builds its own
+        Parallel_Method envelope and still reuses the proxy's HTTP path.
+        """
+        if self.credentials is not None:
+            from repro.soap.wssecurity import attach_security_header
+
+            attach_security_header(envelope, self.credentials)
+        request = HttpRequest(
+            "POST",
+            self.path,
+            Headers(
+                {
+                    "Content-Type": SOAP_CONTENT_TYPE,
+                    SOAP_ACTION_HEADER: f'"{self.namespace}#{action}"',
+                    "Host": self._host_header(),
+                }
+            ),
+            envelope.to_bytes(),
+        )
+        if self._pool is not None:
+            response = self._pool.request(self.address, request)
+        else:
+            with HttpConnection(self.transport, self.address) as connection:
+                self.connections_opened += 1
+                response = connection.request(request)
+        if response.status not in (200, 500):
+            # 500 carries a SOAP Fault we surface properly below;
+            # anything else is an HTTP-level failure.
+            response.raise_for_status()
+        return Envelope.from_string(response.body)
+
+    def fetch_wsdl(self) -> str:
+        """GET this service's generated WSDL from the server."""
+        request = HttpRequest("GET", f"{self.path}?wsdl", Headers({"Host": self._host_header()}))
+        with HttpConnection(self.transport, self.address) as connection:
+            response = connection.request(request)
+        response.raise_for_status()
+        return response.body.decode("utf-8")
+
+    def close(self) -> None:
+        """Release pooled connections (no-op for fresh-connection mode)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("_"):
+            raise AttributeError(name)
+
+        def method(**params: Any) -> Any:
+            return self.call(name, **params)
+
+        method.__name__ = name
+        return method
+
+    # -- internals -----------------------------------------------------------------
+
+    def _check_interface(self, operation: str, params: dict[str, Any]) -> None:
+        if self.interface is None:
+            return
+        try:
+            op = self.interface.operation(operation)
+        except Exception:
+            raise InvocationError(
+                f"'{operation}' is not an operation of {self.service_name} "
+                f"(WSDL lists: {', '.join(self.interface.operation_names())})"
+            ) from None
+        expected = set(op.parameter_names())
+        got = set(params)
+        if expected != got:
+            raise InvocationError(
+                f"{self.service_name}.{operation} expects parameters "
+                f"{sorted(expected)}, got {sorted(got)}"
+            )
+
+    def _host_header(self) -> str:
+        if isinstance(self.address, (tuple, list)):
+            return f"{self.address[0]}:{self.address[1]}"
+        return str(self.address)

@@ -1,0 +1,92 @@
+"""Adaptive automatic packing — an extension beyond the paper.
+
+The fixed time window of :class:`~repro.core.autopack.AutoPacker` has a
+tension: a wide window taxes sporadic callers with latency, a narrow
+one misses batching opportunities under load.  This module closes the
+loop: an AIMD-style :class:`WindowController` shrinks the window while
+flushes come out solo and widens it while batching is actually
+happening, bounded on both sides.
+
+The controller is pure logic (unit-testable without clocks); the
+:class:`AdaptiveAutoPacker` glues it onto the stock packer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.client.proxy import ServiceProxy
+from repro.core.autopack import AutoPacker
+from repro.errors import PackError
+
+
+@dataclass(slots=True)
+class WindowController:
+    """Adjusts the batching window from observed flush sizes.
+
+    Policy (multiplicative both ways, clamped):
+
+    * flush of size 1 — the window only added latency: shrink by
+      ``shrink_factor``;
+    * flush of size >= 2 — batching is paying off: widen by
+      ``grow_factor`` to catch stragglers.
+    """
+
+    min_delay: float = 0.0005
+    max_delay: float = 0.05
+    initial_delay: float = 0.002
+    grow_factor: float = 1.25
+    shrink_factor: float = 0.5
+    delay: float = field(init=False)
+    flushes: int = field(init=False, default=0)
+    solo_flushes: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if not (0 < self.min_delay <= self.initial_delay <= self.max_delay):
+            raise PackError(
+                "require 0 < min_delay <= initial_delay <= max_delay, got "
+                f"{self.min_delay}/{self.initial_delay}/{self.max_delay}"
+            )
+        if self.grow_factor <= 1.0 or not (0 < self.shrink_factor < 1.0):
+            raise PackError("grow_factor must exceed 1 and shrink_factor be in (0,1)")
+        self.delay = self.initial_delay
+
+    def note_flush(self, batch_size: int) -> float:
+        """Record one flush; returns the window to use next."""
+        if batch_size < 1:
+            raise PackError("flush size must be >= 1")
+        self.flushes += 1
+        if batch_size == 1:
+            self.solo_flushes += 1
+            self.delay = max(self.min_delay, self.delay * self.shrink_factor)
+        else:
+            self.delay = min(self.max_delay, self.delay * self.grow_factor)
+        return self.delay
+
+    @property
+    def solo_rate(self) -> float:
+        return self.solo_flushes / self.flushes if self.flushes else 0.0
+
+
+class AdaptiveAutoPacker(AutoPacker):
+    """AutoPacker whose window follows a :class:`WindowController`."""
+
+    def __init__(
+        self,
+        proxy: ServiceProxy,
+        *,
+        max_batch: int = 16,
+        controller: WindowController | None = None,
+    ) -> None:
+        self.controller = controller if controller is not None else WindowController()
+        super().__init__(
+            proxy, max_batch=max_batch, max_delay=self.controller.delay
+        )
+
+    def _send(self, batch) -> None:  # type: ignore[override]
+        super()._send(batch)
+        self._max_delay = self.controller.note_flush(len(batch))
+
+    @property
+    def current_window(self) -> float:
+        return self._max_delay

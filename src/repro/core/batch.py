@@ -1,0 +1,124 @@
+"""User-facing pack API: batches and the packed invoker.
+
+:class:`PackBatch` is the programming interface the paper's client
+library provides ("the client should use the library provided by
+assembler module", §3.4): collect calls, send them as one SOAP
+message, get futures back.
+
+:class:`PackedInvoker` adapts the same machinery to the
+:class:`~repro.client.invoker.Invoker` interface so the benches can
+swap it in as the "Parallel Service Requests in One SOAP Message"
+strategy of §4.1.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.client.futures import InvocationFuture
+from repro.client.invoker import Call, Invoker
+from repro.client.proxy import ServiceProxy
+from repro.core.assembler import ClientAssembler
+from repro.core.dispatcher import ClientDispatcher
+from repro.errors import PackError
+
+
+class PackBatch:
+    """Collects calls; flushing sends ONE SOAP message for all of them.
+
+    Usable as a context manager (flush on exit) or manually::
+
+        batch = PackBatch(proxy)
+        f1 = batch.call("GetWeather", city="Beijing", country="China")
+        f2 = batch.call("GetWeather", city="Shanghai", country="China")
+        batch.flush()
+        print(f1.result(), f2.result())
+    """
+
+    def __init__(self, proxy: ServiceProxy) -> None:
+        self._proxy = proxy
+        self._assembler = ClientAssembler(proxy.namespace)
+        self._dispatcher = ClientDispatcher()
+        self._flushed = False
+
+    def call(self, operation: str, /, **params: Any) -> InvocationFuture:
+        """Queue one invocation; returns its future immediately."""
+        if self._flushed:
+            raise PackError("batch already flushed; create a new one")
+        return self._assembler.add_call(operation, params)
+
+    def call_service(
+        self, namespace: str, operation: str, /, **params: Any
+    ) -> InvocationFuture:
+        """Queue an invocation of a *different* service in the same
+        container (the packed message's endpoint stays the proxy's)."""
+        if self._flushed:
+            raise PackError("batch already flushed; create a new one")
+        return self._assembler.add_call(operation, params, namespace=namespace)
+
+    def cast(self, operation: str, /, **params: Any) -> InvocationFuture:
+        """Queue a fire-and-forget invocation.
+
+        The future resolves to ``None`` once the server *accepts* the
+        request; the operation's result is discarded server-side.
+        """
+        if self._flushed:
+            raise PackError("batch already flushed; create a new one")
+        return self._assembler.add_call(operation, params, one_way=True)
+
+    def __len__(self) -> int:
+        return len(self._assembler)
+
+    def flush(self) -> list[InvocationFuture]:
+        """Send the packed message and resolve every queued future."""
+        if self._flushed:
+            raise PackError("batch already flushed")
+        self._flushed = True
+        futures = self._assembler.futures
+        if not futures:
+            return []
+        try:
+            envelope = self._assembler.assemble(
+                headers=[h.copy() for h in self._proxy.extra_headers]
+            )
+            response = self._proxy.exchange(envelope, action="Parallel_Method")
+        except BaseException as exc:
+            # assembly or transport failure: no future may dangle
+            for future in futures:
+                if not future.done():
+                    future.fail(exc)
+            return futures
+        self._dispatcher.dispatch(response, futures)
+        return futures
+
+    def __enter__(self) -> "PackBatch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # on an exception inside the with-block, fail the queued futures
+        # instead of sending a half-built batch
+        if exc_type is not None:
+            self._flushed = True
+            for future in self._assembler.futures:
+                if not future.done():
+                    future.fail(
+                        PackError(f"batch abandoned: {exc_type.__name__}: {exc}")
+                    )
+            return
+        self.flush()
+
+
+class PackedInvoker(Invoker):
+    """"Our Approach" of §4.1: M requests in one SOAP message."""
+
+    name = "packed"
+
+    def __init__(self, proxy: ServiceProxy) -> None:
+        self.proxy = proxy
+
+    def submit_all(self, calls: list[Call]) -> list[InvocationFuture]:
+        """Queue every call into one batch and flush it."""
+        batch = PackBatch(self.proxy)
+        futures = [batch.call(c.operation, **dict(c.params)) for c in calls]
+        batch.flush()
+        return futures

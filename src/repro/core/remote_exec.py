@@ -1,0 +1,175 @@
+"""SPI remote execution — the interface the paper names but defers.
+
+§1/§3: "SPI provides interfaces like packing, remote execution and so
+on.  This paper only describes the SPI packing interface" — and §5
+promises to "implement and evaluate the suite of interfaces in SPI".
+
+We implement remote execution as *server-side operation pipelines*:
+where packing batches M **independent** calls into one message, an
+:class:`ExecutionPlan` ships M **dependent** calls (each step may bind
+parameters to earlier steps' results) and executes the whole chain
+inside the service container, again collapsing M round trips into one.
+
+The plan travels as ordinary XSD structs, so no wire-format extension
+is needed; the server side is one extra service
+(:func:`make_plan_runner_service`) deployed next to the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.client.proxy import ServiceProxy
+from repro.errors import PackError
+from repro.server.container import ServiceContainer
+from repro.server.service import ServiceDefinition, service_from_functions
+from repro.soap.fault import ClientFaultCause
+
+REMOTE_EXEC_NS = "urn:spi:remote-exec"
+REMOTE_EXEC_SERVICE = "SpiPlanRunner"
+MAX_PLAN_STEPS = 256
+
+
+@dataclass(frozen=True, slots=True)
+class PlanStep:
+    """One operation in a pipeline.
+
+    ``bindings`` maps a parameter name to the 0-based index of an
+    earlier step whose result supplies that parameter's value.
+    """
+
+    namespace: str
+    operation: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    bindings: Mapping[str, int] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class ExecutionPlan:
+    """An ordered pipeline of dependent service invocations."""
+
+    steps: list[PlanStep] = field(default_factory=list)
+
+    def step(
+        self,
+        namespace: str,
+        operation: str,
+        params: Mapping[str, Any] | None = None,
+        bindings: Mapping[str, int] | None = None,
+    ) -> int:
+        """Append a step; returns its index for later bindings."""
+        index = len(self.steps)
+        if index >= MAX_PLAN_STEPS:
+            raise PackError(f"plan exceeds {MAX_PLAN_STEPS} steps")
+        for name, target in (bindings or {}).items():
+            if not 0 <= target < index:
+                raise PackError(
+                    f"step {index} binds '{name}' to step {target}, "
+                    f"which is not an earlier step"
+                )
+        self.steps.append(
+            PlanStep(namespace, operation, dict(params or {}), dict(bindings or {}))
+        )
+        return index
+
+    def to_wire(self) -> list[dict[str, Any]]:
+        """Encode the plan as XSD-serializable structs."""
+        return [
+            {
+                "namespace": s.namespace,
+                "operation": s.operation,
+                "params": dict(s.params),
+                "bindings": {k: int(v) for k, v in s.bindings.items()},
+            }
+            for s in self.steps
+        ]
+
+    @classmethod
+    def from_wire(cls, wire: list[Any]) -> "ExecutionPlan":
+        plan = cls()
+        if not isinstance(wire, list):
+            raise ClientFaultCause("plan must be a list of steps")
+        for raw in wire:
+            if not isinstance(raw, dict):
+                raise ClientFaultCause("each plan step must be a struct")
+            try:
+                namespace = raw["namespace"]
+                operation = raw["operation"]
+            except KeyError as exc:
+                raise ClientFaultCause(f"plan step missing {exc}") from None
+            params = raw.get("params") or {}
+            bindings = raw.get("bindings") or {}
+            if not isinstance(params, dict) or not isinstance(bindings, dict):
+                raise ClientFaultCause("params/bindings must be structs")
+            try:
+                plan.step(
+                    namespace,
+                    operation,
+                    params,
+                    {k: int(v) for k, v in bindings.items()},
+                )
+            except PackError as exc:
+                raise ClientFaultCause(str(exc)) from None
+        return plan
+
+
+class PlanRunner:
+    """Executes plans against the local service container."""
+
+    def __init__(self, container: ServiceContainer) -> None:
+        self._container = container
+        self.plans_executed = 0
+        self.steps_executed = 0
+
+    def execute(self, plan: ExecutionPlan) -> list[Any]:
+        """Run every step in order, feeding bound results forward."""
+        if not plan.steps:
+            raise ClientFaultCause("cannot execute an empty plan")
+        results: list[Any] = []
+        for step in plan.steps:
+            params = dict(step.params)
+            for name, source in step.bindings.items():
+                params[name] = results[source]
+            service = self._container.service_for(step.namespace)
+            results.append(service.invoke(step.operation, params))
+            self.steps_executed += 1
+        self.plans_executed += 1
+        return results
+
+
+def make_plan_runner_service(container: ServiceContainer) -> ServiceDefinition:
+    """The deployable ExecutePlan service; deploy it into ``container``
+    (or a container sharing the same services) to enable remote
+    execution."""
+    runner = PlanRunner(container)
+
+    def ExecutePlan(steps: list) -> list:
+        """Run a pipeline of dependent service operations server-side."""
+        return runner.execute(ExecutionPlan.from_wire(steps))
+
+    service = service_from_functions(
+        REMOTE_EXEC_SERVICE, REMOTE_EXEC_NS, {"ExecutePlan": ExecutePlan}
+    )
+    # expose the runner for stats inspection
+    service.plan_runner = runner  # type: ignore[attr-defined]
+    return service
+
+
+class RemoteExecutor:
+    """Client handle for the remote-execution interface."""
+
+    def __init__(self, proxy: ServiceProxy) -> None:
+        if proxy.namespace != REMOTE_EXEC_NS:
+            proxy = ServiceProxy(
+                proxy.transport,
+                proxy.address,
+                namespace=REMOTE_EXEC_NS,
+                service_name=REMOTE_EXEC_SERVICE,
+                reuse_connections=proxy.reuse_connections,
+            )
+        self._proxy = proxy
+
+    def execute(self, plan: ExecutionPlan) -> list[Any]:
+        """One round trip; returns every step's result, in step order."""
+        return self._proxy.call("ExecutePlan", steps=plan.to_wire())

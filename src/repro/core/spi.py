@@ -1,0 +1,101 @@
+"""SPI facade — the MPI-flavoured top-level API.
+
+The paper positions SPI the way MPI sits above raw OS ``read``/
+``write``: a communication interface that knows the application's
+usage pattern.  This module is the one import a user needs::
+
+    from repro.core import spi
+
+    client = spi.connect(transport, address, namespace="urn:svc:echo",
+                         service_name="EchoService")
+    client.call("echo", payload="one at a time")      # classic RPC
+
+    with client.pack() as batch:                      # the pack interface
+        futures = [batch.call("echo", payload=f"m{i}") for i in range(8)]
+    results = [f.result() for f in futures]
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.client.proxy import ServiceProxy
+from repro.core.autopack import AutoPacker
+from repro.core.batch import PackBatch
+from repro.core.remote_exec import ExecutionPlan, RemoteExecutor
+from repro.transport.base import Address, Transport
+
+
+class SpiClient:
+    """A service connection exposing every SPI interface."""
+
+    def __init__(self, proxy: ServiceProxy) -> None:
+        self.proxy = proxy
+
+    # classic single-call RPC (what SPI improves on, kept for symmetry)
+    def call(self, operation: str, /, **params: Any) -> Any:
+        """Classic one-message RPC call."""
+        return self.proxy.call(operation, **params)
+
+    # the pack interface (the paper's contribution)
+    def pack(self) -> PackBatch:
+        """A new PackBatch: M calls -> one SOAP message."""
+        return PackBatch(self.proxy)
+
+    # one-way messaging (fire-and-forget; resolves on server *accept*)
+    def cast(self, operation: str, /, **params: Any) -> None:
+        """Fire-and-forget invocation; returns once the server accepts."""
+        batch = PackBatch(self.proxy)
+        future = batch.cast(operation, **params)
+        batch.flush()
+        future.result(timeout=60)
+
+    # automatic packing (the paper's future work)
+    def auto(self, *, max_batch: int = 16, max_delay: float = 0.002) -> AutoPacker:
+        """An AutoPacker: transparent time-window packing."""
+        return AutoPacker(self.proxy, max_batch=max_batch, max_delay=max_delay)
+
+    # remote execution (the other SPI interface the paper names)
+    def plan(self) -> ExecutionPlan:
+        """An empty remote-execution plan to fill with steps."""
+        return ExecutionPlan()
+
+    def remote_execute(self, plan: ExecutionPlan) -> list[Any]:
+        """Run a dependent-call plan server-side in one round trip."""
+        return RemoteExecutor(self.proxy).execute(plan)
+
+    def close(self) -> None:
+        """Release the underlying proxy's connections."""
+        self.proxy.close()
+
+    def __enter__(self) -> "SpiClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def connect(
+    transport: Transport,
+    address: Address,
+    *,
+    namespace: str,
+    service_name: str = "Service",
+    reuse_connections: bool = True,
+    **proxy_kwargs: Any,
+) -> SpiClient:
+    """Open an SPI connection to a service.
+
+    Defaults to pooled keep-alive connections: SPI clients talk to one
+    endpoint repeatedly and the pack interface's whole point is fewer
+    connections.
+    """
+    proxy = ServiceProxy(
+        transport,
+        address,
+        namespace=namespace,
+        service_name=service_name,
+        reuse_connections=reuse_connections,
+        **proxy_kwargs,
+    )
+    return SpiClient(proxy)

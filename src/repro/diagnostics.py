@@ -1,0 +1,162 @@
+"""Diagnostics: pack metrics and message tracing as handler-chain plugins.
+
+Production deployments of a batching layer live or die by visibility
+into *how well the batching works*: how many requests ride per message,
+what each entry costs, and what the wire actually carried.  Both tools
+here are ordinary :class:`~repro.server.handlers.Handler` plugins, so
+they deploy exactly like SPI itself — no service-code changes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.server.handlers import Handler, MessageContext
+
+
+@dataclass(slots=True)
+class Histogram:
+    """Fixed-bucket counting histogram (bucket upper bounds inclusive)."""
+
+    bounds: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+    counts: list[int] = field(default_factory=list)
+    overflow: int = 0
+    total: int = 0
+    sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * len(self.bounds)
+
+    def record(self, value: float) -> None:
+        """Count one observation into its bucket."""
+        self.total += 1
+        self.sum += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def snapshot(self) -> dict:
+        """Total/mean/bucket counts as a plain dict."""
+        buckets = {f"<={bound}": count for bound, count in zip(self.bounds, self.counts)}
+        buckets[f">{self.bounds[-1]}"] = self.overflow
+        return {"total": self.total, "mean": self.mean, "buckets": buckets}
+
+
+class PackMetricsHandler(Handler):
+    """Measures packing effectiveness on the server.
+
+    Records, per HTTP exchange: the packing degree (entries per
+    message), and end-to-end service time between the request chain and
+    the response chain (i.e. the whole execution phase).
+    """
+
+    name = "pack-metrics"
+
+    def __init__(self) -> None:
+        self.pack_degree = Histogram()
+        self.execute_ms = Histogram(bounds=(1, 5, 10, 50, 100, 500, 1000, 5000))
+        self.packed_messages = 0
+        self.plain_messages = 0
+        self._lock = threading.Lock()
+
+    def invoke_request(self, context: MessageContext) -> None:
+        context.properties["pack-metrics.start"] = time.perf_counter()
+
+    def invoke_response(self, context: MessageContext) -> None:
+        start = context.properties.get("pack-metrics.start")
+        elapsed_ms = (time.perf_counter() - start) * 1e3 if start else 0.0
+        degree = len(context.request_entries)
+        with self._lock:
+            self.pack_degree.record(degree)
+            self.execute_ms.record(elapsed_ms)
+            if context.packed:
+                self.packed_messages += 1
+            else:
+                self.plain_messages += 1
+
+    @property
+    def amortization(self) -> float:
+        """Mean requests carried per SOAP message — the quantity SPI
+        exists to raise above 1.0."""
+        return self.pack_degree.mean
+
+    def snapshot(self) -> dict:
+        """All counters as a plain dict."""
+        with self._lock:
+            return {
+                "packed_messages": self.packed_messages,
+                "plain_messages": self.plain_messages,
+                "amortization": self.amortization,
+                "pack_degree": self.pack_degree.snapshot(),
+                "execute_ms": self.execute_ms.snapshot(),
+            }
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    timestamp: float
+    kind: str
+    detail: str
+
+
+class TraceLog:
+    """Bounded in-memory event ring used by :class:`TracingHandler`."""
+
+    def __init__(self, capacity: int = 1000, *, clock: Callable[[], float] = time.monotonic) -> None:
+        self._events: list[TraceEvent] = []
+        self._capacity = capacity
+        self._clock = clock
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, detail: str) -> None:
+        """Append one event (oldest events fall off past capacity)."""
+        event = TraceEvent(self._clock(), kind, detail)
+        with self._lock:
+            self._events.append(event)
+            if len(self._events) > self._capacity:
+                del self._events[: len(self._events) - self._capacity]
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Recorded events, optionally filtered by kind."""
+        with self._lock:
+            snapshot = list(self._events)
+        if kind is None:
+            return snapshot
+        return [e for e in snapshot if e.kind == kind]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+class TracingHandler(Handler):
+    """Emits one trace event per message direction, with entry names."""
+
+    name = "tracing"
+
+    def __init__(self, log: TraceLog | None = None) -> None:
+        self.log = log if log is not None else TraceLog()
+
+    def invoke_request(self, context: MessageContext) -> None:
+        names = ",".join(e.local_name for e in context.request_entries[:8])
+        self.log.emit(
+            "request",
+            f"entries={len(context.request_entries)} packed={context.packed} [{names}]",
+        )
+
+    def invoke_response(self, context: MessageContext) -> None:
+        names = ",".join(e.local_name for e in context.response_entries[:8])
+        self.log.emit(
+            "response",
+            f"entries={len(context.response_entries)} [{names}]",
+        )

@@ -1,0 +1,83 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Each layer raises its own subclass so callers can catch at the right
+granularity: ``XmlError`` for malformed XML, ``SoapFaultError`` for
+protocol-level SOAP faults, ``HttpError`` for transport framing problems,
+and so on.  Everything derives from :class:`ReproError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class XmlError(ReproError):
+    """Malformed XML input or an illegal XML construction request."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class XmlWellFormednessError(XmlError):
+    """The document violates XML well-formedness rules."""
+
+
+class XmlNamespaceError(XmlError):
+    """Undeclared prefix or other namespace violation."""
+
+
+class SoapError(ReproError):
+    """Problem constructing or interpreting a SOAP message."""
+
+
+class SoapFaultError(SoapError):
+    """A SOAP <Fault> returned by the peer, surfaced as an exception."""
+
+    def __init__(self, faultcode: str, faultstring: str, detail: str | None = None):
+        self.faultcode = faultcode
+        self.faultstring = faultstring
+        self.detail = detail
+        super().__init__(f"{faultcode}: {faultstring}")
+
+
+class SerializationError(SoapError):
+    """A Python value could not be encoded to (or decoded from) XML."""
+
+
+class WsdlError(ReproError):
+    """Malformed or unsupported WSDL document."""
+
+
+class HttpError(ReproError):
+    """HTTP framing or protocol violation."""
+
+    def __init__(self, message: str, status: int | None = None):
+        self.status = status
+        super().__init__(message)
+
+
+class TransportError(ReproError):
+    """Connection-level failure (refused, reset, closed mid-message)."""
+
+
+class ServiceError(ReproError):
+    """Service registration or dispatch problem on the server."""
+
+
+class InvocationError(ReproError):
+    """Client-side invocation failure that is not a SOAP fault."""
+
+
+class PackError(ReproError):
+    """SPI pack-interface violation (bad Parallel_Method payload, mixed
+    endpoints in one batch, duplicate request ids, ...)."""
+
+
+class SecurityError(SoapError):
+    """WS-Security header verification failure."""

@@ -1,0 +1,26 @@
+"""From-scratch HTTP/1.1: messages, incremental parser, client, server."""
+
+from repro.http.connection import ConnectionPool, HttpConnection
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.http.parser import (
+    ChannelReader,
+    ConnectionClosedCleanly,
+    encode_chunked,
+    read_request,
+    read_response,
+)
+from repro.http.server import HttpServer
+
+__all__ = [
+    "ChannelReader",
+    "ConnectionClosedCleanly",
+    "ConnectionPool",
+    "Headers",
+    "HttpConnection",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "encode_chunked",
+    "read_request",
+    "read_response",
+]

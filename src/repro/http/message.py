@@ -1,0 +1,148 @@
+"""HTTP/1.1 request and response models plus header handling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import HttpError
+
+HTTP_VERSION = "HTTP/1.1"
+
+REASON_PHRASES = {
+    100: "Continue",
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class Headers:
+    """Case-insensitive, order-preserving HTTP header map.
+
+    Stores single values per name (sufficient for the SOAP binding;
+    ``add`` folds repeats with commas per RFC 7230 §3.2.2).
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, initial: dict[str, str] | None = None) -> None:
+        self._entries: dict[str, tuple[str, str]] = {}
+        for name, value in (initial or {}).items():
+            self.set(name, value)
+
+    def set(self, name: str, value: str) -> None:
+        """Set (replace) a header value."""
+        self._entries[name.lower()] = (name, str(value))
+
+    def add(self, name: str, value: str) -> None:
+        """Add a value, comma-folding with any existing one (RFC 7230)."""
+        key = name.lower()
+        if key in self._entries:
+            original, existing = self._entries[key]
+            self._entries[key] = (original, f"{existing}, {value}")
+        else:
+            self._entries[key] = (name, value)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        """Value for ``name`` (case-insensitive), or ``default``."""
+        entry = self._entries.get(name.lower())
+        return entry[1] if entry is not None else default
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def remove(self, name: str) -> None:
+        """Delete a header if present; idempotent."""
+        self._entries.pop(name.lower(), None)
+
+    def items(self) -> Iterator[tuple[str, str]]:
+        """(original-case name, value) pairs in insertion order."""
+        return iter(self._entries.values())
+
+    def copy(self) -> "Headers":
+        """Independent copy of this header map."""
+        clone = Headers()
+        clone._entries = dict(self._entries)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Headers({dict(self.items())!r})"
+
+
+@dataclass(slots=True)
+class HttpRequest:
+    method: str = "POST"
+    path: str = "/"
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    version: str = HTTP_VERSION
+
+    def to_bytes(self) -> bytes:
+        """Serialize head+body with a correct Content-Length."""
+        headers = self.headers.copy()
+        headers.set("Content-Length", str(len(self.body)))
+        lines = [f"{self.method} {self.path} {self.version}"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+        return head + self.body
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = (self.headers.get("Connection") or "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+
+@dataclass(slots=True)
+class HttpResponse:
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: bytes = b""
+    reason: str = ""
+    version: str = HTTP_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.reason:
+            self.reason = REASON_PHRASES.get(self.status, "Unknown")
+
+    def to_bytes(self) -> bytes:
+        """Serialize head+body with a correct Content-Length."""
+        headers = self.headers.copy()
+        headers.set("Content-Length", str(len(self.body)))
+        lines = [f"{self.version} {self.status} {self.reason}"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+        return head + self.body
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def raise_for_status(self) -> "HttpResponse":
+        """Return self on 2xx; raise HttpError otherwise."""
+        if not self.ok:
+            raise HttpError(
+                f"HTTP {self.status} {self.reason}: {self.body[:200]!r}",
+                status=self.status,
+            )
+        return self
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = (self.headers.get("Connection") or "").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"

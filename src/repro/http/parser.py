@@ -1,0 +1,168 @@
+"""Incremental HTTP/1.1 message parsing over a byte channel.
+
+A :class:`ChannelReader` buffers channel reads; :func:`read_request`
+and :func:`read_response` assemble complete messages, supporting
+``Content-Length`` and ``chunked`` framing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HttpError
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.transport.base import Channel
+
+MAX_HEAD_BYTES = 64 * 1024
+MAX_BODY_BYTES = 256 * 1024 * 1024
+_CRLF = b"\r\n"
+_HEAD_END = b"\r\n\r\n"
+
+
+class ConnectionClosedCleanly(HttpError):
+    """Peer closed between messages — normal end of a keep-alive session."""
+
+
+class ChannelReader:
+    """Buffered reader over a :class:`Channel`."""
+
+    def __init__(self, channel: Channel) -> None:
+        self._channel = channel
+        self._buffer = bytearray()
+
+    def read_until(self, marker: bytes, limit: int) -> bytes:
+        """Read up to and including ``marker``; error past ``limit``."""
+        while True:
+            index = self._buffer.find(marker)
+            if index != -1:
+                end = index + len(marker)
+                data = bytes(self._buffer[:end])
+                del self._buffer[:end]
+                return data
+            if len(self._buffer) > limit:
+                raise HttpError(f"message head exceeds {limit} bytes", status=413)
+            chunk = self._channel.recv()
+            if not chunk:
+                if not self._buffer:
+                    raise ConnectionClosedCleanly("peer closed the connection")
+                raise HttpError("connection closed mid-message")
+            self._buffer.extend(chunk)
+
+    def read_exact(self, nbytes: int) -> bytes:
+        """Read exactly ``nbytes`` or raise on early EOF."""
+        if nbytes > MAX_BODY_BYTES:
+            raise HttpError(f"body of {nbytes} bytes exceeds limit", status=413)
+        while len(self._buffer) < nbytes:
+            chunk = self._channel.recv()
+            if not chunk:
+                raise HttpError("connection closed mid-body")
+            self._buffer.extend(chunk)
+        data = bytes(self._buffer[:nbytes])
+        del self._buffer[:nbytes]
+        return data
+
+
+def read_request(reader: ChannelReader) -> HttpRequest:
+    """Read one complete HTTP request from the channel."""
+    head = reader.read_until(_HEAD_END, MAX_HEAD_BYTES)
+    request_line, headers = _parse_head(head)
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise HttpError(f"malformed request line '{request_line}'", status=400)
+    method, path, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(f"unsupported HTTP version '{version}'", status=400)
+    body = _read_body(reader, headers, is_request=True)
+    return HttpRequest(method, path, headers, body, version)
+
+
+def read_response(reader: ChannelReader) -> HttpResponse:
+    """Read one complete HTTP response from the channel."""
+    head = reader.read_until(_HEAD_END, MAX_HEAD_BYTES)
+    status_line, headers = _parse_head(head)
+    parts = status_line.split(" ", 2)
+    if len(parts) < 2:
+        raise HttpError(f"malformed status line '{status_line}'")
+    version, status_text = parts[0], parts[1]
+    reason = parts[2] if len(parts) == 3 else ""
+    try:
+        status = int(status_text)
+    except ValueError:
+        raise HttpError(f"non-numeric status '{status_text}'") from None
+    body = _read_body(reader, headers, is_request=False)
+    return HttpResponse(status, headers, body, reason, version)
+
+
+def _parse_head(head: bytes) -> tuple[str, Headers]:
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise HttpError("undecodable message head") from None
+    lines = text.split("\r\n")
+    start_line = lines[0]
+    headers = Headers()
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name or name != name.strip():
+            raise HttpError(f"malformed header line '{line}'", status=400)
+        headers.add(name, value.strip())
+    return start_line, headers
+
+
+def _read_body(reader: ChannelReader, headers: Headers, *, is_request: bool) -> bytes:
+    encoding = (headers.get("Transfer-Encoding") or "").lower()
+    if encoding == "chunked":
+        return _read_chunked(reader)
+    if encoding and encoding != "identity":
+        raise HttpError(f"unsupported transfer encoding '{encoding}'", status=400)
+
+    length_text = headers.get("Content-Length")
+    if length_text is None:
+        # Requests must declare a length (we do not accept read-to-EOF
+        # requests); responses without one have no body in our binding.
+        if is_request and headers.get("Content-Type"):
+            raise HttpError("request has a body but no Content-Length", status=411)
+        return b""
+    try:
+        length = int(length_text)
+        if length < 0:
+            raise ValueError
+    except ValueError:
+        raise HttpError(f"bad Content-Length '{length_text}'", status=400) from None
+    return reader.read_exact(length)
+
+
+def _read_chunked(reader: ChannelReader) -> bytes:
+    body = bytearray()
+    while True:
+        size_line = reader.read_until(_CRLF, 1024)
+        size_text = size_line.strip().split(b";")[0]
+        try:
+            size = int(size_text, 16)
+        except ValueError:
+            raise HttpError(f"bad chunk size {size_text!r}", status=400) from None
+        if size == 0:
+            # trailer section: read lines until the blank terminator
+            while True:
+                line = reader.read_until(_CRLF, MAX_HEAD_BYTES)
+                if line == _CRLF:
+                    return bytes(body)
+        if len(body) + size > MAX_BODY_BYTES:
+            raise HttpError("chunked body exceeds limit", status=413)
+        body.extend(reader.read_exact(size))
+        terminator = reader.read_exact(2)
+        if terminator != _CRLF:
+            raise HttpError("chunk not terminated by CRLF", status=400)
+
+
+def encode_chunked(body: bytes, chunk_size: int = 8192) -> bytes:
+    """Encode ``body`` using chunked transfer encoding (used by the
+    streaming/chunking related-work bench)."""
+    out = bytearray()
+    for offset in range(0, len(body), chunk_size):
+        chunk = body[offset : offset + chunk_size]
+        out.extend(f"{len(chunk):x}\r\n".encode("ascii"))
+        out.extend(chunk)
+        out.extend(_CRLF)
+    out.extend(b"0\r\n\r\n")
+    return bytes(out)

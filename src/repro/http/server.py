@@ -1,0 +1,230 @@
+"""Threaded HTTP/1.1 server over a :class:`~repro.transport.base.Transport`.
+
+The server is architecture-agnostic: it owns accept + connection
+handling and delegates each parsed request to an application callable
+``app(HttpRequest) -> HttpResponse``.  The paper's two architectures
+differ in what happens *inside* that callable:
+
+* common architecture (Fig. 1): the connection thread itself performs
+  SOAP parsing and service execution — protocol and application
+  processing coupled in one thread;
+* staged architecture (Fig. 2): the callable parses, hands work to the
+  application-stage pool and parks until the response is assembled.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterator
+
+from repro.errors import HttpError, TransportError
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.http.parser import ChannelReader, ConnectionClosedCleanly, read_request
+from repro.transport.base import Address, Channel, Listener, ListenerClosed, Transport
+
+App = Callable[[HttpRequest], HttpResponse]
+
+
+class HttpServer:
+    """Accepts connections and runs one handler thread per connection.
+
+    Connection threads come from an unbounded-but-recycled set: the
+    paper's "thread pool created in the transport layer".  Keep-alive
+    is honoured, so a client doing M serial requests on one connection
+    stays on one server thread.
+    """
+
+    def __init__(
+        self,
+        app: App,
+        *,
+        transport: Transport,
+        address: Address,
+        server_header: str = "repro-httpd/1.0",
+        chunk_responses_over: int | None = None,
+        chunk_size: int = 8192,
+        max_connections: int | None = None,
+    ) -> None:
+        """``chunk_responses_over``: when set, response bodies larger
+        than this many bytes are sent with chunked transfer encoding —
+        the "message chunking and streaming" optimization of Chiu et
+        al. (HPDC-11), letting the client start parsing before the full
+        body has been produced.
+
+        ``max_connections`` bounds the protocol stage: at most this many
+        connections are serviced concurrently ("too many concurrent
+        threads will degrade throughput rapidly", §3.3); excess
+        connections wait in the accept backlog.
+        """
+        self._app = app
+        self._transport = transport
+        self._bind_address = address
+        self._server_header = server_header
+        self._chunk_over = chunk_responses_over
+        self._chunk_size = chunk_size
+        self._connection_slots = (
+            threading.Semaphore(max_connections) if max_connections else None
+        )
+        self.max_concurrent_connections = 0
+        self._current_connections = 0
+        self._listener: Listener | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._connection_threads: set[threading.Thread] = set()
+        self._threads_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self.connections_accepted = 0
+        self.requests_served = 0
+        self._counter_lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> Address:
+        """Bind, start accepting; returns the bound address."""
+        if self._listener is not None:
+            raise HttpError("server already started")
+        self._listener = self._transport.listen(self._bind_address)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="http-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self._listener.address
+
+    def stop(self, *, join_timeout: float = 5.0) -> None:
+        """Close the listener and join worker threads."""
+        self._stopping.set()
+        if self._listener is not None:
+            self._listener.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=join_timeout)
+        with self._threads_lock:
+            threads = list(self._connection_threads)
+        for thread in threads:
+            thread.join(timeout=join_timeout)
+
+    @contextlib.contextmanager
+    def running(self) -> Iterator[Address]:
+        """Context manager: start, yield the bound address, stop."""
+        address = self.start()
+        try:
+            yield address
+        finally:
+            self.stop()
+
+    @property
+    def address(self) -> Address:
+        if self._listener is None:
+            raise HttpError("server not started")
+        return self._listener.address
+
+    # -- internals ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            if self._connection_slots is not None:
+                # bound the protocol stage: wait for a free slot before
+                # accepting (excess peers queue in the kernel backlog)
+                while not self._connection_slots.acquire(timeout=0.1):
+                    if self._stopping.is_set():
+                        return
+            try:
+                channel = self._listener.accept()
+            except ListenerClosed:
+                self._release_slot()
+                return
+            except TransportError:
+                self._release_slot()
+                if self._stopping.is_set():
+                    return
+                continue
+            with self._counter_lock:
+                self.connections_accepted += 1
+                self._current_connections += 1
+                if self._current_connections > self.max_concurrent_connections:
+                    self.max_concurrent_connections = self._current_connections
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(channel,),
+                name="http-conn",
+                daemon=True,
+            )
+            with self._threads_lock:
+                self._connection_threads.add(thread)
+            thread.start()
+
+    def _serve_connection(self, channel: Channel) -> None:
+        reader = ChannelReader(channel)
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = read_request(reader)
+                except ConnectionClosedCleanly:
+                    return
+                except HttpError as exc:
+                    self._send(channel, _error_response(exc), close=True)
+                    return
+                except TransportError:
+                    return
+
+                try:
+                    response = self._app(request)
+                except Exception as exc:  # app bug: report, keep serving
+                    response = HttpResponse(
+                        500, Headers({"Content-Type": "text/plain"}),
+                        f"internal error: {exc}".encode("utf-8"),
+                    )
+                with self._counter_lock:
+                    self.requests_served += 1
+
+                keep_alive = request.keep_alive and not self._stopping.is_set()
+                self._send(channel, response, close=not keep_alive)
+                if not keep_alive:
+                    return
+        finally:
+            channel.close()
+            with self._counter_lock:
+                self._current_connections -= 1
+            self._release_slot()
+            with self._threads_lock:
+                self._connection_threads.discard(threading.current_thread())
+
+    def _release_slot(self) -> None:
+        if self._connection_slots is not None:
+            self._connection_slots.release()
+
+    def _send(self, channel: Channel, response: HttpResponse, *, close: bool) -> None:
+        response.headers.set("Server", self._server_header)
+        response.headers.set("Connection", "close" if close else "keep-alive")
+        try:
+            if self._chunk_over is not None and len(response.body) > self._chunk_over:
+                channel.sendall(_chunked_head(response))
+                body = response.body
+                for offset in range(0, len(body), self._chunk_size):
+                    chunk = body[offset : offset + self._chunk_size]
+                    channel.sendall(
+                        f"{len(chunk):x}\r\n".encode("ascii") + chunk + b"\r\n"
+                    )
+                channel.sendall(b"0\r\n\r\n")
+            else:
+                channel.sendall(response.to_bytes())
+        except TransportError:
+            pass
+
+
+def _chunked_head(response: HttpResponse) -> bytes:
+    headers = response.headers.copy()
+    headers.remove("Content-Length")
+    headers.set("Transfer-Encoding", "chunked")
+    lines = [f"{response.version} {response.status} {response.reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+
+
+def _error_response(exc: HttpError) -> HttpResponse:
+    status = exc.status or 400
+    return HttpResponse(
+        status,
+        Headers({"Content-Type": "text/plain"}),
+        str(exc).encode("utf-8"),
+    )

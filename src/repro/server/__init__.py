@@ -1,0 +1,42 @@
+"""Server side: services, pools, stages, handler chain, two architectures.
+
+* :class:`CommonSoapServer` — the paper's Figure 1 baseline: protocol
+  and application processing coupled in one thread per connection.
+* :class:`StagedSoapServer` — the paper's Figure 2 contribution
+  substrate: independent protocol and application thread pools, so one
+  SOAP message can drive multiple service operations concurrently.
+"""
+
+from repro.server.common_arch import CommonSoapServer
+from repro.server.container import ServiceContainer
+from repro.server.endpoint import SoapEndpoint
+from repro.server.handlers import Handler, HandlerChain, MessageContext
+from repro.server.security_handler import SecurityVerifyHandler
+from repro.server.service import (
+    ServiceDefinition,
+    operation,
+    service_from_functions,
+    service_from_object,
+)
+from repro.server.stage import Stage
+from repro.server.staged_arch import StagedSoapServer
+from repro.server.threadpool import CompletionLatch, TaskFuture, ThreadPool
+
+__all__ = [
+    "CommonSoapServer",
+    "CompletionLatch",
+    "Handler",
+    "HandlerChain",
+    "MessageContext",
+    "SecurityVerifyHandler",
+    "ServiceContainer",
+    "ServiceDefinition",
+    "SoapEndpoint",
+    "Stage",
+    "StagedSoapServer",
+    "TaskFuture",
+    "ThreadPool",
+    "operation",
+    "service_from_functions",
+    "service_from_object",
+]

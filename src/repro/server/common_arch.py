@@ -1,0 +1,96 @@
+"""Figure 1: the common web-service server architecture.
+
+"The thread created in transport layer will complete the functions from
+the HTTP parsing to service operation execution.  HTTP parsing, SOAP
+parsing and service execution are coupled tightly in the same thread."
+
+That coupling is expressed by the executor: request entries are run
+synchronously in the HTTP connection thread, one after another.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from repro.http.server import HttpServer
+from repro.server.container import ServiceContainer
+from repro.server.endpoint import SoapEndpoint
+from repro.server.handlers import HandlerChain
+from repro.server.service import ServiceDefinition
+from repro.transport.base import Address, Transport
+from repro.transport.tcp import TcpTransport
+from repro.xmlcore.tree import Element
+
+
+class CommonSoapServer:
+    """One thread per connection doing protocol *and* application work."""
+
+    architecture = "common"
+
+    def __init__(
+        self,
+        services: list[ServiceDefinition],
+        *,
+        transport: Transport | None = None,
+        address: Address = ("127.0.0.1", 0),
+        chain: HandlerChain | None = None,
+        chunk_responses_over: int | None = None,
+    ) -> None:
+        self.container = ServiceContainer(services)
+        self.endpoint = SoapEndpoint(self.container, self._execute, chain=chain)
+        self.transport = transport if transport is not None else TcpTransport()
+        self.http = HttpServer(
+            self.endpoint,
+            transport=self.transport,
+            address=address,
+            chunk_responses_over=chunk_responses_over,
+        )
+
+    def _execute(self, entries: list[Element]) -> list[Element]:
+        from repro.core.oneway import accepted_response, is_one_way
+
+        # protocol thread == application thread: sequential, in place.
+        # One-way entries still execute here (Figure 1 has no other
+        # thread to give them to); only their results are discarded.
+        results = []
+        for entry in entries:
+            if is_one_way(entry):
+                self.container.execute_entry(entry)
+                results.append(accepted_response(entry))
+            else:
+                results.append(self.container.execute_entry(entry))
+        return results
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> Address:
+        """Start the HTTP layer; returns the bound address."""
+        return self.http.start()
+
+    def stop(self) -> None:
+        """Stop the HTTP layer."""
+        self.http.stop()
+
+    @contextlib.contextmanager
+    def running(self) -> Iterator[Address]:
+        """Context manager: start, yield the bound address, stop."""
+        address = self.start()
+        try:
+            yield address
+        finally:
+            self.stop()
+
+    @property
+    def address(self) -> Address:
+        return self.http.address
+
+    def stats(self) -> dict:
+        """Endpoint/container/HTTP counters as a dict."""
+        return {
+            "architecture": self.architecture,
+            "endpoint": self.endpoint.stats.snapshot(),
+            "container": self.container.stats.snapshot(),
+            "connections_accepted": self.http.connections_accepted,
+            "requests_served": self.http.requests_served,
+        }

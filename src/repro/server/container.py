@@ -1,0 +1,116 @@
+"""Service container: the registry + per-entry execution core.
+
+Shared by both server architectures.  Given one request body entry,
+:meth:`ServiceContainer.execute_entry` decodes it (trie-matched), runs
+the operation, and returns a response element — or a Fault element for
+that entry alone, which matters in packed mode where one bad request
+must not poison its siblings.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+from repro.soap.constants import REQUEST_ID_ATTR
+from repro.soap.deserializer import OperationMatcher, parse_rpc_request
+from repro.soap.fault import SoapFault
+from repro.soap.serializer import serialize_rpc_response
+from repro.server.service import ServiceDefinition
+from repro.xmlcore.tree import Element
+
+
+@dataclass(slots=True)
+class ContainerStats:
+    entries_executed: int = 0
+    faults: int = 0
+    total_execute_time: float = 0.0
+    by_service: dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        """Counters as a plain dict."""
+        return {
+            "entries_executed": self.entries_executed,
+            "faults": self.faults,
+            "total_execute_time_s": self.total_execute_time,
+            "by_service": dict(self.by_service),
+        }
+
+
+class ServiceContainer:
+    """All services deployed in one server process.
+
+    The travel-agent evaluation (§4.3) relies on "the airline services
+    [being] in one service container" — this is that container.
+    """
+
+    def __init__(self, services: list[ServiceDefinition] | None = None) -> None:
+        self._services: dict[str, ServiceDefinition] = {}
+        self._matcher = OperationMatcher()
+        self._lock = threading.Lock()
+        self.stats = ContainerStats()
+        for service in services or []:
+            self.deploy(service)
+
+    def deploy(self, service: ServiceDefinition) -> None:
+        """Register a service; its namespace must be unused."""
+        with self._lock:
+            if service.namespace in self._services:
+                raise ServiceError(
+                    f"a service is already deployed at namespace '{service.namespace}'"
+                )
+            self._services[service.namespace] = service
+            for op_name in service.operation_names():
+                self._matcher.register(service.namespace, op_name, service)
+
+    def service_for(self, namespace: str) -> ServiceDefinition:
+        """The service deployed at ``namespace``; raises if absent."""
+        try:
+            return self._services[namespace]
+        except KeyError:
+            raise ServiceError(f"no service deployed at namespace '{namespace}'") from None
+
+    def services(self) -> list[ServiceDefinition]:
+        """Every deployed service, in deployment order."""
+        return list(self._services.values())
+
+    @property
+    def matcher(self) -> OperationMatcher:
+        return self._matcher
+
+    def execute_entry(self, entry: Element) -> Element:
+        """Decode, dispatch and execute one request entry.
+
+        Always returns an element: an ``<opResponse>`` on success, a
+        ``<Fault>`` on failure.  The entry's SPI ``requestID`` attribute
+        (if present) is copied onto the result so the client dispatcher
+        can correlate it.
+        """
+        request_id = entry.get(REQUEST_ID_ATTR)
+        start = time.perf_counter()
+        try:
+            service = self._matcher.match(entry)
+            request = parse_rpc_request(entry, self._matcher)
+            result = service.invoke(request.operation, request.params)
+            response = serialize_rpc_response(
+                request.namespace, request.operation, result
+            )
+            failed = False
+        except BaseException as exc:
+            response = SoapFault.from_exception(exc).to_element()
+            failed = True
+        elapsed = time.perf_counter() - start
+
+        if request_id is not None:
+            response.set(REQUEST_ID_ATTR, request_id)
+        with self._lock:
+            self.stats.entries_executed += 1
+            self.stats.total_execute_time += elapsed
+            if failed:
+                self.stats.faults += 1
+            else:
+                key = entry.namespace
+                self.stats.by_service[key] = self.stats.by_service.get(key, 0) + 1
+        return response

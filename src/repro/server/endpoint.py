@@ -1,0 +1,186 @@
+"""SOAP-over-HTTP endpoint shared by both server architectures.
+
+Turns an :class:`HttpRequest` into an :class:`HttpResponse`:
+
+1. parse the envelope (protocol processing);
+2. run the request handler chain (where SPI unpacking happens);
+3. fault if a mustUnderstand header survived un-understood;
+4. hand the request entries to the architecture's executor;
+5. run the response handler chain (where SPI re-packing happens);
+6. serialize the response envelope.
+
+GET requests with a ``wsdl`` query string serve generated WSDL, as
+Axis does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.errors import ReproError
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.soap.constants import (
+    FAULT_CLIENT,
+    FAULT_MUST_UNDERSTAND,
+    FAULT_TAG,
+    SOAP_CONTENT_TYPE,
+)
+from repro.soap.envelope import Envelope
+from repro.soap.fault import SoapFault
+from repro.soap.multiref import has_multirefs, resolve_multirefs
+from repro.server.container import ServiceContainer
+from repro.server.handlers import HandlerChain, MessageContext
+from repro.wsdl.generator import wsdl_for_service
+from repro.xmlcore.tree import Element
+
+Executor = Callable[[list[Element]], list[Element]]
+
+
+@dataclass(slots=True)
+class EndpointStats:
+    http_requests: int = 0
+    soap_messages: int = 0
+    envelope_faults: int = 0
+    wsdl_requests: int = 0
+    parse_time: float = 0.0
+    serialize_time: float = 0.0
+
+    def snapshot(self) -> dict:
+        """Counters as a plain dict."""
+        return {
+            "http_requests": self.http_requests,
+            "soap_messages": self.soap_messages,
+            "envelope_faults": self.envelope_faults,
+            "wsdl_requests": self.wsdl_requests,
+            "parse_time_s": self.parse_time,
+            "serialize_time_s": self.serialize_time,
+        }
+
+
+class SupportsExecute(Protocol):  # pragma: no cover - typing aid
+    def __call__(self, entries: list[Element]) -> list[Element]: ...
+
+
+class SoapEndpoint:
+    """HTTP app implementing the SOAP binding over a ServiceContainer."""
+
+    def __init__(
+        self,
+        container: ServiceContainer,
+        executor: Executor,
+        *,
+        chain: HandlerChain | None = None,
+    ) -> None:
+        self.container = container
+        self.chain = chain if chain is not None else HandlerChain()
+        self._executor = executor
+        self.stats = EndpointStats()
+
+    # -- HTTP entry point ---------------------------------------------------
+
+    def __call__(self, request: HttpRequest) -> HttpResponse:
+        self.stats.http_requests += 1
+        if request.method == "GET":
+            return self._handle_get(request)
+        if request.method != "POST":
+            return HttpResponse(405, Headers({"Allow": "POST, GET"}), b"")
+        return self._handle_soap(request)
+
+    # -- WSDL ------------------------------------------------------------------
+
+    def _handle_get(self, request: HttpRequest) -> HttpResponse:
+        path, _, query = request.path.partition("?")
+        if path.rstrip("/") in ("", "/services") and not query:
+            return self._services_index()
+        if query.lower() != "wsdl":
+            return HttpResponse(404, body=b"only ?wsdl GETs and /services are served")
+        self.stats.wsdl_requests += 1
+        wanted = path.rstrip("/").rsplit("/", 1)[-1]
+        for service in self.container.services():
+            if service.name == wanted:
+                document = wsdl_for_service(service.describe(location=path))
+                return HttpResponse(
+                    200, Headers({"Content-Type": "text/xml"}), document.encode("utf-8")
+                )
+        return HttpResponse(404, body=f"no service named '{wanted}'".encode())
+
+    def _services_index(self) -> HttpResponse:
+        """Axis-style deployed-services listing at GET /services."""
+        lines = ["Deployed services:", ""]
+        for service in self.container.services():
+            lines.append(f"{service.name}  ({service.namespace})")
+            lines.append(f"  wsdl: /services/{service.name}?wsdl")
+            for op_name in service.operation_names():
+                lines.append(f"  - {op_name}")
+            lines.append("")
+        return HttpResponse(
+            200,
+            Headers({"Content-Type": "text/plain; charset=utf-8"}),
+            "\n".join(lines).encode("utf-8"),
+        )
+
+    # -- SOAP --------------------------------------------------------------------
+
+    def _handle_soap(self, request: HttpRequest) -> HttpResponse:
+        start = time.perf_counter()
+        try:
+            envelope = Envelope.from_string(request.body)
+            if has_multirefs(envelope.body_entries):
+                # Axis rpc/encoded interop: inline href/multiRef graphs
+                # before anything downstream sees the body
+                envelope.body_entries = resolve_multirefs(envelope.body_entries)
+        except ReproError as exc:
+            self.stats.envelope_faults += 1
+            fault = SoapFault(FAULT_CLIENT, f"unparseable SOAP message: {exc}")
+            return self._fault_response(fault, status=400)
+        self.stats.parse_time += time.perf_counter() - start
+        self.stats.soap_messages += 1
+
+        context = MessageContext.for_envelope(envelope)
+        try:
+            self.chain.run_request(context)
+        except ReproError as exc:
+            self.stats.envelope_faults += 1
+            return self._fault_response(SoapFault.from_exception(exc), status=500)
+
+        missed = envelope.unprocessed_must_understand(context.understood_headers)
+        if missed:
+            self.stats.envelope_faults += 1
+            fault = SoapFault(
+                FAULT_MUST_UNDERSTAND,
+                f"mustUnderstand header <{missed[0].tag}> was not processed",
+            )
+            return self._fault_response(fault, status=500)
+
+        context.response_entries = self._executor(context.request_entries)
+        self.chain.run_response(context)
+
+        start = time.perf_counter()
+        response_envelope = Envelope()
+        response_envelope.header_entries = list(context.response_headers)
+        response_envelope.body_entries = list(context.response_entries)
+        body = response_envelope.to_bytes()
+        self.stats.serialize_time += time.perf_counter() - start
+
+        status = 200
+        if (
+            not context.packed
+            and len(context.response_entries) == 1
+            and context.response_entries[0].tag == FAULT_TAG
+        ):
+            status = 500
+            self.stats.envelope_faults += 1
+        return HttpResponse(
+            status, Headers({"Content-Type": SOAP_CONTENT_TYPE}), body
+        )
+
+    def _fault_response(self, fault: SoapFault, *, status: int) -> HttpResponse:
+        envelope = Envelope()
+        envelope.add_body(fault.to_element())
+        return HttpResponse(
+            status,
+            Headers({"Content-Type": SOAP_CONTENT_TYPE}),
+            envelope.to_bytes(),
+        )

@@ -1,0 +1,92 @@
+"""SEDA-style event stages (Welsh et al., SOSP-18 — the paper's [5]).
+
+A :class:`Stage` is a named queue drained by a dedicated thread pool.
+The staged architecture of Figure 2 wires two of them together:
+*protocol processing* (implicitly: the HTTP connection threads) and
+*application processing* (an explicit Stage of worker threads executing
+service operations).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.server.threadpool import TaskFuture, ThreadPool
+
+
+@dataclass(slots=True)
+class StageStats:
+    events: int = 0
+    failures: int = 0
+    total_service_time: float = 0.0
+    max_service_time: float = 0.0
+    per_kind: dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, elapsed: float, *, failed: bool) -> None:
+        """Account one handled event."""
+        self.events += 1
+        if failed:
+            self.failures += 1
+        self.total_service_time += elapsed
+        if elapsed > self.max_service_time:
+            self.max_service_time = elapsed
+        self.per_kind[kind] = self.per_kind.get(kind, 0) + 1
+
+    @property
+    def mean_service_time(self) -> float:
+        return self.total_service_time / self.events if self.events else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Counters as a plain dict."""
+        return {
+            "events": self.events,
+            "failures": self.failures,
+            "mean_service_time_s": self.mean_service_time,
+            "max_service_time_s": self.max_service_time,
+            "per_kind": dict(self.per_kind),
+        }
+
+
+class Stage:
+    """One event-driven stage: submit work, get a TaskFuture back."""
+
+    def __init__(self, name: str, workers: int) -> None:
+        self.name = name
+        self._pool = ThreadPool(workers, name=f"stage-{name}")
+        self.stats = StageStats()
+
+    @property
+    def workers(self) -> int:
+        return self._pool.workers
+
+    def submit(
+        self, handler: Callable[..., Any], /, *args: Any, kind: str = "event", **kwargs: Any
+    ) -> TaskFuture:
+        """Queue one event; returns its completion future."""
+        return self._pool.submit(self._timed, handler, kind, args, kwargs)
+
+    def pool_stats(self) -> dict[str, int]:
+        """The backing thread pool's counters."""
+        return self._pool.stats.snapshot()
+
+    def shutdown(self) -> None:
+        """Stop the stage's worker pool."""
+        self._pool.shutdown()
+
+    def __enter__(self) -> "Stage":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def _timed(self, handler: Callable[..., Any], kind: str, args: tuple, kwargs: dict) -> Any:
+        start = time.perf_counter()
+        try:
+            result = handler(*args, **kwargs)
+        except BaseException:
+            self.stats.record(kind, time.perf_counter() - start, failed=True)
+            raise
+        self.stats.record(kind, time.perf_counter() - start, failed=False)
+        return result

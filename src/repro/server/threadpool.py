@@ -1,0 +1,215 @@
+"""Bounded worker thread pool with its own future type.
+
+Both stages of the paper's Figure 2 architecture sit on this pool: the
+application-processing stage directly, the protocol stage implicitly
+(its threads are the HTTP connection threads).  The pool is built from
+primitives rather than ``concurrent.futures`` so the benches can read
+scheduling counters the stock executor does not expose.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ServiceError
+
+
+class TaskFuture:
+    """Completion handle for one submitted task."""
+
+    __slots__ = ("_event", "_result", "_exception", "_callbacks", "_lock")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: Any = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["TaskFuture"], None]] = []
+        self._lock = threading.Lock()
+
+    def set_result(self, value: Any) -> None:
+        """Complete the task with a value."""
+        with self._lock:
+            self._result = value
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Complete the task with an error."""
+        with self._lock:
+            self._exception = exc
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def done(self) -> bool:
+        """True once a result or exception is set."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The task's value; re-raises its exception."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("task did not complete in time")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The task's exception, or None; waits up to ``timeout``."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("task did not complete in time")
+        return self._exception
+
+    def add_done_callback(self, callback: Callable[["TaskFuture"], None]) -> None:
+        """Run ``callback(self)`` on completion (immediately if done)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+
+@dataclass(slots=True)
+class PoolStats:
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    max_queue_depth: int = 0
+    max_concurrency: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Counters as a plain dict."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "max_queue_depth": self.max_queue_depth,
+            "max_concurrency": self.max_concurrency,
+        }
+
+
+_SHUTDOWN = object()
+
+
+class ThreadPool:
+    """Fixed-size worker pool fed by one queue (event-driven model [5])."""
+
+    def __init__(self, workers: int, *, name: str = "pool") -> None:
+        if workers < 1:
+            raise ServiceError("thread pool needs at least one worker")
+        self.name = name
+        self._queue: queue.Queue = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._shutdown = False
+        self._active = 0
+        self._lock = threading.Lock()
+        self.stats = PoolStats()
+        for i in range(workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"{name}-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    @property
+    def workers(self) -> int:
+        return len(self._threads)
+
+    def submit(self, func: Callable[..., Any], /, *args: Any, **kwargs: Any) -> TaskFuture:
+        """Queue ``func(*args, **kwargs)``; returns its future."""
+        with self._lock:
+            if self._shutdown:
+                raise ServiceError(f"pool '{self.name}' is shut down")
+            self.stats.submitted += 1
+        future = TaskFuture()
+        self._queue.put((future, func, args, kwargs))
+        depth = self._queue.qsize()
+        with self._lock:
+            if depth > self.stats.max_queue_depth:
+                self.stats.max_queue_depth = depth
+        return future
+
+    def map_wait(self, func: Callable[[Any], Any], items: list[Any],
+                 timeout: float | None = None) -> list[Any]:
+        """Submit ``func`` for every item and wait for all results."""
+        futures = [self.submit(func, item) for item in items]
+        return [future.result(timeout) for future in futures]
+
+    def shutdown(self, *, join_timeout: float = 5.0) -> None:
+        """Drain-and-join every worker; idempotent."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        for thread in self._threads:
+            thread.join(timeout=join_timeout)
+
+    def __enter__(self) -> "ThreadPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- internals -----------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            future, func, args, kwargs = item
+            with self._lock:
+                self._active += 1
+                if self._active > self.stats.max_concurrency:
+                    self.stats.max_concurrency = self._active
+            try:
+                result = func(*args, **kwargs)
+            except BaseException as exc:
+                with self._lock:
+                    self._active -= 1
+                    self.stats.failed += 1
+                future.set_exception(exc)
+            else:
+                with self._lock:
+                    self._active -= 1
+                    self.stats.completed += 1
+                future.set_result(result)
+
+
+class CompletionLatch:
+    """Count-down latch: the mechanism that lets the sleeping protocol
+    thread of Figure 2 be "waked up to complete generating the packet"
+    once every application-stage worker has finished."""
+
+    def __init__(self, count: int) -> None:
+        if count < 0:
+            raise ServiceError("latch count must be >= 0")
+        self._count = count
+        self._condition = threading.Condition()
+
+    def count_down(self) -> None:
+        """Decrement; at zero, wake every waiter."""
+        with self._condition:
+            if self._count > 0:
+                self._count -= 1
+                if self._count == 0:
+                    self._condition.notify_all()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the count reaches zero; False on timeout."""
+        with self._condition:
+            if self._count == 0:
+                return True
+            return self._condition.wait_for(lambda: self._count == 0, timeout)
+
+    @property
+    def remaining(self) -> int:
+        with self._condition:
+            return self._count

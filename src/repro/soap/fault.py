@@ -1,0 +1,94 @@
+"""SOAP 1.1 Fault model and its exception mapping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SoapError, SoapFaultError
+from repro.soap.constants import (
+    FAULT_CLIENT,
+    FAULT_SERVER,
+    FAULT_TAG,
+    SOAP_ENV_NS,
+)
+from repro.xmlcore.tree import Element
+
+
+@dataclass(slots=True)
+class SoapFault:
+    """A SOAP <Fault>: code, human-readable string, optional actor/detail.
+
+    ``faultcode`` holds the *local* code (``Client``, ``Server``, ...);
+    serialization qualifies it with the envelope-namespace prefix as
+    SOAP 1.1 requires.
+    """
+
+    faultcode: str
+    faultstring: str
+    faultactor: str | None = None
+    detail: str | None = None
+
+    def to_element(self) -> Element:
+        """Render as a SOAP 1.1 <Fault> element."""
+        fault = Element(FAULT_TAG)
+        # SOAP 1.1: faultcode/faultstring are UNqualified child elements
+        # whose faultcode VALUE is a QName in the envelope namespace.
+        fault.subelement("faultcode", text=f"SOAP-ENV:{self.faultcode}")
+        fault.subelement("faultstring", text=self.faultstring)
+        if self.faultactor is not None:
+            fault.subelement("faultactor", text=self.faultactor)
+        if self.detail is not None:
+            detail = fault.subelement("detail")
+            detail.subelement("message", text=self.detail)
+        return fault
+
+    @classmethod
+    def from_element(cls, element: Element) -> "SoapFault":
+        if element.tag != FAULT_TAG:
+            raise SoapError(f"expected <Fault>, got <{element.tag}>")
+        code = element.findtext("faultcode", "") or ""
+        _, _, local_code = code.rpartition(":")
+        faultstring = element.findtext("faultstring", "") or ""
+        actor = element.findtext("faultactor")
+        detail_el = element.find("detail")
+        detail = None
+        if detail_el is not None:
+            message = detail_el.find("message")
+            detail = message.text if message is not None else detail_el.full_text()
+        return cls(local_code, faultstring, actor, detail)
+
+    def to_exception(self) -> SoapFaultError:
+        """The client-side exception carrying this fault."""
+        return SoapFaultError(self.faultcode, self.faultstring, self.detail)
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, *, actor: str | None = None) -> "SoapFault":
+        """Map a server-side exception onto a fault.
+
+        Library errors marked as caller mistakes become ``Client``
+        faults; everything else is a ``Server`` fault, carrying the
+        exception text in <detail> the way Axis does.
+        """
+        if isinstance(exc, SoapFaultError):
+            return cls(exc.faultcode, exc.faultstring, actor, exc.detail)
+        code = FAULT_CLIENT if isinstance(exc, ClientFaultCause) else FAULT_SERVER
+        return cls(
+            code,
+            f"{type(exc).__name__}: {exc}",
+            actor,
+            detail=str(exc) or None,
+        )
+
+
+class ClientFaultCause(SoapError):
+    """Server-side errors attributable to the request (bad operation
+    name, undecodable parameters); mapped to faultcode=Client."""
+
+
+def is_fault_body(body: Element) -> bool:
+    """True when a SOAP Body's first child is a Fault."""
+    children = body.element_children()
+    return bool(children) and children[0].tag == FAULT_TAG
+
+
+__all__ = ["SoapFault", "ClientFaultCause", "is_fault_body", "SOAP_ENV_NS"]

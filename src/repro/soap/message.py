@@ -1,0 +1,81 @@
+"""SoapMessage: an envelope plus its HTTP-binding metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.soap.constants import SOAP_ACTION_HEADER, SOAP_CONTENT_TYPE
+from repro.soap.envelope import Envelope
+
+
+@dataclass(slots=True)
+class SoapMessage:
+    """What actually travels in an HTTP entity body.
+
+    ``action`` maps to the SOAPAction header SOAP 1.1 requires on
+    requests; servers in this library route on the body entry's
+    qualified name, so the action is informational (as in Axis).
+    """
+
+    envelope: Envelope
+    action: str = ""
+    content_type: str = SOAP_CONTENT_TYPE
+
+    def to_bytes(self) -> bytes:
+        """The envelope's serialized UTF-8 form."""
+        return self.envelope.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes, *, action: str = "") -> "SoapMessage":
+        return cls(Envelope.from_string(data), action=action)
+
+    def http_headers(self) -> dict[str, str]:
+        """Content-Type and SOAPAction headers for the HTTP binding."""
+        return {
+            "Content-Type": self.content_type,
+            SOAP_ACTION_HEADER: f'"{self.action}"',
+        }
+
+    @property
+    def size(self) -> int:
+        """Serialized size in bytes (re-serializes; for diagnostics)."""
+        return len(self.to_bytes())
+
+
+@dataclass(slots=True)
+class MessageStats:
+    """Byte/message counters both client and server expose, used by the
+    benches to report what the paper's §4.2 argues about overheads."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    connections_opened: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def sent(self, size: int) -> None:
+        """Account one sent message of ``size`` bytes."""
+        self.messages_sent += 1
+        self.bytes_sent += size
+
+    def received(self, size: int) -> None:
+        """Account one received message of ``size`` bytes."""
+        self.messages_received += 1
+        self.bytes_received += size
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        """Increment an ad-hoc named counter."""
+        self.extra[key] = self.extra.get(key, 0) + amount
+
+    def snapshot(self) -> dict[str, int]:
+        """Counters as a plain dict."""
+        data = {
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "connections_opened": self.connections_opened,
+        }
+        data.update(self.extra)
+        return data

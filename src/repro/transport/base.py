@@ -1,0 +1,91 @@
+"""Transport abstraction: byte channels, listeners, connectors.
+
+Three interchangeable implementations exist (see DESIGN.md §1 row 6):
+
+* :class:`repro.transport.inproc.InProcTransport` — queue-backed, no
+  sockets; used by unit tests for determinism and speed.
+* :class:`repro.transport.tcp.TcpTransport` — real loopback TCP.
+* :class:`repro.transport.shaped.ShapedTransport` — real TCP plus a
+  calibrated delay model emulating the paper's 100 Mbit Ethernet.
+
+The HTTP layer and both server architectures are written against this
+interface only.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.errors import TransportError
+
+Address = Any  # (host, port) for TCP; str name for in-proc
+
+
+class Channel(ABC):
+    """A bidirectional, reliable, ordered byte stream (socket-like)."""
+
+    @abstractmethod
+    def sendall(self, data: bytes) -> None:
+        """Send every byte or raise :class:`TransportError`."""
+
+    @abstractmethod
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        """Receive up to ``max_bytes``; ``b''`` signals a clean EOF."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Close both directions; idempotent."""
+
+    def __enter__(self) -> "Channel":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class Listener(ABC):
+    """A bound endpoint producing one :class:`Channel` per peer connect."""
+
+    @property
+    @abstractmethod
+    def address(self) -> Address:
+        """The concrete address peers should connect to (e.g. with the
+        kernel-assigned port filled in)."""
+
+    @abstractmethod
+    def accept(self, timeout: float | None = None) -> Channel:
+        """Block for the next inbound connection.
+
+        Raises :class:`TransportError` when closed or on timeout.
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Stop accepting; unblocks pending accept() calls."""
+
+    def __enter__(self) -> "Listener":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class Transport(ABC):
+    """Factory for listeners and outbound channels."""
+
+    @abstractmethod
+    def listen(self, address: Address) -> Listener:
+        """Bind a listener at ``address``."""
+
+    @abstractmethod
+    def connect(self, address: Address, timeout: float | None = None) -> Channel:
+        """Open an outbound channel to ``address``."""
+
+
+class ListenerClosed(TransportError):
+    """accept() on a closed listener."""
+
+
+class ChannelClosed(TransportError):
+    """I/O on a closed channel."""

@@ -1,0 +1,131 @@
+"""Network profiles: the delay models the shaped transport applies.
+
+The paper's testbed was a 100 Mbit Ethernet between a Windows XP client
+and a dual-Xeon Linux server.  We cannot reproduce two machines on a
+LAN, so :class:`NetworkProfile` captures the three wire costs the
+experiments hinge on (DESIGN.md §3 substitution 1):
+
+* **handshake** — one RTT per TCP connection setup.  Eliminating M−1 of
+  these is the first saving the paper attributes to packing (§4.2).
+* **propagation** — half an RTT per message direction.
+* **serialization onto the link** — bytes / bandwidth, accounted on a
+  *shared* link so M concurrent senders cannot exceed aggregate
+  capacity, as on real Ethernet.
+
+:class:`LinkScheduler` implements the shared link: each transmission
+reserves the next free window under a lock, then sleeps until its
+finish time.  Reservations are made without holding the lock during the
+sleep, so concurrent transfers pipeline exactly like frames on a wire.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkProfile:
+    """Wire-delay constants for one emulated network."""
+
+    name: str
+    rtt: float  # seconds, round-trip
+    bandwidth_bps: float  # bits per second
+    per_message_overhead: float = 0.0  # fixed cost per send() call
+
+    @property
+    def handshake_delay(self) -> float:
+        """TCP three-way handshake ≈ one RTT before data can flow."""
+        return self.rtt
+
+    @property
+    def one_way_latency(self) -> float:
+        return self.rtt / 2.0
+
+    def transmit_seconds(self, nbytes: int) -> float:
+        """Wire-occupancy time for ``nbytes`` at this bandwidth."""
+        return (nbytes * 8.0) / self.bandwidth_bps
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and notes."""
+        return (
+            f"{self.name}: rtt={self.rtt * 1e3:.2f}ms "
+            f"bw={self.bandwidth_bps / 1e6:.0f}Mbit/s"
+        )
+
+
+# The paper's testbed: 100 Mbit switched Ethernet, sub-millisecond LAN RTT.
+# rtt=1ms keeps sleep() granularity honest while preserving the ratio
+# between per-connection overhead and payload transfer time.
+PAPER_LAN = NetworkProfile(name="paper-lan-100mbit", rtt=1e-3, bandwidth_bps=100e6)
+
+# A WAN-ish profile used by the ablation benches to show the packing
+# win growing with latency.
+WAN = NetworkProfile(name="wan-20ms", rtt=20e-3, bandwidth_bps=20e6)
+
+# Zero-delay profile: shaped transport degenerates to bare loopback.
+NULL_PROFILE = NetworkProfile(name="null", rtt=0.0, bandwidth_bps=float("inf"))
+
+
+class LinkScheduler:
+    """Serializes transmissions onto one emulated shared link."""
+
+    def __init__(self, profile: NetworkProfile, *, clock=time.monotonic, sleep=time.sleep) -> None:
+        self.profile = profile
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._link_free_at = 0.0
+        self.stats = LinkStats()
+
+    def transmit(self, nbytes: int) -> None:
+        """Account one message of ``nbytes`` onto the link and block the
+        caller until the emulated wire would have delivered it."""
+        profile = self.profile
+        cost = profile.transmit_seconds(nbytes) + profile.per_message_overhead
+        now = self._clock()
+        with self._lock:
+            start = max(now, self._link_free_at)
+            finish = start + cost
+            self._link_free_at = finish
+            self.stats.record(nbytes, waited=start - now, transmitted=cost)
+        deadline = finish + profile.one_way_latency
+        delay = deadline - self._clock()
+        if delay > 0:
+            self._sleep(delay)
+
+    def handshake(self) -> None:
+        """Block for the connection-setup round trip."""
+        if self.profile.handshake_delay > 0:
+            self._sleep(self.profile.handshake_delay)
+        self.stats.handshakes += 1
+
+
+@dataclass(slots=True)
+class LinkStats:
+    """What the emulated wire carried — read by the benches to report
+    the overhead-vs-payload breakdown of §4.2."""
+
+    messages: int = 0
+    bytes: int = 0
+    handshakes: int = 0
+    total_wait: float = 0.0
+    total_transmit: float = 0.0
+
+    def record(self, nbytes: int, *, waited: float, transmitted: float) -> None:
+        """Account one transmission."""
+        self.messages += 1
+        self.bytes += nbytes
+        self.total_wait += max(0.0, waited)
+        self.total_transmit += transmitted
+
+    def snapshot(self) -> dict[str, float]:
+        """Counters as a plain dict."""
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "handshakes": self.handshakes,
+            "total_wait_s": self.total_wait,
+            "total_transmit_s": self.total_transmit,
+        }

@@ -1,0 +1,82 @@
+"""Shaped transport: a real transport plus a :class:`NetworkProfile`.
+
+Wraps any base transport (normally loopback TCP) and injects the
+emulated wire costs *before* handing bytes to the real channel, so the
+whole protocol stack still runs for real — only time is synthetic.
+
+One :class:`ShapedTransport` instance models one network: all channels
+created through it share a single uplink and a single downlink
+scheduler (client→server and server→client directions of a switched
+full-duplex Ethernet).  Direction is decided by who initiated the
+channel: ``connect()`` channels transmit on the uplink, accepted
+channels on the downlink.
+"""
+
+from __future__ import annotations
+
+from repro.transport.base import Address, Channel, Listener, Transport
+from repro.transport.netprofile import LinkScheduler, NetworkProfile, PAPER_LAN
+
+
+class ShapedChannel(Channel):
+    def __init__(self, inner: Channel, send_link: LinkScheduler) -> None:
+        self._inner = inner
+        self._send_link = send_link
+
+    def sendall(self, data: bytes) -> None:
+        self._send_link.transmit(len(data))
+        self._inner.sendall(data)
+
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        # Receive-side delay is already paid by the sender's transmit()
+        # (which includes propagation), so recv passes straight through.
+        return self._inner.recv(max_bytes)
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class ShapedListener(Listener):
+    def __init__(self, inner: Listener, downlink: LinkScheduler) -> None:
+        self._inner = inner
+        self._downlink = downlink
+
+    @property
+    def address(self) -> Address:
+        return self._inner.address
+
+    def accept(self, timeout: float | None = None) -> Channel:
+        channel = self._inner.accept(timeout)
+        return ShapedChannel(channel, self._downlink)
+
+    def close(self) -> None:
+        """Close the wrapped listener."""
+        self._inner.close()
+
+
+class ShapedTransport(Transport):
+    """Delay-shaped view over ``base`` according to ``profile``."""
+
+    def __init__(self, base: Transport, profile: NetworkProfile = PAPER_LAN) -> None:
+        self.base = base
+        self.profile = profile
+        self.uplink = LinkScheduler(profile)
+        self.downlink = LinkScheduler(profile)
+
+    def listen(self, address: Address) -> Listener:
+        """Listener whose accepted channels transmit on the downlink."""
+        return ShapedListener(self.base.listen(address), self.downlink)
+
+    def connect(self, address: Address, timeout: float | None = None) -> Channel:
+        # Pay the TCP handshake before the real (instant) loopback connect.
+        """Pay the emulated handshake, then connect for real."""
+        self.uplink.handshake()
+        channel = self.base.connect(address, timeout)
+        return ShapedChannel(channel, self.uplink)
+
+    def wire_stats(self) -> dict[str, dict[str, float]]:
+        """Per-direction link statistics."""
+        return {
+            "uplink": self.uplink.stats.snapshot(),
+            "downlink": self.downlink.stats.snapshot(),
+        }

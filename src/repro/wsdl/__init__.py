@@ -1,0 +1,15 @@
+"""WSDL 1.1 tooling: interface model, generator, parser."""
+
+from repro.wsdl.generator import generate_wsdl, generate_wsdl_document, wsdl_for_service
+from repro.wsdl.model import WsdlDocumentModel, WsdlOperation, WsdlService
+from repro.wsdl.parser import parse_wsdl
+
+__all__ = [
+    "WsdlDocumentModel",
+    "WsdlOperation",
+    "WsdlService",
+    "generate_wsdl",
+    "generate_wsdl_document",
+    "parse_wsdl",
+    "wsdl_for_service",
+]

@@ -1,0 +1,99 @@
+"""WSDL 1.1 document generation (rpc/encoded binding, as Axis 1.x)."""
+
+from __future__ import annotations
+
+from repro.soap.constants import SOAP_ENC_NS, WSDL_NS, WSDL_SOAP_NS, XSD_NS
+from repro.wsdl.model import WsdlDocumentModel, WsdlService
+from repro.xmlcore.tree import Element
+from repro.xmlcore.writer import serialize
+
+_W = f"{{{WSDL_NS}}}"
+_WS = f"{{{WSDL_SOAP_NS}}}"
+
+SOAP_HTTP_TRANSPORT = "http://schemas.xmlsoap.org/soap/http"
+
+
+def generate_wsdl(model: WsdlDocumentModel) -> Element:
+    """Build the <definitions> tree for one service."""
+    service = model.service
+    tns = service.namespace
+    definitions = Element(
+        _W + "definitions",
+        {"name": service.name, "targetNamespace": tns},
+        nsmap={
+            "wsdl": WSDL_NS,
+            "soap": WSDL_SOAP_NS,
+            "xsd": XSD_NS,
+            "tns": tns,
+            "SOAP-ENC": SOAP_ENC_NS,
+        },
+    )
+    if service.documentation:
+        definitions.subelement(_W + "documentation", text=service.documentation)
+
+    _add_messages(definitions, model)
+    _add_port_type(definitions, model)
+    _add_binding(definitions, model)
+    _add_service(definitions, model)
+    return definitions
+
+
+def generate_wsdl_document(model: WsdlDocumentModel) -> str:
+    """The WSDL document as XML text with declaration."""
+    return serialize(generate_wsdl(model), declaration=True)
+
+
+def wsdl_for_service(service: WsdlService) -> str:
+    """Convenience wrapper used by the ``?wsdl`` HTTP endpoint."""
+    return generate_wsdl_document(WsdlDocumentModel(service))
+
+
+def _add_messages(definitions: Element, model: WsdlDocumentModel) -> None:
+    for op in model.service.operations:
+        request = definitions.subelement(_W + "message", {"name": f"{op.name}Request"})
+        for pname, ptype in op.parameters:
+            request.subelement(_W + "part", {"name": pname, "type": ptype})
+        response = definitions.subelement(_W + "message", {"name": f"{op.name}Response"})
+        response.subelement(_W + "part", {"name": "return", "type": op.returns})
+
+
+def _add_port_type(definitions: Element, model: WsdlDocumentModel) -> None:
+    port_type = definitions.subelement(_W + "portType", {"name": model.port_type_name})
+    for op in model.service.operations:
+        operation = port_type.subelement(_W + "operation", {"name": op.name})
+        if op.documentation:
+            operation.subelement(_W + "documentation", text=op.documentation)
+        operation.subelement(_W + "input", {"message": f"tns:{op.name}Request"})
+        operation.subelement(_W + "output", {"message": f"tns:{op.name}Response"})
+
+
+def _add_binding(definitions: Element, model: WsdlDocumentModel) -> None:
+    binding = definitions.subelement(
+        _W + "binding",
+        {"name": model.binding_name, "type": f"tns:{model.port_type_name}"},
+    )
+    binding.subelement(
+        _WS + "binding", {"style": "rpc", "transport": SOAP_HTTP_TRANSPORT}
+    )
+    for op in model.service.operations:
+        operation = binding.subelement(_W + "operation", {"name": op.name})
+        operation.subelement(_WS + "operation", {"soapAction": model.soap_action(op.name)})
+        for direction in ("input", "output"):
+            wrapper = operation.subelement(_W + direction)
+            wrapper.subelement(
+                _WS + "body",
+                {
+                    "use": "encoded",
+                    "namespace": model.service.namespace,
+                    "encodingStyle": SOAP_ENC_NS,
+                },
+            )
+
+
+def _add_service(definitions: Element, model: WsdlDocumentModel) -> None:
+    service = definitions.subelement(_W + "service", {"name": model.service.name})
+    port = service.subelement(
+        _W + "port",
+        {"name": model.port_name, "binding": f"tns:{model.binding_name}"},
+    )
+    port.subelement(_WS + "address", {"location": model.service.location or ""})

@@ -1,0 +1,101 @@
+"""WSDL 1.1 document parsing back to the service-interface model."""
+
+from __future__ import annotations
+
+from repro.errors import WsdlError
+from repro.soap.constants import WSDL_NS, WSDL_SOAP_NS
+from repro.wsdl.model import WsdlDocumentModel, WsdlOperation, WsdlService
+from repro.xmlcore.parser import parse
+from repro.xmlcore.tree import Element
+
+_W = f"{{{WSDL_NS}}}"
+_WS = f"{{{WSDL_SOAP_NS}}}"
+
+
+def parse_wsdl(document: str | bytes | Element) -> WsdlDocumentModel:
+    """Parse a WSDL document (string, bytes or already-parsed tree)."""
+    root = document if isinstance(document, Element) else parse(document)
+    if root.tag != _W + "definitions":
+        raise WsdlError(f"root element is <{root.tag}>, expected wsdl:definitions")
+
+    namespace = root.get("targetNamespace")
+    if not namespace:
+        raise WsdlError("definitions has no targetNamespace")
+
+    messages = _collect_messages(root)
+    operations = _collect_operations(root, messages)
+    name, location = _collect_service(root)
+    documentation = root.findtext(_W + "documentation", "") or ""
+
+    service = WsdlService(
+        name=name,
+        namespace=namespace,
+        operations=tuple(operations),
+        location=location,
+        documentation=documentation,
+    )
+    return WsdlDocumentModel(service)
+
+
+def _collect_messages(root: Element) -> dict[str, tuple[tuple[str, str], ...]]:
+    messages: dict[str, tuple[tuple[str, str], ...]] = {}
+    for message in root.findall(_W + "message"):
+        name = message.get("name")
+        if not name:
+            raise WsdlError("message without a name")
+        parts = tuple(
+            (part.get("name") or "", part.get("type") or "xsd:anyType")
+            for part in message.findall(_W + "part")
+        )
+        messages[name] = parts
+    return messages
+
+
+def _collect_operations(
+    root: Element, messages: dict[str, tuple[tuple[str, str], ...]]
+) -> list[WsdlOperation]:
+    port_types = root.findall(_W + "portType")
+    if not port_types:
+        raise WsdlError("document has no portType")
+    operations: list[WsdlOperation] = []
+    for port_type in port_types:
+        for operation in port_type.findall(_W + "operation"):
+            name = operation.get("name")
+            if not name:
+                raise WsdlError("operation without a name")
+            doc = operation.findtext(_W + "documentation", "") or ""
+            input_el = operation.find(_W + "input")
+            output_el = operation.find(_W + "output")
+            params = _resolve_message(input_el, messages) if input_el is not None else ()
+            returns = "xsd:anyType"
+            if output_el is not None:
+                output_parts = _resolve_message(output_el, messages)
+                if output_parts:
+                    returns = output_parts[0][1]
+            operations.append(WsdlOperation(name, params, returns, doc))
+    return operations
+
+
+def _resolve_message(
+    reference: Element, messages: dict[str, tuple[tuple[str, str], ...]]
+) -> tuple[tuple[str, str], ...]:
+    message_qname = reference.get("message") or ""
+    _, _, local = message_qname.rpartition(":")
+    if local not in messages:
+        raise WsdlError(f"message '{message_qname}' is not defined")
+    return messages[local]
+
+
+def _collect_service(root: Element) -> tuple[str, str]:
+    service = root.find(_W + "service")
+    if service is None:
+        # interface-only documents are legal; fall back to definitions name
+        return root.get("name") or "UnnamedService", ""
+    name = service.get("name") or root.get("name") or "UnnamedService"
+    location = ""
+    port = service.find(_W + "port")
+    if port is not None:
+        address = port.find(_WS + "address")
+        if address is not None:
+            location = address.get("location") or ""
+    return name, location

@@ -1,0 +1,40 @@
+"""From-scratch XML substrate: escaping, namespaces, tree, parsers, writer.
+
+This package is the lowest layer of the reproduction — everything a
+SOAP engine needs from an XML library, with no dependency on stdlib
+``xml``:
+
+* :mod:`repro.xmlcore.escape` — entity escaping/unescaping
+* :mod:`repro.xmlcore.qname` — qualified names, namespace scopes
+* :mod:`repro.xmlcore.tree` — element tree (DOM-like)
+* :mod:`repro.xmlcore.lexer` — tokenizer
+* :mod:`repro.xmlcore.parser` — namespace-aware tree parser
+* :mod:`repro.xmlcore.sax` — push/pull event parsing
+* :mod:`repro.xmlcore.writer` — streaming writer and tree serializer
+* :mod:`repro.xmlcore.trie` — expected-tag trie (Chiu et al. optimization)
+"""
+
+from repro.xmlcore.escape import escape_attribute, escape_text, unescape
+from repro.xmlcore.parser import parse
+from repro.xmlcore.qname import QName, NamespaceScope
+from repro.xmlcore.sax import ContentHandler, PullParser, sax_parse
+from repro.xmlcore.tree import Element
+from repro.xmlcore.trie import TagTrie
+from repro.xmlcore.writer import StreamingWriter, serialize, serialize_bytes
+
+__all__ = [
+    "ContentHandler",
+    "Element",
+    "NamespaceScope",
+    "PullParser",
+    "QName",
+    "StreamingWriter",
+    "TagTrie",
+    "escape_attribute",
+    "escape_text",
+    "parse",
+    "sax_parse",
+    "serialize",
+    "serialize_bytes",
+    "unescape",
+]

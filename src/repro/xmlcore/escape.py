@@ -1,0 +1,103 @@
+"""Character escaping for XML text, attributes and CDATA.
+
+Implements the five predefined XML entities plus numeric character
+references.  The unescape side accepts decimal (``&#65;``) and hexadecimal
+(``&#x41;``) references, which real SOAP toolkits emit for non-ASCII data.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlWellFormednessError
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;", "'": "&apos;"}
+
+_NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+# Characters legal in XML 1.0 documents (tab, LF, CR, and >= 0x20 minus
+# the surrogate block and 0xFFFE/0xFFFF).
+def is_xml_char(code: int) -> bool:
+    """Return True if the code point may appear in an XML 1.0 document."""
+    if code in (0x9, 0xA, 0xD):
+        return True
+    if 0x20 <= code <= 0xD7FF:
+        return True
+    if 0xE000 <= code <= 0xFFFD:
+        return True
+    return 0x10000 <= code <= 0x10FFFF
+
+
+def escape_text(value: str) -> str:
+    """Escape character data appearing between tags."""
+    if not any(c in value for c in "&<>"):
+        return value
+    out = []
+    for ch in value:
+        out.append(_TEXT_ESCAPES.get(ch, ch))
+    return "".join(out)
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data appearing inside a double-quoted attribute."""
+    if not any(c in value for c in "&<>\"'"):
+        return value
+    out = []
+    for ch in value:
+        out.append(_ATTR_ESCAPES.get(ch, ch))
+    return "".join(out)
+
+
+def unescape(value: str) -> str:
+    """Resolve named and numeric entity references in ``value``.
+
+    Raises :class:`XmlWellFormednessError` on unterminated or unknown
+    references, matching what a conforming parser must do.
+    """
+    if "&" not in value:
+        return value
+    out: list[str] = []
+    i = 0
+    n = len(value)
+    while i < n:
+        ch = value[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = value.find(";", i + 1)
+        if end == -1:
+            raise XmlWellFormednessError(f"unterminated entity reference at offset {i}")
+        body = value[i + 1 : end]
+        if not body:
+            raise XmlWellFormednessError("empty entity reference '&;'")
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                code = int(body[2:], 16)
+            except ValueError:
+                raise XmlWellFormednessError(f"bad hex character reference '&{body};'") from None
+            out.append(_charref(code, body))
+        elif body.startswith("#"):
+            try:
+                code = int(body[1:], 10)
+            except ValueError:
+                raise XmlWellFormednessError(f"bad decimal character reference '&{body};'") from None
+            out.append(_charref(code, body))
+        else:
+            try:
+                out.append(_NAMED_ENTITIES[body])
+            except KeyError:
+                raise XmlWellFormednessError(f"unknown entity '&{body};'") from None
+        i = end + 1
+    return "".join(out)
+
+
+def _charref(code: int, body: str) -> str:
+    if not is_xml_char(code):
+        raise XmlWellFormednessError(f"character reference '&{body};' is not a legal XML character")
+    return chr(code)

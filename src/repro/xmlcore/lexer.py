@@ -1,0 +1,284 @@
+"""Tokenizer for the XML 1.0 subset SOAP toolkits exchange.
+
+Produces a flat token stream (start tags with raw attribute lists, end
+tags, character data, CDATA sections, comments, processing instructions
+and the XML declaration).  Well-formedness that requires cross-token
+state — tag balancing, duplicate attributes after namespace expansion,
+single root — is enforced by the tree parser on top.
+
+The lexer works on ``str``; decoding from bytes happens at the HTTP
+boundary.  Positions (line, column) are tracked for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import XmlWellFormednessError
+from repro.xmlcore.escape import is_xml_char, unescape
+
+_WHITESPACE = " \t\r\n"
+
+
+@dataclass(slots=True)
+class Token:
+    line: int
+    column: int
+
+
+@dataclass(slots=True)
+class XmlDeclToken(Token):
+    version: str = "1.0"
+    encoding: str | None = None
+    standalone: str | None = None
+
+
+@dataclass(slots=True)
+class StartTagToken(Token):
+    name: str = ""
+    attributes: list[tuple[str, str]] = field(default_factory=list)
+    self_closing: bool = False
+
+
+@dataclass(slots=True)
+class EndTagToken(Token):
+    name: str = ""
+
+
+@dataclass(slots=True)
+class TextToken(Token):
+    text: str = ""
+
+
+@dataclass(slots=True)
+class CDataToken(Token):
+    text: str = ""
+
+
+@dataclass(slots=True)
+class CommentToken(Token):
+    text: str = ""
+
+
+@dataclass(slots=True)
+class PIToken(Token):
+    target: str = ""
+    data: str = ""
+
+
+class Lexer:
+    """Single-pass tokenizer over a complete document string."""
+
+    def __init__(self, source: str) -> None:
+        self._src = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until the document is exhausted."""
+        src = self._src
+        n = len(src)
+        first = True
+        while self._pos < n:
+            line, col = self._line, self._col
+            if src.startswith("<", self._pos):
+                token = self._lex_markup(line, col, allow_decl=first)
+                if token is not None:
+                    yield token
+            else:
+                yield self._lex_text(line, col)
+            first = False
+
+    # -- markup ----------------------------------------------------------
+
+    def _lex_markup(self, line: int, col: int, *, allow_decl: bool) -> Token | None:
+        src = self._src
+        pos = self._pos
+        if src.startswith("<?xml", pos) and pos + 5 < len(src) and src[pos + 5] in _WHITESPACE + "?":
+            return self._lex_xml_decl(line, col, allow_decl)
+        if src.startswith("<?", pos):
+            return self._lex_pi(line, col)
+        if src.startswith("<!--", pos):
+            return self._lex_comment(line, col)
+        if src.startswith("<![CDATA[", pos):
+            return self._lex_cdata(line, col)
+        if src.startswith("<!DOCTYPE", pos):
+            raise XmlWellFormednessError("DOCTYPE declarations are rejected (XXE hardening)", line, col)
+        if src.startswith("</", pos):
+            return self._lex_end_tag(line, col)
+        return self._lex_start_tag(line, col)
+
+    def _lex_xml_decl(self, line: int, col: int, allow_decl: bool) -> XmlDeclToken:
+        if not allow_decl:
+            raise XmlWellFormednessError("XML declaration only allowed at document start", line, col)
+        end = self._src.find("?>", self._pos)
+        if end == -1:
+            raise XmlWellFormednessError("unterminated XML declaration", line, col)
+        body = self._src[self._pos + 5 : end]
+        self._advance_to(end + 2)
+        attrs = dict(_parse_pseudo_attributes(body, line, col))
+        version = attrs.get("version", "1.0")
+        if version not in ("1.0", "1.1"):
+            raise XmlWellFormednessError(f"unsupported XML version '{version}'", line, col)
+        return XmlDeclToken(line, col, version, attrs.get("encoding"), attrs.get("standalone"))
+
+    def _lex_pi(self, line: int, col: int) -> PIToken:
+        end = self._src.find("?>", self._pos)
+        if end == -1:
+            raise XmlWellFormednessError("unterminated processing instruction", line, col)
+        body = self._src[self._pos + 2 : end]
+        self._advance_to(end + 2)
+        target, _, data = body.partition(" ")
+        if not target:
+            raise XmlWellFormednessError("processing instruction with empty target", line, col)
+        if target.lower() == "xml":
+            raise XmlWellFormednessError("PI target 'xml' is reserved", line, col)
+        return PIToken(line, col, target, data.strip())
+
+    def _lex_comment(self, line: int, col: int) -> CommentToken:
+        end = self._src.find("-->", self._pos + 4)
+        if end == -1:
+            raise XmlWellFormednessError("unterminated comment", line, col)
+        text = self._src[self._pos + 4 : end]
+        if "--" in text:
+            raise XmlWellFormednessError("'--' not allowed inside comment", line, col)
+        self._advance_to(end + 3)
+        return CommentToken(line, col, text)
+
+    def _lex_cdata(self, line: int, col: int) -> CDataToken:
+        end = self._src.find("]]>", self._pos + 9)
+        if end == -1:
+            raise XmlWellFormednessError("unterminated CDATA section", line, col)
+        text = self._src[self._pos + 9 : end]
+        self._advance_to(end + 3)
+        _check_chars(text, line, col)
+        return CDataToken(line, col, text)
+
+    def _lex_end_tag(self, line: int, col: int) -> EndTagToken:
+        end = self._src.find(">", self._pos)
+        if end == -1:
+            raise XmlWellFormednessError("unterminated end tag", line, col)
+        name = self._src[self._pos + 2 : end].strip(_WHITESPACE)
+        if not name or any(c in _WHITESPACE for c in name):
+            raise XmlWellFormednessError(f"malformed end tag '</{name}>'", line, col)
+        self._advance_to(end + 1)
+        return EndTagToken(line, col, name)
+
+    def _lex_start_tag(self, line: int, col: int) -> StartTagToken:
+        src = self._src
+        pos = self._pos + 1
+        n = len(src)
+        start = pos
+        while pos < n and src[pos] not in _WHITESPACE + "/>":
+            pos += 1
+        name = src[start:pos]
+        if not name:
+            raise XmlWellFormednessError("'<' not followed by a tag name", line, col)
+        attributes: list[tuple[str, str]] = []
+        while True:
+            while pos < n and src[pos] in _WHITESPACE:
+                pos += 1
+            if pos >= n:
+                raise XmlWellFormednessError(f"unterminated start tag <{name}", line, col)
+            if src[pos] == ">":
+                self._advance_to(pos + 1)
+                return StartTagToken(line, col, name, attributes, False)
+            if src.startswith("/>", pos):
+                self._advance_to(pos + 2)
+                return StartTagToken(line, col, name, attributes, True)
+            pos = self._lex_attribute(pos, name, attributes, line, col)
+
+    def _lex_attribute(
+        self, pos: int, tag: str, attributes: list[tuple[str, str]], line: int, col: int
+    ) -> int:
+        src = self._src
+        n = len(src)
+        start = pos
+        while pos < n and src[pos] not in _WHITESPACE + "=/>":
+            pos += 1
+        name = src[start:pos]
+        if not name:
+            raise XmlWellFormednessError(f"malformed attribute in <{tag}>", line, col)
+        while pos < n and src[pos] in _WHITESPACE:
+            pos += 1
+        if pos >= n or src[pos] != "=":
+            raise XmlWellFormednessError(f"attribute '{name}' in <{tag}> has no value", line, col)
+        pos += 1
+        while pos < n and src[pos] in _WHITESPACE:
+            pos += 1
+        if pos >= n or src[pos] not in "\"'":
+            raise XmlWellFormednessError(f"attribute '{name}' value must be quoted", line, col)
+        quote = src[pos]
+        end = src.find(quote, pos + 1)
+        if end == -1:
+            raise XmlWellFormednessError(f"unterminated value for attribute '{name}'", line, col)
+        raw = src[pos + 1 : end]
+        if "<" in raw:
+            raise XmlWellFormednessError(f"'<' not allowed in attribute value of '{name}'", line, col)
+        attributes.append((name, unescape(raw)))
+        return end + 1
+
+    # -- character data ----------------------------------------------------
+
+    def _lex_text(self, line: int, col: int) -> TextToken:
+        end = self._src.find("<", self._pos)
+        if end == -1:
+            end = len(self._src)
+        raw = self._src[self._pos : end]
+        self._advance_to(end)
+        if "]]>" in raw:
+            raise XmlWellFormednessError("']]>' not allowed in character data", line, col)
+        _check_chars(raw, line, col)
+        return TextToken(line, col, unescape(raw))
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _advance_to(self, new_pos: int) -> None:
+        segment = self._src[self._pos : new_pos]
+        newlines = segment.count("\n")
+        if newlines:
+            self._line += newlines
+            self._col = len(segment) - segment.rfind("\n")
+        else:
+            self._col += len(segment)
+        self._pos = new_pos
+
+
+def _check_chars(text: str, line: int, col: int) -> None:
+    for ch in text:
+        if not is_xml_char(ord(ch)):
+            raise XmlWellFormednessError(f"illegal character U+{ord(ch):04X}", line, col)
+
+
+def _parse_pseudo_attributes(body: str, line: int, col: int) -> list[tuple[str, str]]:
+    out: list[tuple[str, str]] = []
+    i = 0
+    n = len(body)
+    while i < n:
+        while i < n and body[i] in _WHITESPACE:
+            i += 1
+        if i >= n:
+            break
+        eq = body.find("=", i)
+        if eq == -1:
+            raise XmlWellFormednessError("malformed XML declaration", line, col)
+        name = body[i:eq].strip(_WHITESPACE)
+        j = eq + 1
+        while j < n and body[j] in _WHITESPACE:
+            j += 1
+        if j >= n or body[j] not in "\"'":
+            raise XmlWellFormednessError("malformed XML declaration", line, col)
+        quote = body[j]
+        end = body.find(quote, j + 1)
+        if end == -1:
+            raise XmlWellFormednessError("malformed XML declaration", line, col)
+        out.append((name, body[j + 1 : end]))
+        i = end + 1
+    return out
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Tokenize a complete XML document string."""
+    return Lexer(source).tokens()

@@ -1,0 +1,137 @@
+"""Namespace-aware tree parser built on the lexer.
+
+``parse(text)`` returns the root :class:`~repro.xmlcore.tree.Element`
+with all names expanded to Clark notation.  Enforces the cross-token
+well-formedness rules the lexer cannot: balanced tags, a single root,
+no duplicate (expanded) attributes, declared prefixes, content only
+inside the root.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlWellFormednessError
+from repro.xmlcore import lexer as lx
+from repro.xmlcore.qname import NamespaceScope, QName, split_prefixed
+from repro.xmlcore.tree import Element
+
+
+def parse(source: str | bytes) -> Element:
+    """Parse a complete XML document and return its root element."""
+    if isinstance(source, bytes):
+        source = decode_document(source)
+    root: Element | None = None
+    stack: list[Element] = []
+    scope = NamespaceScope()
+
+    for token in lx.tokenize(source):
+        if isinstance(token, (lx.XmlDeclToken, lx.CommentToken, lx.PIToken)):
+            continue
+        if isinstance(token, lx.StartTagToken):
+            element = _expand_start_tag(token, scope)
+            if stack:
+                stack[-1].children.append(element)
+            elif root is None:
+                root = element
+            else:
+                raise XmlWellFormednessError(
+                    "document has more than one root element", token.line, token.column
+                )
+            if token.self_closing:
+                scope.pop()
+            else:
+                stack.append(element)
+        elif isinstance(token, lx.EndTagToken):
+            if not stack:
+                raise XmlWellFormednessError(
+                    f"unexpected end tag </{token.name}>", token.line, token.column
+                )
+            expected = stack[-1]
+            closing = scope.resolve_name(token.name)
+            if str(closing) != expected.tag:
+                raise XmlWellFormednessError(
+                    f"mismatched end tag: expected </...{expected.local_name}>, got </{token.name}>",
+                    token.line,
+                    token.column,
+                )
+            stack.pop()
+            scope.pop()
+        elif isinstance(token, (lx.TextToken, lx.CDataToken)):
+            if stack:
+                if token.text:
+                    stack[-1].children.append(token.text)
+            elif token.text.strip():
+                raise XmlWellFormednessError(
+                    "character data outside the root element", token.line, token.column
+                )
+
+    if root is None:
+        raise XmlWellFormednessError("document contains no element")
+    if stack:
+        raise XmlWellFormednessError(f"unclosed element <{stack[-1].tag}>")
+    return root
+
+
+def decode_document(data: bytes) -> str:
+    """Decode document bytes, honouring a BOM or declared encoding.
+
+    SOAP 1.1 over HTTP is overwhelmingly UTF-8; UTF-16 BOMs and an
+    explicit ``encoding=`` pseudo-attribute are also honoured.  Codec
+    failures (bogus declared encodings, malformed byte sequences) are
+    reported as well-formedness errors, never as raw codec exceptions.
+    """
+    try:
+        if data.startswith(b"\xef\xbb\xbf"):
+            return data[3:].decode("utf-8")
+        if data.startswith(b"\xff\xfe"):
+            return data.decode("utf-16-le")[1:]
+        if data.startswith(b"\xfe\xff"):
+            return data.decode("utf-16-be")[1:]
+        head = data[:256]
+        if head.startswith(b"<?xml"):
+            end = head.find(b"?>")
+            if end != -1:
+                decl = head[:end].decode("ascii", "replace")
+                marker = 'encoding="'
+                alt = "encoding='"
+                for m in (marker, alt):
+                    idx = decl.find(m)
+                    if idx != -1:
+                        rest = decl[idx + len(m) :]
+                        enc = rest[: rest.find(m[-1])]
+                        return data.decode(enc)
+        return data.decode("utf-8")
+    except (UnicodeError, LookupError) as exc:
+        raise XmlWellFormednessError(f"undecodable document: {exc}") from None
+
+
+def _expand_start_tag(token: lx.StartTagToken, scope: NamespaceScope) -> Element:
+    declarations: dict[str, str] = {}
+    plain: list[tuple[str, str]] = []
+    for name, value in token.attributes:
+        if name == "xmlns":
+            declarations[""] = value
+        elif name.startswith("xmlns:"):
+            declarations[name[6:]] = value
+        else:
+            plain.append((name, value))
+
+    try:
+        scope.push(declarations)
+        qname = scope.resolve_name(token.name)
+        attributes: dict[str, str] = {}
+        for name, value in plain:
+            attr_qname = scope.resolve_name(name, is_attribute=True)
+            key = str(attr_qname)
+            if key in attributes:
+                raise XmlWellFormednessError(
+                    f"duplicate attribute '{name}' on <{token.name}>",
+                    token.line,
+                    token.column,
+                )
+            attributes[key] = value
+    except XmlWellFormednessError:
+        raise
+    except Exception as exc:
+        raise type(exc)(f"{exc} (line {token.line}, column {token.column})") from None
+
+    return Element(qname, attributes, nsmap=declarations)

@@ -1,0 +1,85 @@
+"""Pretty-printing and path-based lookup conveniences.
+
+Neither affects the wire: pretty output is for humans (examples, the
+README, debugging dumps), and :func:`find_path` is a reading aid over
+the tree model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlError
+from repro.xmlcore.tree import Element
+from repro.xmlcore.writer import StreamingWriter
+
+
+def pretty_print(element: Element, *, indent: str = "  ") -> str:
+    """Render ``element`` with one level of indentation per depth.
+
+    Whitespace-only text nodes are dropped; mixed content (an element
+    whose children include non-blank text) is kept inline so the
+    rendered document still parses to a structurally equal tree for
+    data-oriented (SOAP-style) documents.
+    """
+    writer = StreamingWriter()
+    _write(writer, element, 0, indent)
+    return writer.getvalue()
+
+
+def _has_mixed_content(element: Element) -> bool:
+    return any(isinstance(c, str) and c.strip() for c in element.children)
+
+
+def _write(writer: StreamingWriter, element: Element, depth: int, indent: str) -> None:
+    if depth:
+        writer.characters("\n" + indent * depth)
+    writer.start(element.tag, element.attributes, element.nsmap)
+    if _has_mixed_content(element):
+        for child in element.children:
+            if isinstance(child, str):
+                writer.characters(child)
+            else:
+                _write_inline(writer, child)
+    else:
+        children = element.element_children()
+        for child in children:
+            _write(writer, child, depth + 1, indent)
+        if children:
+            writer.characters("\n" + indent * depth)
+    writer.end()
+
+
+def _write_inline(writer: StreamingWriter, element: Element) -> None:
+    writer.start(element.tag, element.attributes, element.nsmap)
+    for child in element.children:
+        if isinstance(child, str):
+            writer.characters(child)
+        else:
+            _write_inline(writer, child)
+    writer.end()
+
+
+def find_path(element: Element, path: str) -> Element:
+    """Walk ``a/b/c``-style paths of local names (or Clark names).
+
+    Raises :class:`XmlError` naming the step that failed, which makes
+    assertion messages in tests and examples readable.
+    """
+    current = element
+    walked: list[str] = []
+    for step in path.split("/"):
+        if not step:
+            raise XmlError(f"empty step in path '{path}'")
+        walked.append(step)
+        nxt = current.find(step)
+        if nxt is None:
+            raise XmlError(
+                f"no <{step}> under <{current.local_name}> "
+                f"(walked {'/'.join(walked[:-1]) or '(root)'})"
+            )
+        current = nxt
+    return current
+
+
+def find_path_text(element: Element, path: str) -> str:
+    """Text content at the end of ``path``."""
+    return find_path(element, path).text

@@ -1,0 +1,204 @@
+"""In-memory XML element tree (the library's DOM-like substrate).
+
+The model is deliberately small: an :class:`Element` has a tag (Clark
+notation or plain local name), an ordered attribute map, and a list of
+children where each child is either another ``Element`` or a ``str``
+text node.  Mixed content therefore round-trips exactly, which matters
+for differential serialization and WS-Security digests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from repro.errors import XmlError
+from repro.xmlcore.qname import QName
+
+Child = Union["Element", str]
+
+
+class Element:
+    """A single XML element node.
+
+    Parameters
+    ----------
+    tag:
+        Element name, either ``local``, ``{uri}local`` Clark notation,
+        or a :class:`QName`.
+    attributes:
+        Mapping of attribute name (same conventions as ``tag``) to value.
+    nsmap:
+        Preferred prefix→URI declarations to emit on this element when
+        serialized.  Purely cosmetic; resolution uses Clark names.
+    """
+
+    __slots__ = ("tag", "attributes", "children", "nsmap")
+
+    def __init__(
+        self,
+        tag: str | QName,
+        attributes: dict[str, str] | None = None,
+        *,
+        nsmap: dict[str, str] | None = None,
+    ) -> None:
+        self.tag = str(tag)
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.children: list[Child] = []
+        self.nsmap: dict[str, str] = dict(nsmap or {})
+
+    # -- construction -------------------------------------------------
+
+    def append(self, child: Child) -> Child:
+        """Append an element or text node and return it."""
+        if not isinstance(child, (Element, str)):
+            raise XmlError(f"cannot append {type(child).__name__} to an Element")
+        self.children.append(child)
+        return child
+
+    def extend(self, children: Iterable[Child]) -> None:
+        """Append several children."""
+        for child in children:
+            self.append(child)
+
+    def subelement(
+        self,
+        tag: str | QName,
+        attributes: dict[str, str] | None = None,
+        *,
+        text: str | None = None,
+        nsmap: dict[str, str] | None = None,
+    ) -> "Element":
+        """Create, append and return a child element (optionally with text)."""
+        child = Element(tag, attributes, nsmap=nsmap)
+        if text is not None:
+            child.append(text)
+        self.children.append(child)
+        return child
+
+    def set(self, name: str | QName, value: str) -> None:
+        """Set an attribute (name in Clark or local form)."""
+        self.attributes[str(name)] = value
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def qname(self) -> QName:
+        return QName.parse(self.tag)
+
+    @property
+    def local_name(self) -> str:
+        return self.qname.local
+
+    @property
+    def namespace(self) -> str:
+        return self.qname.uri
+
+    def get(self, name: str | QName, default: str | None = None) -> str | None:
+        """Attribute value, or ``default`` when absent."""
+        return self.attributes.get(str(name), default)
+
+    @property
+    def text(self) -> str:
+        """Concatenation of all *direct* text children."""
+        return "".join(c for c in self.children if isinstance(c, str))
+
+    def full_text(self) -> str:
+        """Concatenation of all text in the subtree, document order."""
+        parts: list[str] = []
+        for child in self.children:
+            if isinstance(child, str):
+                parts.append(child)
+            else:
+                parts.append(child.full_text())
+        return "".join(parts)
+
+    def element_children(self) -> list["Element"]:
+        """Direct child elements (text nodes skipped)."""
+        return [c for c in self.children if isinstance(c, Element)]
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first pre-order iteration over the element subtree."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter()
+
+    def find(self, tag: str | QName) -> "Element | None":
+        """First direct child element whose tag matches.
+
+        A plain local name matches regardless of namespace; Clark
+        notation matches exactly.
+        """
+        for child in self.element_children():
+            if _tag_matches(child, str(tag)):
+                return child
+        return None
+
+    def findall(self, tag: str | QName) -> list["Element"]:
+        """Every direct child element whose tag matches."""
+        return [c for c in self.element_children() if _tag_matches(c, str(tag))]
+
+    def findtext(self, tag: str | QName, default: str | None = None) -> str | None:
+        """Text of the first matching child, or ``default``."""
+        found = self.find(tag)
+        return found.text if found is not None else default
+
+    def require(self, tag: str | QName) -> "Element":
+        """Like :meth:`find` but raises when the child is absent."""
+        found = self.find(tag)
+        if found is None:
+            raise XmlError(f"element <{self.tag}> has no <{tag}> child")
+        return found
+
+    # -- comparison ----------------------------------------------------
+
+    def structurally_equal(self, other: "Element") -> bool:
+        """Deep equality on tag, attributes and (normalized) children.
+
+        Adjacent text nodes are merged before comparison so two trees
+        that serialize identically compare equal.
+        """
+        if self.tag != other.tag or self.attributes != other.attributes:
+            return False
+        mine = _normalized_children(self)
+        theirs = _normalized_children(other)
+        if len(mine) != len(theirs):
+            return False
+        for a, b in zip(mine, theirs):
+            if isinstance(a, str) or isinstance(b, str):
+                if a != b:
+                    return False
+            elif not a.structurally_equal(b):
+                return False
+        return True
+
+    def copy(self) -> "Element":
+        """Deep copy of the subtree."""
+        clone = Element(self.tag, self.attributes, nsmap=self.nsmap)
+        for child in self.children:
+            clone.children.append(child if isinstance(child, str) else child.copy())
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Element {self.tag} attrs={len(self.attributes)} children={len(self.children)}>"
+
+
+def _tag_matches(element: Element, pattern: str) -> bool:
+    if pattern.startswith("{"):
+        return element.tag == pattern
+    return element.local_name == pattern
+
+
+def _normalized_children(element: Element) -> list[Child]:
+    merged: list[Child] = []
+    for child in element.children:
+        if isinstance(child, str):
+            if not child:
+                continue
+            if merged and isinstance(merged[-1], str):
+                merged[-1] = merged[-1] + child
+            else:
+                merged.append(child)
+        else:
+            merged.append(child)
+    return merged

@@ -1,0 +1,179 @@
+"""Serialization of element trees and a streaming tag writer.
+
+Namespace handling: element and attribute names are stored in Clark
+notation; the writer assigns prefixes on the way out.  An element's
+``nsmap`` supplies preferred prefixes; URIs with no preferred prefix
+get generated ``ns0``, ``ns1``, ... declarations at first use.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.errors import XmlNamespaceError
+from repro.xmlcore.escape import escape_attribute, escape_text
+from repro.xmlcore.qname import NamespaceScope, QName
+from repro.xmlcore.tree import Element
+
+XML_DECLARATION = '<?xml version="1.0" encoding="UTF-8"?>'
+
+
+class StreamingWriter:
+    """Emit XML incrementally via start/characters/end calls.
+
+    Used by the SOAP serializer so large payloads never require a full
+    intermediate tree, mirroring the streaming serializers in gSOAP.
+    """
+
+    def __init__(self, *, declaration: bool = False) -> None:
+        self._buf = io.StringIO()
+        self._scope = NamespaceScope()
+        self._open: list[tuple[str, int]] = []  # (rendered name, declarations pushed)
+        self._counter = 0
+        self._tag_open = False
+        if declaration:
+            self._buf.write(XML_DECLARATION)
+
+    # -- element events ------------------------------------------------
+
+    def start(
+        self,
+        tag: str | QName,
+        attributes: dict[str, str] | None = None,
+        nsmap: dict[str, str] | None = None,
+    ) -> None:
+        """Open an element with attributes and namespace declarations."""
+        self._close_start_tag()
+        qname = QName.parse(str(tag))
+        self._scope.push()
+        declarations: dict[str, str] = {}
+        for prefix, uri in (nsmap or {}).items():
+            self._scope.declare(prefix, uri)
+            declarations[prefix] = uri
+
+        name = self._render_name(qname, declarations, is_attribute=False)
+        rendered_attrs: list[tuple[str, str]] = []
+        for attr, value in (attributes or {}).items():
+            attr_qname = QName.parse(str(attr))
+            rendered_attrs.append(
+                (self._render_name(attr_qname, declarations, is_attribute=True), value)
+            )
+
+        buf = self._buf
+        buf.write(f"<{name}")
+        for prefix, uri in declarations.items():
+            if prefix:
+                buf.write(f' xmlns:{prefix}="{escape_attribute(uri)}"')
+            else:
+                buf.write(f' xmlns="{escape_attribute(uri)}"')
+        for attr_name, value in rendered_attrs:
+            buf.write(f' {attr_name}="{escape_attribute(value)}"')
+        self._open.append((name, 1))
+        self._tag_open = True
+
+    def characters(self, text: str) -> None:
+        """Emit escaped character data."""
+        if not text:
+            return
+        self._close_start_tag()
+        self._buf.write(escape_text(text))
+
+    def raw(self, markup: str) -> None:
+        """Splice pre-serialized markup (used by differential serialization)."""
+        self._close_start_tag()
+        self._buf.write(markup)
+
+    def comment(self, text: str) -> None:
+        """Emit an XML comment; '--' in the text is illegal."""
+        if "--" in text or text.endswith("-"):
+            raise XmlNamespaceError("'--' (or a trailing '-') is not allowed in comments")
+        self._close_start_tag()
+        self._buf.write(f"<!--{text}-->")
+
+    def processing_instruction(self, target: str, data: str = "") -> None:
+        """Emit a processing instruction."""
+        if not target or target.lower() == "xml" or "?>" in data:
+            raise XmlNamespaceError(f"illegal processing instruction target '{target}'")
+        self._close_start_tag()
+        self._buf.write(f"<?{target} {data}?>" if data else f"<?{target}?>")
+
+    def end(self) -> None:
+        """Close the most recently opened element."""
+        if not self._open:
+            raise XmlNamespaceError("end() with no open element")
+        name, _ = self._open.pop()
+        if self._tag_open:
+            self._buf.write("/>")
+            self._tag_open = False
+        else:
+            self._buf.write(f"</{name}>")
+        self._scope.pop()
+
+    def element(self, tag: str | QName, text: str = "", attributes: dict[str, str] | None = None) -> None:
+        """Convenience: a leaf element with optional text content."""
+        self.start(tag, attributes)
+        self.characters(text)
+        self.end()
+
+    def getvalue(self) -> str:
+        """The document text; raises if elements remain open."""
+        if self._open:
+            raise XmlNamespaceError(f"unclosed element <{self._open[-1][0]}>")
+        return self._buf.getvalue()
+
+    # -- internals -------------------------------------------------------
+
+    def _close_start_tag(self) -> None:
+        if self._tag_open:
+            self._buf.write(">")
+            self._tag_open = False
+
+    def _render_name(
+        self, qname: QName, declarations: dict[str, str], *, is_attribute: bool
+    ) -> str:
+        if not qname.uri:
+            # Unprefixed attribute: always fine.  Unprefixed element:
+            # only fine if no default namespace is in scope.
+            if not is_attribute and self._scope.resolve("") != "":
+                self._scope.declare("", "")
+                declarations[""] = ""
+            return qname.local
+        prefix = self._scope.prefix_for(qname.uri)
+        if prefix is None or (is_attribute and prefix == ""):
+            prefix = self._generate_prefix()
+            self._scope.declare(prefix, qname.uri)
+            declarations[prefix] = qname.uri
+        if prefix == "":
+            return qname.local
+        return f"{prefix}:{qname.local}"
+
+    def _generate_prefix(self) -> str:
+        while True:
+            prefix = f"ns{self._counter}"
+            self._counter += 1
+            try:
+                self._scope.resolve(prefix)
+            except XmlNamespaceError:
+                return prefix
+
+
+def serialize(element: Element, *, declaration: bool = False) -> str:
+    """Serialize an element tree to a string."""
+    writer = StreamingWriter(declaration=declaration)
+    _write_element(writer, element)
+    return writer.getvalue()
+
+
+def serialize_bytes(element: Element, *, declaration: bool = True) -> bytes:
+    """Serialize to UTF-8 bytes, the form the HTTP layer transmits."""
+    return serialize(element, declaration=declaration).encode("utf-8")
+
+
+def _write_element(writer: StreamingWriter, element: Element) -> None:
+    writer.start(element.tag, element.attributes, element.nsmap)
+    for child in element.children:
+        if isinstance(child, str):
+            writer.characters(child)
+        else:
+            _write_element(writer, child)
+    writer.end()

@@ -1,0 +1,147 @@
+"""Tests for the bench harness plumbing and CLI (fast paths only)."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import Measurement, measure, speedup
+from repro.bench.report import FigureResult, ScalarResult
+from repro.bench.__main__ import main as bench_main
+
+
+class TestMeasurement:
+    def test_measure_runs_warmup_and_repeats(self):
+        calls = []
+        measurement = measure(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert len(measurement.samples_s) == 3
+
+    def test_statistics(self):
+        m = Measurement("x", [0.010, 0.020, 0.030])
+        assert m.best_s == 0.010
+        assert m.median_s == 0.020
+        assert m.mean_s == pytest.approx(0.020)
+        assert m.best_ms == pytest.approx(10.0)
+        assert m.stdev_s > 0
+
+    def test_single_sample_stdev_zero(self):
+        assert Measurement("x", [0.01]).stdev_s == 0.0
+
+    def test_speedup(self):
+        baseline = Measurement("b", [0.100])
+        candidate = Measurement("c", [0.020])
+        assert speedup(baseline, candidate) == pytest.approx(5.0)
+
+    def test_as_dict(self):
+        data = Measurement("lbl", [0.01, 0.02]).as_dict()
+        assert data["label"] == "lbl"
+        assert data["samples"] == 2
+
+
+def sample_figure():
+    figure = FigureResult("Figure X", "test", 10, [1, 2])
+    figure.record("a", 1, Measurement("a/1", [0.001]))
+    figure.record("a", 2, Measurement("a/2", [0.002]))
+    figure.record("b", 1, Measurement("b/1", [0.004]))
+    figure.record("b", 2, Measurement("b/2", [0.004]))
+    figure.notes.append("test note")
+    return figure
+
+
+class TestFigureResult:
+    def test_speedup_at(self):
+        figure = sample_figure()
+        assert figure.speedup_at(1, baseline="b", candidate="a") == pytest.approx(4.0)
+
+    def test_table_contains_all_points(self):
+        table = sample_figure().to_table()
+        assert "Figure X" in table
+        assert "1.00" in table
+        assert "4.00" in table
+        assert "test note" in table
+
+    def test_table_missing_point_rendered_as_dash(self):
+        figure = FigureResult("F", "t", 10, [1, 2])
+        figure.record("a", 1, Measurement("a/1", [0.001]))
+        assert "-" in figure.to_table()
+
+    def test_markdown(self):
+        md = sample_figure().to_markdown()
+        assert md.startswith("### Figure X")
+        assert "| M | a | b |" in md
+        assert "| 1 | 1.00 | 4.00 |" in md
+
+    def test_as_dict_round_trips_to_json(self):
+        data = sample_figure().as_dict()
+        decoded = json.loads(json.dumps(data))
+        assert decoded["series"]["a"]["1"] == pytest.approx(1.0)
+
+
+class TestScalarResult:
+    def test_table_and_markdown(self):
+        result = ScalarResult("Travel", unit="ms")
+        result.add("without", 44.0)
+        result.add("with", 30.0)
+        result.notes.append("n")
+        assert "44.00 ms" in result.to_table()
+        md = result.to_markdown()
+        assert "| without | 44.00 ms |" in md
+
+    def test_as_dict(self):
+        result = ScalarResult("R")
+        result.add("x", 1.5)
+        assert result.as_dict()["rows"] == {"x": 1.5}
+
+
+class TestBenchCli:
+    def test_relatedwork_json(self, capsys):
+        rc = bench_main(["relatedwork", "--fast", "--format", "json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["name"].startswith("Related-work")
+        assert "differential serialization" in data[0]["rows"]
+
+    def test_relatedwork_markdown(self, capsys):
+        rc = bench_main(["relatedwork", "--fast", "--format", "markdown"])
+        assert rc == 0
+        assert "| measurement | value |" in capsys.readouterr().out
+
+    def test_bad_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            bench_main(["not-an-experiment"])
+
+
+class TestCliEntryPoints:
+    """The CLI modules must work as `python -m` entry points."""
+
+    @pytest.mark.parametrize(
+        "module", ["repro.bench", "repro.apps.serve", "repro.apps.call"]
+    )
+    def test_help_exits_zero(self, module):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", module, "--help"],
+            capture_output=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert b"usage" in result.stdout.lower()
+
+    def test_fig5_fast_inproc_end_to_end(self, capsys):
+        rc = bench_main(["fig5", "--fast", "--profile", "inproc"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "our-approach" in out
+
+    def test_travel_fast_inproc(self, capsys):
+        rc = bench_main(["travel", "--fast", "--profile", "inproc"])
+        assert rc == 0
+        assert "improvement" in capsys.readouterr().out
+
+    def test_arch_fast_inproc_markdown(self, capsys):
+        rc = bench_main(["arch", "--profile", "inproc", "--format", "markdown"])
+        assert rc == 0
+        assert "| measurement | value |" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""Unit tests for invocation futures."""
+
+import threading
+
+import pytest
+
+from repro.errors import InvocationError, SoapFaultError
+from repro.client.futures import InvocationFuture, wait_all
+
+
+class TestInvocationFuture:
+    def test_resolve(self):
+        f = InvocationFuture("echo")
+        f.resolve("value")
+        assert f.done()
+        assert f.result() == "value"
+        assert f.exception() is None
+
+    def test_fail_reraises(self):
+        f = InvocationFuture("echo")
+        f.fail(SoapFaultError("Server", "boom"))
+        with pytest.raises(SoapFaultError):
+            f.result()
+        assert isinstance(f.exception(), SoapFaultError)
+
+    def test_timeout(self):
+        f = InvocationFuture("echo")
+        with pytest.raises(InvocationError, match="did not complete"):
+            f.result(timeout=0.01)
+        with pytest.raises(InvocationError):
+            f.exception(timeout=0.01)
+
+    def test_double_resolve_raises(self):
+        f = InvocationFuture("echo")
+        f.resolve(1)
+        with pytest.raises(InvocationError, match="twice"):
+            f.resolve(2)
+
+    def test_resolve_then_fail_raises(self):
+        f = InvocationFuture("echo")
+        f.resolve(1)
+        with pytest.raises(InvocationError):
+            f.fail(ValueError())
+
+    def test_metadata(self):
+        f = InvocationFuture("GetWeather", request_id="r1")
+        assert f.operation == "GetWeather"
+        assert f.request_id == "r1"
+
+    def test_callback_fires_on_resolve(self):
+        f = InvocationFuture("echo")
+        seen = []
+        f.add_done_callback(seen.append)
+        f.resolve(1)
+        assert seen == [f]
+
+    def test_callback_after_done_runs_immediately(self):
+        f = InvocationFuture("echo")
+        f.resolve(1)
+        seen = []
+        f.add_done_callback(seen.append)
+        assert seen == [f]
+
+    def test_cross_thread_resolution(self):
+        f = InvocationFuture("echo")
+        threading.Timer(0.01, f.resolve, args=("late",)).start()
+        assert f.result(timeout=5) == "late"
+
+
+class TestWaitAll:
+    def test_order_preserved(self):
+        futures = [InvocationFuture(f"op{i}") for i in range(3)]
+        for i, f in enumerate(futures):
+            f.resolve(i * 10)
+        assert wait_all(futures) == [0, 10, 20]
+
+    def test_failure_propagates(self):
+        good = InvocationFuture("a")
+        good.resolve(1)
+        bad = InvocationFuture("b")
+        bad.fail(SoapFaultError("Server", "x"))
+        with pytest.raises(SoapFaultError):
+            wait_all([good, bad])
+
+    def test_empty(self):
+        assert wait_all([]) == []

@@ -1,0 +1,142 @@
+"""Tests for adaptive automatic packing."""
+
+import threading
+
+import pytest
+
+from repro.apps.echo import ECHO_NS, make_echo_service
+from repro.client.proxy import ServiceProxy
+from repro.core.adaptive import AdaptiveAutoPacker, WindowController
+from repro.core.dispatcher import spi_server_handlers
+from repro.errors import PackError
+from repro.server.handlers import HandlerChain
+from repro.server.staged_arch import StagedSoapServer
+from repro.transport.inproc import InProcTransport
+
+
+class TestWindowController:
+    def test_initial_delay(self):
+        controller = WindowController(initial_delay=0.004)
+        assert controller.delay == 0.004
+
+    def test_solo_flush_shrinks(self):
+        controller = WindowController(initial_delay=0.004, min_delay=0.001)
+        assert controller.note_flush(1) == 0.002
+        assert controller.note_flush(1) == 0.001
+
+    def test_shrink_clamped_at_min(self):
+        controller = WindowController(initial_delay=0.001, min_delay=0.001)
+        assert controller.note_flush(1) == 0.001
+
+    def test_batched_flush_grows(self):
+        controller = WindowController(initial_delay=0.004, max_delay=0.01)
+        assert controller.note_flush(4) == pytest.approx(0.005)
+
+    def test_growth_clamped_at_max(self):
+        controller = WindowController(initial_delay=0.01, max_delay=0.01)
+        assert controller.note_flush(8) == 0.01
+
+    def test_solo_rate(self):
+        controller = WindowController()
+        controller.note_flush(1)
+        controller.note_flush(4)
+        controller.note_flush(1)
+        assert controller.solo_rate == pytest.approx(2 / 3)
+
+    def test_converges_down_under_solo_traffic(self):
+        controller = WindowController(
+            initial_delay=0.02, min_delay=0.0005, max_delay=0.05
+        )
+        for _ in range(20):
+            controller.note_flush(1)
+        assert controller.delay == controller.min_delay
+
+    def test_converges_up_under_batched_traffic(self):
+        controller = WindowController(
+            initial_delay=0.001, min_delay=0.0005, max_delay=0.05
+        )
+        for _ in range(40):
+            controller.note_flush(8)
+        assert controller.delay == controller.max_delay
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_delay": 0.0},
+            {"min_delay": 0.01, "initial_delay": 0.005},
+            {"initial_delay": 0.2, "max_delay": 0.1},
+            {"grow_factor": 1.0},
+            {"shrink_factor": 1.0},
+            {"shrink_factor": 0.0},
+        ],
+    )
+    def test_bad_config_raises(self, kwargs):
+        with pytest.raises(PackError):
+            WindowController(**kwargs)
+
+    def test_zero_flush_size_raises(self):
+        with pytest.raises(PackError):
+            WindowController().note_flush(0)
+
+
+@pytest.fixture
+def proxy():
+    transport = InProcTransport()
+    server = StagedSoapServer(
+        [make_echo_service()],
+        transport=transport,
+        address="adaptive",
+        chain=HandlerChain(spi_server_handlers()),
+    )
+    with server.running() as address:
+        proxy = ServiceProxy(
+            transport, address, namespace=ECHO_NS, service_name="EchoService",
+            reuse_connections=True,
+        )
+        yield proxy
+        proxy.close()
+
+
+class TestAdaptiveAutoPacker:
+    def test_calls_complete(self, proxy):
+        with AdaptiveAutoPacker(proxy) as packer:
+            assert packer.call("echo", payload="a") == "a"
+            assert packer.call("echo", payload="b") == "b"
+
+    def test_window_shrinks_under_solo_traffic(self, proxy):
+        controller = WindowController(
+            initial_delay=0.01, min_delay=0.0005, max_delay=0.05
+        )
+        with AdaptiveAutoPacker(proxy, controller=controller) as packer:
+            for i in range(5):
+                packer.call("echo", payload=str(i))  # blocking => solo flushes
+            assert packer.current_window < 0.01
+            assert controller.solo_rate == 1.0
+
+    def test_window_grows_under_concurrent_traffic(self, proxy):
+        controller = WindowController(
+            initial_delay=0.005, min_delay=0.0005, max_delay=0.05
+        )
+        with AdaptiveAutoPacker(proxy, max_batch=64, controller=controller) as packer:
+            for _ in range(4):
+                barrier = threading.Barrier(6, timeout=5)
+                threads = []
+
+                def caller(j):
+                    barrier.wait()
+                    packer.call("echo", payload=str(j))
+
+                for j in range(6):
+                    thread = threading.Thread(target=caller, args=(j,))
+                    thread.start()
+                    threads.append(thread)
+                for thread in threads:
+                    thread.join(timeout=10)
+            assert controller.flushes >= 1
+            assert packer.current_window > 0.005 * 0.9  # grew or held, never collapsed
+
+    def test_stats_still_tracked(self, proxy):
+        with AdaptiveAutoPacker(proxy) as packer:
+            packer.call("echo", payload="x")
+        assert packer.stats.calls == 1
+        assert packer.stats.flushes >= 1

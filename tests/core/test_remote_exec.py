@@ -1,0 +1,147 @@
+"""Tests for the SPI remote-execution interface (operation pipelines)."""
+
+import pytest
+
+from repro.client.proxy import ServiceProxy
+from repro.core.remote_exec import (
+    REMOTE_EXEC_NS,
+    REMOTE_EXEC_SERVICE,
+    ExecutionPlan,
+    PlanRunner,
+    RemoteExecutor,
+    make_plan_runner_service,
+)
+from repro.errors import PackError, SoapFaultError
+from repro.server.container import ServiceContainer
+from repro.server.service import service_from_functions
+from repro.server.staged_arch import StagedSoapServer
+from repro.soap.fault import ClientFaultCause
+from repro.transport.inproc import InProcTransport
+
+CALC_NS = "urn:svc:calc"
+TEXT_NS = "urn:svc:text"
+
+
+def calc_services():
+    return [
+        service_from_functions(
+            "Calc",
+            CALC_NS,
+            {"add": lambda a, b: a + b, "double": lambda x: x * 2},
+        ),
+        service_from_functions(
+            "Text",
+            TEXT_NS,
+            {"fmt": lambda template, value: template.replace("{}", str(value))},
+        ),
+    ]
+
+
+class TestExecutionPlan:
+    def test_step_returns_index(self):
+        plan = ExecutionPlan()
+        assert plan.step(CALC_NS, "add", {"a": 1, "b": 2}) == 0
+        assert plan.step(CALC_NS, "double", bindings={"x": 0}) == 1
+
+    def test_forward_binding_rejected(self):
+        plan = ExecutionPlan()
+        with pytest.raises(PackError, match="earlier step"):
+            plan.step(CALC_NS, "double", bindings={"x": 0})
+
+    def test_self_binding_rejected(self):
+        plan = ExecutionPlan()
+        plan.step(CALC_NS, "add", {"a": 1, "b": 2})
+        with pytest.raises(PackError):
+            plan.step(CALC_NS, "double", bindings={"x": 1})
+
+    def test_wire_round_trip(self):
+        plan = ExecutionPlan()
+        plan.step(CALC_NS, "add", {"a": 1, "b": 2})
+        plan.step(CALC_NS, "double", bindings={"x": 0})
+        restored = ExecutionPlan.from_wire(plan.to_wire())
+        assert restored.steps == plan.steps
+
+    def test_from_wire_bad_shapes(self):
+        with pytest.raises(ClientFaultCause):
+            ExecutionPlan.from_wire("not a list")
+        with pytest.raises(ClientFaultCause):
+            ExecutionPlan.from_wire(["not a struct"])
+        with pytest.raises(ClientFaultCause):
+            ExecutionPlan.from_wire([{"operation": "x"}])  # missing namespace
+
+
+class TestPlanRunner:
+    @pytest.fixture
+    def runner(self):
+        return PlanRunner(ServiceContainer(calc_services()))
+
+    def test_independent_steps(self, runner):
+        plan = ExecutionPlan()
+        plan.step(CALC_NS, "add", {"a": 1, "b": 2})
+        plan.step(CALC_NS, "add", {"a": 10, "b": 20})
+        assert runner.execute(plan) == [3, 30]
+
+    def test_dependent_pipeline(self, runner):
+        plan = ExecutionPlan()
+        plan.step(CALC_NS, "add", {"a": 3, "b": 4})          # -> 7
+        plan.step(CALC_NS, "double", bindings={"x": 0})      # -> 14
+        plan.step(
+            TEXT_NS, "fmt", {"template": "result={}"}, bindings={"value": 1}
+        )                                                     # -> "result=14"
+        assert runner.execute(plan) == [7, 14, "result=14"]
+
+    def test_empty_plan_rejected(self, runner):
+        with pytest.raises(ClientFaultCause, match="empty"):
+            runner.execute(ExecutionPlan())
+
+    def test_stats(self, runner):
+        plan = ExecutionPlan()
+        plan.step(CALC_NS, "add", {"a": 1, "b": 1})
+        runner.execute(plan)
+        runner.execute(plan)
+        assert runner.plans_executed == 2
+        assert runner.steps_executed == 2
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def env(self):
+        transport = InProcTransport()
+        server = StagedSoapServer(
+            calc_services(), transport=transport, address="remote-exec"
+        )
+        # the runner executes against the server's own container, so
+        # plans can reach every co-deployed service
+        server.container.deploy(make_plan_runner_service(server.container))
+        with server.running() as address:
+            yield transport, address
+
+    def test_remote_pipeline_one_round_trip(self, env):
+        transport, address = env
+        proxy = ServiceProxy(
+            transport, address, namespace=REMOTE_EXEC_NS, service_name=REMOTE_EXEC_SERVICE
+        )
+        executor = RemoteExecutor(proxy)
+        plan = ExecutionPlan()
+        plan.step(CALC_NS, "add", {"a": 2, "b": 3})
+        plan.step(CALC_NS, "double", bindings={"x": 0})
+        results = executor.execute(plan)
+        assert results == [5, 10]
+
+    def test_remote_fault_for_bad_plan(self, env):
+        transport, address = env
+        executor = RemoteExecutor(
+            ServiceProxy(transport, address, namespace=REMOTE_EXEC_NS)
+        )
+        plan = ExecutionPlan()
+        plan.step("urn:nowhere", "nothing", {})
+        with pytest.raises(SoapFaultError):
+            executor.execute(plan)
+
+    def test_executor_rewraps_foreign_proxy(self, env):
+        transport, address = env
+        foreign = ServiceProxy(transport, address, namespace=CALC_NS, service_name="Calc")
+        executor = RemoteExecutor(foreign)
+        plan = ExecutionPlan()
+        plan.step(CALC_NS, "add", {"a": 1, "b": 1})
+        assert executor.execute(plan) == [2]

@@ -1,0 +1,93 @@
+"""Tests for chunked response streaming (Chiu et al. related work)."""
+
+import pytest
+
+from repro.apps.echo import ECHO_NS, make_echo_payload, make_echo_service
+from repro.client.proxy import ServiceProxy
+from repro.http.connection import HttpConnection
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.http.server import HttpServer
+from repro.server.staged_arch import StagedSoapServer
+from repro.transport.inproc import InProcTransport
+
+
+def echo_app(request):
+    return HttpResponse(200, Headers({"Content-Type": "application/octet-stream"}), request.body)
+
+
+@pytest.fixture
+def chunked_server():
+    transport = InProcTransport()
+    server = HttpServer(
+        echo_app,
+        transport=transport,
+        address="chunked",
+        chunk_responses_over=100,
+        chunk_size=64,
+    )
+    with server.running() as address:
+        yield transport, address
+
+
+class TestChunkedResponses:
+    def test_small_body_stays_content_length(self, chunked_server):
+        transport, address = chunked_server
+        with HttpConnection(transport, address) as conn:
+            response = conn.request(HttpRequest("POST", "/", body=b"tiny"))
+        assert response.body == b"tiny"
+        assert response.headers.get("Transfer-Encoding") is None
+        assert response.headers.get("Content-Length") == "4"
+
+    def test_large_body_arrives_chunked(self, chunked_server):
+        transport, address = chunked_server
+        payload = bytes(range(256)) * 40  # 10240 bytes -> many chunks
+        with HttpConnection(transport, address) as conn:
+            response = conn.request(HttpRequest("POST", "/", body=payload))
+        assert response.body == payload
+        assert response.headers.get("Transfer-Encoding") == "chunked"
+        assert response.headers.get("Content-Length") is None
+
+    def test_keep_alive_across_chunked_exchanges(self, chunked_server):
+        transport, address = chunked_server
+        payload = b"z" * 500
+        with HttpConnection(transport, address) as conn:
+            for _ in range(3):
+                assert conn.request(HttpRequest("POST", "/", body=payload)).body == payload
+            assert conn.exchanges == 3
+
+    def test_boundary_is_exclusive(self, chunked_server):
+        transport, address = chunked_server
+        with HttpConnection(transport, address) as conn:
+            response = conn.request(HttpRequest("POST", "/", body=b"x" * 100))
+        assert response.headers.get("Transfer-Encoding") is None
+
+    def test_raw_wire_has_chunk_framing(self, chunked_server):
+        transport, address = chunked_server
+        body = b"y" * 200
+        request = HttpRequest("POST", "/", Headers({"Connection": "close"}), body)
+        channel = transport.connect(address)
+        channel.sendall(request.to_bytes())
+        raw = bytearray()
+        while chunk := channel.recv():
+            raw.extend(chunk)
+        channel.close()
+        assert b"Transfer-Encoding: chunked" in raw
+        assert b"\r\n40\r\n" in raw  # 64-byte chunks -> hex "40"
+        assert raw.endswith(b"0\r\n\r\n")
+
+
+class TestChunkedSoapServer:
+    def test_soap_stack_works_over_chunked_responses(self):
+        transport = InProcTransport()
+        server = StagedSoapServer(
+            [make_echo_service()],
+            transport=transport,
+            address="chunked-soap",
+            chunk_responses_over=256,
+        )
+        with server.running() as address:
+            proxy = ServiceProxy(
+                transport, address, namespace=ECHO_NS, service_name="EchoService"
+            )
+            payload = make_echo_payload(10_000)
+            assert proxy.call("echo", payload=payload) == payload

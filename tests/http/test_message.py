@@ -1,0 +1,112 @@
+"""Unit tests for HTTP message models and headers."""
+
+import pytest
+
+from repro.errors import HttpError
+from repro.http.message import Headers, HttpRequest, HttpResponse
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        h = Headers({"Content-Type": "text/xml"})
+        assert h.get("content-type") == "text/xml"
+        assert h.get("CONTENT-TYPE") == "text/xml"
+
+    def test_original_case_preserved_in_items(self):
+        h = Headers()
+        h.set("SOAPAction", '""')
+        assert list(h.items()) == [("SOAPAction", '""')]
+
+    def test_set_overwrites(self):
+        h = Headers()
+        h.set("X", "1")
+        h.set("x", "2")
+        assert h.get("X") == "2"
+        assert len(h) == 1
+
+    def test_add_folds_with_comma(self):
+        h = Headers()
+        h.add("Accept", "text/xml")
+        h.add("accept", "text/plain")
+        assert h.get("Accept") == "text/xml, text/plain"
+
+    def test_contains(self):
+        h = Headers({"Host": "localhost"})
+        assert "host" in h
+        assert "missing" not in h
+
+    def test_remove(self):
+        h = Headers({"X": "1"})
+        h.remove("x")
+        assert "X" not in h
+        h.remove("x")  # idempotent
+
+    def test_copy_independent(self):
+        h = Headers({"X": "1"})
+        clone = h.copy()
+        clone.set("X", "2")
+        assert h.get("X") == "1"
+
+    def test_values_coerced_to_str(self):
+        h = Headers()
+        h.set("Content-Length", 42)
+        assert h.get("Content-Length") == "42"
+
+
+class TestHttpRequest:
+    def test_to_bytes_shape(self):
+        req = HttpRequest("POST", "/soap", Headers({"Host": "h"}), b"body")
+        raw = req.to_bytes()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"POST /soap HTTP/1.1\r\n")
+        assert b"Host: h" in head
+        assert b"Content-Length: 4" in head
+        assert body == b"body"
+
+    def test_content_length_always_set(self):
+        raw = HttpRequest(body=b"").to_bytes()
+        assert b"Content-Length: 0" in raw
+
+    def test_keep_alive_default_http11(self):
+        assert HttpRequest().keep_alive
+
+    def test_keep_alive_connection_close(self):
+        req = HttpRequest(headers=Headers({"Connection": "close"}))
+        assert not req.keep_alive
+
+    def test_keep_alive_http10_default_off(self):
+        req = HttpRequest(version="HTTP/1.0")
+        assert not req.keep_alive
+
+    def test_keep_alive_http10_opt_in(self):
+        req = HttpRequest(version="HTTP/1.0", headers=Headers({"Connection": "keep-alive"}))
+        assert req.keep_alive
+
+
+class TestHttpResponse:
+    def test_reason_filled_from_status(self):
+        assert HttpResponse(200).reason == "OK"
+        assert HttpResponse(404).reason == "Not Found"
+        assert HttpResponse(599).reason == "Unknown"
+
+    def test_explicit_reason_kept(self):
+        assert HttpResponse(200, reason="Fine").reason == "Fine"
+
+    def test_to_bytes_shape(self):
+        resp = HttpResponse(500, Headers({"X": "1"}), b"oops")
+        raw = resp.to_bytes()
+        assert raw.startswith(b"HTTP/1.1 500 Internal Server Error\r\n")
+        assert raw.endswith(b"\r\n\r\noops")
+
+    def test_ok(self):
+        assert HttpResponse(204).ok
+        assert not HttpResponse(400).ok
+
+    def test_raise_for_status_passes_on_ok(self):
+        resp = HttpResponse(200)
+        assert resp.raise_for_status() is resp
+
+    def test_raise_for_status_raises(self):
+        with pytest.raises(HttpError) as excinfo:
+            HttpResponse(503, body=b"busy").raise_for_status()
+        assert excinfo.value.status == 503

@@ -1,0 +1,89 @@
+"""Tests for the bench workloads module (testbeds, invoker wiring)."""
+
+import pytest
+
+from repro.bench.workloads import (
+    APPROACHES,
+    build_transport,
+    echo_calls,
+    echo_testbed,
+    make_invoker,
+    run_point,
+    secured_proxy,
+)
+from repro.errors import ReproError
+from repro.transport.inproc import InProcTransport
+from repro.transport.shaped import ShapedTransport
+from repro.transport.tcp import TcpTransport
+
+
+class TestBuildTransport:
+    def test_inproc(self):
+        assert isinstance(build_transport("inproc"), InProcTransport)
+
+    def test_loopback(self):
+        assert isinstance(build_transport("loopback"), TcpTransport)
+
+    def test_lan_and_wan_are_shaped(self):
+        lan = build_transport("lan")
+        wan = build_transport("wan")
+        assert isinstance(lan, ShapedTransport)
+        assert isinstance(wan, ShapedTransport)
+        assert wan.profile.rtt > lan.profile.rtt
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ReproError, match="unknown transport profile"):
+            build_transport("satellite")
+
+
+class TestEchoTestbed:
+    @pytest.mark.parametrize("architecture", ["common", "staged"])
+    def test_deploys_and_serves(self, architecture):
+        with echo_testbed(profile="inproc", architecture=architecture) as bed:
+            assert bed.architecture == architecture
+            results = run_point(bed, "no-optimization", 3, 10)
+            assert len(results) == 3
+
+    def test_unknown_architecture_raises(self):
+        with pytest.raises(ReproError, match="unknown architecture"):
+            with echo_testbed(profile="inproc", architecture="microservices"):
+                pass
+
+    def test_every_approach_runs(self):
+        with echo_testbed(profile="inproc", architecture="staged", spi=True) as bed:
+            for approach in APPROACHES:
+                results = run_point(bed, approach, 4, 50)
+                assert len(results) == 4
+                assert all(len(r) == 50 for r in results)
+
+    def test_unknown_approach_raises(self):
+        with echo_testbed(profile="inproc") as bed:
+            proxy = bed.make_proxy()
+            with pytest.raises(ReproError, match="unknown approach"):
+                make_invoker("teleport", proxy)
+            proxy.close()
+
+
+class TestEchoCalls:
+    def test_shape(self):
+        calls = echo_calls(5, 100)
+        assert len(calls) == 5
+        assert all(c.operation == "echo" for c in calls)
+        assert all(len(c.params["payload"]) == 100 for c in calls)
+
+
+class TestSecuredProxy:
+    def test_header_attached_and_accepted(self):
+        with echo_testbed(profile="inproc", architecture="staged", spi=True) as bed:
+            proxy = secured_proxy(bed)
+            try:
+                # header is informational (no verifier installed); the
+                # call must still succeed and carry the extra bytes
+                assert proxy.call("echo", payload="x") == "x"
+                assert len(proxy.extra_headers) == 1
+                from repro.xmlcore.writer import serialize
+
+                size = len(serialize(proxy.extra_headers[0]).encode())
+                assert size > 2500  # full X.509-profile header
+            finally:
+                proxy.close()

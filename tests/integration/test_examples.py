@@ -1,0 +1,47 @@
+"""Every shipped example must run clean as a subprocess.
+
+Keeps `examples/` from rotting: each script is executed exactly as the
+README tells users to run it, and its key output lines are asserted.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXPECTATIONS = {
+    "quickstart.py": ["Hello, world!", "packed add: 42", "SOAP messages"],
+    "weather_pack.py": ["Parallel_Method", "Beijing", "Shanghai"],
+    "travel_agent.py": ["improvement", "7 SOAP messages"],
+    "autopack_demo.py": ["mean batch size", "thread 7"],
+    "wssecurity_overhead.py": ["bytes on the wire", "speedup"],
+    "remote_execution.py": ["authorization", "server SOAP messages: 1"],
+    "secure_services.py": ["rejected", "verified"],
+    "grid_monitor.py": ["packed (SPI)", "12 done"],
+}
+
+
+def test_every_example_has_expectations():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTATIONS), (
+        "examples/ and EXPECTATIONS drifted apart — add assertions for "
+        f"new examples: {sorted(on_disk ^ set(EXPECTATIONS))}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    for needle in EXPECTATIONS[name]:
+        assert needle in result.stdout, (
+            f"{name}: expected {needle!r} in output:\n{result.stdout[-2000:]}"
+        )

@@ -1,0 +1,80 @@
+"""Tests for the figure-regeneration engine itself (tiny sweeps, inproc).
+
+These guarantee `python -m repro.bench` produces complete, well-formed
+results without relying on timing assertions (those live in
+benchmarks/).
+"""
+
+import pytest
+
+from repro.bench.figures import (
+    arch_ablation,
+    latency_figure,
+    relatedwork_ablation,
+    travel_agent_experiment,
+    wssecurity_ablation,
+)
+
+
+class TestLatencyFigureEngine:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return latency_figure(
+            "Figure T", 10, profile="inproc", m_values=[1, 2], repeats=1
+        )
+
+    def test_all_series_present(self, figure):
+        assert set(figure.series) == {
+            "no-optimization",
+            "multiple-threads",
+            "our-approach",
+        }
+
+    def test_all_points_present(self, figure):
+        for series in figure.series.values():
+            assert set(series.points) == {1, 2}
+
+    def test_times_positive(self, figure):
+        for series in figure.series.values():
+            for measurement in series.points.values():
+                assert measurement.median_ms > 0
+
+    def test_table_renders(self, figure):
+        table = figure.to_table()
+        assert "Figure T" in table
+        assert "our-approach" in table
+
+    def test_markdown_renders(self, figure):
+        assert "| M |" in figure.to_markdown()
+
+    def test_speedup_at(self, figure):
+        value = figure.speedup_at(2, baseline="no-optimization", candidate="our-approach")
+        assert value > 0
+
+    def test_notes_record_profile(self, figure):
+        assert any("inproc" in note for note in figure.notes)
+
+
+class TestScalarEngines:
+    def test_travel_agent_engine(self):
+        result = travel_agent_experiment(profile="inproc", repeats=2)
+        labels = [label for label, _ in result.rows]
+        assert any("without" in label for label in labels)
+        assert any("improvement" in label for label in labels)
+        assert len(result.rows) == 3
+
+    def test_wssecurity_engine(self):
+        result = wssecurity_ablation(profile="inproc", m=4, payload=10, repeats=1)
+        assert len(result.rows) == 2
+        assert all(value > 0 for _, value in result.rows)
+
+    def test_arch_ablation_engine(self):
+        result = arch_ablation(profile="inproc", m=4, delay_ms=1, repeats=1)
+        values = dict(result.rows)
+        assert "packed on common architecture" in values
+        assert "packed on staged architecture" in values
+
+    def test_relatedwork_engine(self):
+        result = relatedwork_ablation(iterations=10)
+        values = dict(result.rows)
+        assert values["differential serialization"] < values["full serialization"]

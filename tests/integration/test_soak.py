@@ -1,0 +1,158 @@
+"""Soak test: sustained mixed load against one staged server.
+
+Eight client threads hammer the server with a mixture of plain calls,
+packed batches, WSDL fetches and deliberately faulting requests, then
+the test cross-checks every counter in the stack for consistency.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.apps.echo import ECHO_NS, make_echo_service
+from repro.client.proxy import ServiceProxy
+from repro.core.batch import PackBatch
+from repro.core.dispatcher import spi_server_handlers
+from repro.diagnostics import PackMetricsHandler
+from repro.errors import SoapFaultError
+from repro.server.handlers import HandlerChain
+from repro.server.staged_arch import StagedSoapServer
+from repro.transport.inproc import InProcTransport
+
+CLIENTS = 8
+ITERATIONS = 12
+
+
+@pytest.fixture(scope="module")
+def soak_env():
+    transport = InProcTransport()
+    metrics = PackMetricsHandler()
+    server = StagedSoapServer(
+        [make_echo_service()],
+        transport=transport,
+        address="soak",
+        chain=HandlerChain([metrics, *spi_server_handlers()]),
+        app_workers=8,
+    )
+    with server.running() as address:
+        yield transport, address, server, metrics
+
+
+def test_soak_mixed_load(soak_env):
+    transport, address, server, metrics = soak_env
+    errors: list[str] = []
+    counters = {"plain": 0, "packed_msgs": 0, "packed_calls": 0, "faults": 0, "wsdl": 0}
+    lock = threading.Lock()
+
+    def client(seed: int) -> None:
+        rng = random.Random(seed)
+        proxy = ServiceProxy(
+            transport, address, namespace=ECHO_NS, service_name="EchoService",
+            reuse_connections=True,
+        )
+        try:
+            for i in range(ITERATIONS):
+                choice = rng.random()
+                if choice < 0.4:
+                    payload = f"{seed}-{i}"
+                    if proxy.call("echo", payload=payload) != payload:
+                        errors.append(f"plain echo mismatch for {payload}")
+                    with lock:
+                        counters["plain"] += 1
+                elif choice < 0.75:
+                    size = rng.randint(2, 6)
+                    batch = PackBatch(proxy)
+                    futures = [
+                        batch.call("echo", payload=f"{seed}-{i}-{j}")
+                        for j in range(size)
+                    ]
+                    batch.flush()
+                    for j, future in enumerate(futures):
+                        if future.result(timeout=30) != f"{seed}-{i}-{j}":
+                            errors.append(f"packed mismatch {seed}-{i}-{j}")
+                    with lock:
+                        counters["packed_msgs"] += 1
+                        counters["packed_calls"] += size
+                elif choice < 0.9:
+                    try:
+                        proxy.call("definitelyNotAnOperation")
+                        errors.append("expected fault did not occur")
+                    except SoapFaultError:
+                        pass
+                    with lock:
+                        counters["faults"] += 1
+                else:
+                    if "EchoService" not in proxy.fetch_wsdl():
+                        errors.append("wsdl fetch broken")
+                    with lock:
+                        counters["wsdl"] += 1
+        finally:
+            proxy.close()
+
+    threads = [threading.Thread(target=client, args=(seed,)) for seed in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not any(t.is_alive() for t in threads), "soak clients hung"
+    assert errors == []
+
+    # cross-check the stack's own accounting against the client's
+    stats = server.stats()
+    expected_messages = counters["plain"] + counters["packed_msgs"] + counters["faults"]
+    assert stats["endpoint"]["soap_messages"] == expected_messages
+    assert stats["endpoint"]["wsdl_requests"] == counters["wsdl"]
+    expected_entries = (
+        counters["plain"] + counters["packed_calls"] + counters["faults"]
+    )
+    assert stats["container"]["entries_executed"] == expected_entries
+    assert stats["container"]["faults"] == counters["faults"]
+    snap = metrics.snapshot()
+    assert snap["packed_messages"] == counters["packed_msgs"]
+    assert snap["plain_messages"] == counters["plain"] + counters["faults"]
+    # every packed message fanned out through the application stage
+    assert stats["app_stage"]["events"] == counters["packed_calls"]
+
+
+class TestLargeBatchBoundaries:
+    """Batches near the pack-size limit through the full stack."""
+
+    def test_512_entry_batch(self, soak_env):
+        transport, address, server, _ = soak_env
+        from repro.core.batch import PackBatch
+
+        proxy = ServiceProxy(
+            transport, address, namespace=ECHO_NS, service_name="EchoService"
+        )
+        try:
+            batch = PackBatch(proxy)
+            futures = [batch.call("echo", payload=str(i)) for i in range(512)]
+            batch.flush()
+            for i, future in enumerate(futures):
+                assert future.result(timeout=120) == str(i)
+        finally:
+            proxy.close()
+
+    def test_oversized_batch_rejected_client_side(self, soak_env):
+        transport, address, _, _ = soak_env
+        from repro.core.batch import PackBatch
+        from repro.core.packformat import MAX_PACKED_REQUESTS
+        from repro.errors import PackError
+
+        proxy = ServiceProxy(
+            transport, address, namespace=ECHO_NS, service_name="EchoService"
+        )
+        try:
+            batch = PackBatch(proxy)
+            futures = [
+                batch.call("echo", payload="x")
+                for _ in range(MAX_PACKED_REQUESTS + 1)
+            ]
+            batch.flush()
+            # assembly fails before anything is sent; every future fails
+            assert all(
+                isinstance(f.exception(timeout=10), PackError) for f in futures
+            )
+        finally:
+            proxy.close()

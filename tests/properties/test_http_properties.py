@@ -1,0 +1,109 @@
+"""Property-based tests for the HTTP layer.
+
+The central invariant: parsing is insensitive to how bytes are split
+across recv() calls — any fragmentation of a valid message stream must
+produce the same messages.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.http.parser import ChannelReader, encode_chunked, read_request, read_response
+
+token_chars = string.ascii_letters + string.digits + "-_"
+header_names = st.text(alphabet=token_chars, min_size=1, max_size=12)
+header_values = st.text(
+    alphabet=string.ascii_letters + string.digits + " ;,=/.", max_size=20
+).map(str.strip)
+bodies = st.binary(max_size=500)
+
+
+class FragmentedChannel:
+    """Feeds a byte string in caller-chosen fragment sizes."""
+
+    def __init__(self, data: bytes, cut_points: list[int]):
+        self._fragments = []
+        last = 0
+        for cut in sorted(set(c % (len(data) + 1) for c in cut_points)):
+            if cut > last:
+                self._fragments.append(data[last:cut])
+                last = cut
+        if last < len(data):
+            self._fragments.append(data[last:])
+
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        if not self._fragments:
+            return b""
+        return self._fragments.pop(0)
+
+
+@settings(max_examples=60)
+@given(
+    st.dictionaries(header_names, header_values, max_size=5),
+    bodies,
+    st.lists(st.integers(min_value=0, max_value=10_000), max_size=12),
+)
+def test_request_parse_is_fragmentation_invariant(headers, body, cuts):
+    original = HttpRequest("POST", "/svc", Headers(headers), body)
+    raw = original.to_bytes()
+    parsed = read_request(ChannelReader(FragmentedChannel(raw, cuts)))
+    assert parsed.method == "POST"
+    assert parsed.path == "/svc"
+    assert parsed.body == body
+    for name, value in headers.items():
+        assert parsed.headers.get(name) == original.headers.get(name)
+
+
+@settings(max_examples=60)
+@given(
+    st.sampled_from([200, 204, 400, 404, 500, 503]),
+    bodies,
+    st.lists(st.integers(min_value=0, max_value=10_000), max_size=12),
+)
+def test_response_parse_is_fragmentation_invariant(status, body, cuts):
+    original = HttpResponse(status, Headers({"Content-Type": "text/xml"}), body)
+    raw = original.to_bytes()
+    parsed = read_response(ChannelReader(FragmentedChannel(raw, cuts)))
+    assert parsed.status == status
+    assert parsed.body == body
+
+
+@settings(max_examples=60)
+@given(bodies, st.integers(min_value=1, max_value=64))
+def test_chunked_encoding_round_trip(body, chunk_size):
+    encoded = encode_chunked(body, chunk_size=chunk_size)
+    raw = (
+        b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n" + encoded
+    )
+    parsed = read_response(ChannelReader(FragmentedChannel(raw, [7, 13, 99])))
+    assert parsed.body == body
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(st.tuples(st.text(alphabet=token_chars, min_size=1, max_size=30), bodies), min_size=1, max_size=5),
+    st.lists(st.integers(min_value=0, max_value=50_000), max_size=20),
+)
+def test_pipelined_requests_parse_in_order(messages, cuts):
+    """Back-to-back keep-alive requests on one stream stay distinct."""
+    raw = b"".join(
+        HttpRequest("POST", f"/{path}", body=body).to_bytes()
+        for path, body in messages
+    )
+    reader = ChannelReader(FragmentedChannel(raw, cuts))
+    for path, body in messages:
+        parsed = read_request(reader)
+        assert parsed.path == f"/{path}"
+        assert parsed.body == body
+
+
+@settings(max_examples=40)
+@given(st.dictionaries(header_names, header_values, max_size=8))
+def test_headers_case_insensitivity(headers):
+    h = Headers(headers)
+    for name in headers:
+        assert h.get(name.upper()) == h.get(name.lower()) == h.get(name)
+        assert name.swapcase() in h

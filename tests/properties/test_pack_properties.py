@@ -1,0 +1,73 @@
+"""Property-based tests for SPI packing invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.client.futures import InvocationFuture
+from repro.core.assembler import ClientAssembler
+from repro.core.dispatcher import ClientDispatcher
+from repro.core.packformat import (
+    build_parallel_method,
+    correlate,
+    unpack_parallel_method,
+)
+from repro.soap.constants import REQUEST_ID_ATTR
+from repro.soap.envelope import Envelope
+from repro.soap.serializer import serialize_rpc_request, serialize_rpc_response
+
+NS = "urn:svc:prop"
+
+payloads = st.lists(
+    st.text(alphabet=string.printable.replace("\x0b", "").replace("\x0c", ""), max_size=40),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=50)
+@given(payloads)
+def test_pack_unpack_preserves_order_and_content(values):
+    entries = [serialize_rpc_request(NS, "echo", {"payload": v}) for v in values]
+    wrapper = build_parallel_method(entries)
+    envelope = Envelope()
+    envelope.add_body(wrapper)
+    reparsed = Envelope.from_string(envelope.to_bytes())
+    unpacked = unpack_parallel_method(reparsed.first_body_entry())
+    assert len(unpacked) == len(values)
+    assert [e.require("payload").text for e in unpacked] == values
+    assert [e.get(REQUEST_ID_ATTR) for e in unpacked] == [f"r{i}" for i in range(len(values))]
+
+
+@settings(max_examples=50)
+@given(payloads)
+def test_ids_unique_for_any_batch(values):
+    entries = [serialize_rpc_request(NS, "echo", {"payload": v}) for v in values]
+    wrapper = build_parallel_method(entries)
+    ids = [e.get(REQUEST_ID_ATTR) for e in wrapper.element_children()]
+    assert len(set(ids)) == len(ids)
+    assert set(correlate(wrapper.element_children())) == set(ids)
+
+
+@settings(max_examples=50)
+@given(payloads, st.randoms())
+def test_dispatcher_correlates_any_response_permutation(values, rng):
+    """Whatever order the server's application stage finishes in, every
+    future must receive exactly its own request's result."""
+    assembler = ClientAssembler(NS)
+    futures: list[InvocationFuture] = [
+        assembler.add_call("echo", {"payload": v}) for v in values
+    ]
+    responses = []
+    for i, v in enumerate(values):
+        response = serialize_rpc_response(NS, "echo", v)
+        response.set(REQUEST_ID_ATTR, f"r{i}")
+        responses.append(response)
+    rng.shuffle(responses)
+    envelope = Envelope()
+    envelope.add_body(build_parallel_method(responses, assign_ids=False))
+    wire = Envelope.from_string(envelope.to_bytes())
+    ClientDispatcher().dispatch(wire, futures)
+    for future, expected in zip(futures, values):
+        assert future.result(timeout=0) == expected

@@ -1,0 +1,80 @@
+"""Robustness fuzzing: hostile inputs must fail with *library* errors.
+
+A production stack never leaks KeyError/IndexError/AttributeError to
+callers on malformed input — everything surfaces as a
+:class:`~repro.errors.ReproError` subclass (or parses successfully).
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.http.parser import ChannelReader, read_request
+from repro.soap.envelope import Envelope
+from repro.soap.xsdtypes import decode_value
+from repro.xmlcore.parser import parse
+from repro.xmlcore.tree import Element
+
+
+class _OneShot:
+    def __init__(self, data: bytes):
+        self._data = data
+
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        data, self._data = self._data, b""
+        return data
+
+
+@settings(max_examples=120)
+@given(st.binary(max_size=300))
+def test_http_parser_never_leaks_internal_errors(data):
+    try:
+        read_request(ChannelReader(_OneShot(data)))
+    except ReproError:
+        pass  # any library error is acceptable; anything else propagates
+
+
+@settings(max_examples=120)
+@given(st.text(alphabet=string.printable + "<>&;#北", max_size=200))
+def test_xml_parser_never_leaks_internal_errors(text):
+    try:
+        parse(text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=120)
+@given(st.binary(max_size=200))
+def test_envelope_from_bytes_never_leaks(data):
+    try:
+        Envelope.from_string(data)
+    except ReproError:
+        pass  # codec failures are wrapped as XML errors by decode_document
+
+
+xsi_types = st.sampled_from(
+    ["xsd:int", "xsd:double", "xsd:boolean", "xsd:base64Binary",
+     "xsd:dateTime", "xsd:date", "xsd:time", "SOAP-ENC:Array",
+     "xsd:struct", "xsd:string", "xsd:duration", "nonsense", ""]
+)
+
+
+@settings(max_examples=150)
+@given(
+    xsi_type=xsi_types,
+    text=st.text(alphabet=string.printable, max_size=30),
+)
+def test_decode_value_never_leaks(xsi_type, text):
+    element = Element("v")
+    if xsi_type:
+        element.set(
+            "{http://www.w3.org/2001/XMLSchema-instance}type", xsi_type
+        )
+    if text:
+        element.append(text)
+    try:
+        decode_value(element)
+    except ReproError:
+        pass

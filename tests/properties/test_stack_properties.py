@@ -1,0 +1,101 @@
+"""End-to-end properties over the whole stack (in-proc transport).
+
+The key invariant: the three client strategies of §4.1 are
+*observationally equivalent* — for any batch of echo calls they return
+the same results in the same order; only performance differs.
+"""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.echo import ECHO_NS, make_echo_service
+from repro.client.invoker import Call, SerialInvoker, ThreadedInvoker
+from repro.client.proxy import ServiceProxy
+from repro.core.batch import PackedInvoker
+from repro.core.dispatcher import spi_server_handlers
+from repro.server.handlers import HandlerChain
+from repro.server.staged_arch import StagedSoapServer
+from repro.transport.inproc import InProcTransport
+
+payload_lists = st.lists(
+    st.text(
+        alphabet=string.ascii_letters + string.digits + " <>&\"'中文",
+        max_size=30,
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    transport = InProcTransport()
+    server = StagedSoapServer(
+        [make_echo_service()],
+        transport=transport,
+        address="prop-stack",
+        chain=HandlerChain(spi_server_handlers()),
+    )
+    address = server.start()
+    proxy = ServiceProxy(
+        transport, address, namespace=ECHO_NS, service_name="EchoService",
+        reuse_connections=True,
+    )
+    yield proxy
+    proxy.close()
+    server.stop()
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(payloads=payload_lists)
+def test_strategies_observationally_equivalent(stack, payloads):
+    calls = Call.many("echo", [{"payload": p} for p in payloads])
+    serial = SerialInvoker(stack).invoke_all(calls, timeout=60)
+    threaded = ThreadedInvoker(stack).invoke_all(calls, timeout=60)
+    packed = PackedInvoker(stack).invoke_all(calls, timeout=60)
+    assert serial == payloads
+    assert threaded == payloads
+    assert packed == payloads
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(payloads=payload_lists)
+def test_packed_batch_preserves_future_identity(stack, payloads):
+    """Each future resolves to exactly its own call's payload, not a
+    permutation — even for duplicate payloads."""
+    from repro.core.batch import PackBatch
+
+    batch = PackBatch(stack)
+    futures = [batch.call("echo", payload=p) for p in payloads]
+    batch.flush()
+    for future, payload in zip(futures, payloads):
+        assert future.result(timeout=30) == payload
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    payloads=payload_lists,
+    bad_indices=st.sets(st.integers(min_value=0, max_value=7), max_size=4),
+)
+def test_fault_isolation_in_packed_batches(stack, payloads, bad_indices):
+    """Invalid operations in a pack fault individually; valid siblings
+    still succeed."""
+    from repro.core.batch import PackBatch
+    from repro.errors import SoapFaultError
+
+    batch = PackBatch(stack)
+    futures = []
+    for index, payload in enumerate(payloads):
+        if index in bad_indices:
+            futures.append((batch.call("noSuchOperation", payload=payload), None))
+        else:
+            futures.append((batch.call("echo", payload=payload), payload))
+    batch.flush()
+    for future, expected in futures:
+        if expected is None:
+            assert isinstance(future.exception(timeout=30), SoapFaultError)
+        else:
+            assert future.result(timeout=30) == expected

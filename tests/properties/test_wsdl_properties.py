@@ -1,0 +1,72 @@
+"""Property-based tests: WSDL generation/parsing round-trips for any
+service interface."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wsdl.generator import generate_wsdl_document
+from repro.wsdl.model import WsdlDocumentModel, WsdlOperation, WsdlService
+from repro.wsdl.parser import parse_wsdl
+
+names = st.text(alphabet=string.ascii_letters, min_size=1, max_size=12)
+xsd_types = st.sampled_from(
+    ["xsd:string", "xsd:int", "xsd:double", "xsd:boolean",
+     "xsd:base64Binary", "SOAP-ENC:Array", "xsd:struct", "xsd:anyType"]
+)
+
+
+def operations():
+    return st.builds(
+        WsdlOperation,
+        name=names,
+        parameters=st.lists(st.tuples(names, xsd_types), max_size=5).map(tuple),
+        returns=xsd_types,
+        documentation=st.text(
+            alphabet=string.ascii_letters + " .,", max_size=40
+        ).map(str.strip),
+    )
+
+
+def services():
+    return st.builds(
+        WsdlService,
+        name=names,
+        namespace=names.map(lambda n: f"urn:prop:{n}"),
+        operations=st.lists(operations(), min_size=1, max_size=6, unique_by=lambda o: o.name).map(tuple),
+        location=st.sampled_from(["", "http://host:8080/svc"]),
+        documentation=st.text(alphabet=string.ascii_letters + " ", max_size=30).map(str.strip),
+    )
+
+
+@settings(max_examples=50)
+@given(services())
+def test_wsdl_round_trip(service):
+    document = generate_wsdl_document(WsdlDocumentModel(service))
+    parsed = parse_wsdl(document).service
+    assert parsed.name == service.name
+    assert parsed.namespace == service.namespace
+    assert parsed.location == service.location
+    assert set(parsed.operation_names()) == set(service.operation_names())
+    for op in service.operations:
+        restored = parsed.operation(op.name)
+        assert restored.parameters == op.parameters
+        assert restored.returns == op.returns
+
+
+@settings(max_examples=50)
+@given(services())
+def test_wsdl_document_is_wellformed_xml(service):
+    from repro.xmlcore.parser import parse
+
+    document = generate_wsdl_document(WsdlDocumentModel(service))
+    root = parse(document)
+    assert root.local_name == "definitions"
+
+
+@settings(max_examples=30)
+@given(services())
+def test_generation_is_deterministic(service):
+    model = WsdlDocumentModel(service)
+    assert generate_wsdl_document(model) == generate_wsdl_document(model)

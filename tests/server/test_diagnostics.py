@@ -1,0 +1,135 @@
+"""Tests for the diagnostics handlers (pack metrics + tracing)."""
+
+import pytest
+
+from repro.apps.echo import ECHO_NS, make_echo_service
+from repro.client.proxy import ServiceProxy
+from repro.core.batch import PackBatch
+from repro.core.dispatcher import spi_server_handlers
+from repro.diagnostics import (
+    Histogram,
+    PackMetricsHandler,
+    TraceLog,
+    TracingHandler,
+)
+from repro.server.handlers import HandlerChain
+from repro.server.staged_arch import StagedSoapServer
+from repro.transport.inproc import InProcTransport
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram(bounds=(1, 2, 4))
+        for value in (1, 1, 2, 3, 4, 99):
+            h.record(value)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"<=1": 2, "<=2": 1, "<=4": 2, ">4": 1}
+        assert snap["total"] == 6
+
+    def test_mean(self):
+        h = Histogram()
+        h.record(2)
+        h.record(4)
+        assert h.mean == 3.0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+
+class TestTraceLog:
+    def test_emit_and_filter(self):
+        log = TraceLog()
+        log.emit("request", "a")
+        log.emit("response", "b")
+        log.emit("request", "c")
+        assert len(log) == 3
+        assert [e.detail for e in log.events("request")] == ["a", "c"]
+
+    def test_capacity_ring(self):
+        log = TraceLog(capacity=3)
+        for i in range(10):
+            log.emit("k", str(i))
+        assert [e.detail for e in log.events()] == ["7", "8", "9"]
+
+    def test_clock_injection(self):
+        ticks = iter(range(100))
+        log = TraceLog(clock=lambda: next(ticks))
+        log.emit("k", "x")
+        log.emit("k", "y")
+        times = [e.timestamp for e in log.events()]
+        assert times == [0, 1]
+
+
+@pytest.fixture
+def instrumented_server():
+    transport = InProcTransport()
+    metrics = PackMetricsHandler()
+    tracing = TracingHandler()
+    chain = HandlerChain([metrics, *spi_server_handlers(), tracing])
+    server = StagedSoapServer(
+        [make_echo_service()],
+        transport=transport,
+        address="diag",
+        chain=chain,
+    )
+    with server.running() as address:
+        proxy = ServiceProxy(transport, address, namespace=ECHO_NS, service_name="EchoService")
+        yield proxy, metrics, tracing
+        proxy.close()
+
+
+class TestPackMetricsHandler:
+    def test_plain_call_recorded(self, instrumented_server):
+        proxy, metrics, _ = instrumented_server
+        proxy.call("echo", payload="x")
+        snap = metrics.snapshot()
+        assert snap["plain_messages"] == 1
+        assert snap["packed_messages"] == 0
+        assert snap["amortization"] == 1.0
+
+    def test_packed_call_recorded(self, instrumented_server):
+        proxy, metrics, _ = instrumented_server
+        with PackBatch(proxy) as batch:
+            for i in range(8):
+                batch.call("echo", payload=str(i))
+        snap = metrics.snapshot()
+        assert snap["packed_messages"] == 1
+        assert snap["amortization"] == 8.0
+        assert snap["pack_degree"]["buckets"]["<=8"] == 1
+
+    def test_amortization_mixes_plain_and_packed(self, instrumented_server):
+        proxy, metrics, _ = instrumented_server
+        proxy.call("echo", payload="a")
+        with PackBatch(proxy) as batch:
+            batch.call("echo", payload="b")
+            batch.call("echo", payload="c")
+            batch.call("echo", payload="d")
+        assert metrics.amortization == pytest.approx(2.0)  # (1 + 3) / 2
+
+    def test_execute_time_histogram_fills(self, instrumented_server):
+        proxy, metrics, _ = instrumented_server
+        proxy.call("echo", payload="x")
+        assert metrics.execute_ms.total == 1
+
+
+class TestTracingHandler:
+    def test_request_and_response_events(self, instrumented_server):
+        proxy, _, tracing = instrumented_server
+        proxy.call("echo", payload="x")
+        requests = tracing.log.events("request")
+        responses = tracing.log.events("response")
+        assert len(requests) == 1
+        assert len(responses) == 1
+        assert "echo" in requests[0].detail
+
+    def test_packed_trace_notes_unpacked_entries(self, instrumented_server):
+        proxy, _, tracing = instrumented_server
+        with PackBatch(proxy) as batch:
+            batch.call("echo", payload="a")
+            batch.call("echoLength", payload="bb")
+        (request,) = tracing.log.events("request")
+        # the tracing handler sits after the SPI dispatcher in the chain,
+        # so it sees the unpacked entries
+        assert "entries=2" in request.detail
+        assert "packed=True" in request.detail
+        assert "echoLength" in request.detail

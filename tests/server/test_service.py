@@ -1,0 +1,135 @@
+"""Unit tests for service definitions and registration."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.soap.fault import ClientFaultCause
+from repro.server.service import (
+    ServiceDefinition,
+    operation,
+    service_from_functions,
+    service_from_object,
+)
+
+
+class Calculator:
+    """Sample service class."""
+
+    @operation
+    def add(self, a: int, b: int) -> int:
+        """Add two integers."""
+        return a + b
+
+    @operation(name="Multiply")
+    def mul(self, a: int, b: int) -> int:
+        return a * b
+
+    def helper(self):  # not an operation
+        return None
+
+
+class TestServiceDefinition:
+    def test_register_and_invoke(self):
+        svc = ServiceDefinition("Echo", "urn:echo")
+        svc.register("echo", lambda payload: payload)
+        assert svc.invoke("echo", {"payload": "x"}) == "x"
+
+    def test_invalid_service_name_raises(self):
+        with pytest.raises(ServiceError):
+            ServiceDefinition("bad name", "urn:x")
+
+    def test_empty_namespace_raises(self):
+        with pytest.raises(ServiceError):
+            ServiceDefinition("Svc", "")
+
+    def test_invalid_operation_name_raises(self):
+        svc = ServiceDefinition("Svc", "urn:x")
+        with pytest.raises(ServiceError):
+            svc.register("1bad", lambda: None)
+
+    def test_duplicate_operation_raises(self):
+        svc = ServiceDefinition("Svc", "urn:x")
+        svc.register("op", lambda: None)
+        with pytest.raises(ServiceError, match="already registered"):
+            svc.register("op", lambda: None)
+
+    def test_unknown_operation_is_client_fault(self):
+        svc = ServiceDefinition("Svc", "urn:x")
+        with pytest.raises(ClientFaultCause, match="no operation"):
+            svc.invoke("missing", {})
+
+    def test_bad_parameters_is_client_fault(self):
+        svc = ServiceDefinition("Svc", "urn:x")
+        svc.register("op", lambda a: a)
+        with pytest.raises(ClientFaultCause, match="bad parameters"):
+            svc.invoke("op", {"wrong": 1})
+
+    def test_service_exception_propagates(self):
+        svc = ServiceDefinition("Svc", "urn:x")
+
+        def boom():
+            raise RuntimeError("inside")
+
+        svc.register("op", boom)
+        with pytest.raises(RuntimeError, match="inside"):
+            svc.invoke("op", {})
+
+    def test_invocation_counter(self):
+        svc = ServiceDefinition("Svc", "urn:x")
+        svc.register("op", lambda: 1)
+        svc.invoke("op", {})
+        svc.invoke("op", {})
+        assert svc.invocations == 2
+
+
+class TestServiceFromObject:
+    def test_discovers_operations(self):
+        svc = service_from_object(Calculator())
+        assert set(svc.operation_names()) == {"add", "Multiply"}
+
+    def test_default_name_and_namespace(self):
+        svc = service_from_object(Calculator())
+        assert svc.name == "Calculator"
+        assert svc.namespace == "urn:repro:Calculator"
+
+    def test_explicit_name_and_namespace(self):
+        svc = service_from_object(Calculator(), name="Calc", namespace="urn:c")
+        assert svc.name == "Calc"
+        assert svc.namespace == "urn:c"
+
+    def test_invoke_bound_method(self):
+        svc = service_from_object(Calculator())
+        assert svc.invoke("add", {"a": 2, "b": 3}) == 5
+        assert svc.invoke("Multiply", {"a": 2, "b": 3}) == 6
+
+    def test_no_operations_raises(self):
+        class Empty:
+            pass
+
+        with pytest.raises(ServiceError, match="no @operation"):
+            service_from_object(Empty())
+
+
+class TestServiceFromFunctions:
+    def test_build(self):
+        svc = service_from_functions(
+            "Echo", "urn:echo", {"echo": lambda payload: payload}
+        )
+        assert svc.invoke("echo", {"payload": "hi"}) == "hi"
+
+
+class TestDescribe:
+    def test_wsdl_model(self):
+        svc = service_from_object(Calculator(), namespace="urn:calc")
+        model = svc.describe(location="http://host/calc")
+        assert model.namespace == "urn:calc"
+        assert model.location == "http://host/calc"
+        add = model.operation("add")
+        assert add.parameters == (("a", "xsd:int"), ("b", "xsd:int"))
+        assert add.returns == "xsd:int"
+        assert add.documentation == "Add two integers."
+
+    def test_unannotated_params_default_to_string(self):
+        svc = ServiceDefinition("S", "urn:s")
+        svc.register("op", lambda x: x)
+        assert svc.describe().operation("op").parameters == (("x", "xsd:string"),)

@@ -1,0 +1,153 @@
+"""Unit tests for the thread pool, futures and the completion latch."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.server.threadpool import CompletionLatch, TaskFuture, ThreadPool
+
+
+class TestTaskFuture:
+    def test_result(self):
+        f = TaskFuture()
+        f.set_result(42)
+        assert f.done()
+        assert f.result() == 42
+        assert f.exception() is None
+
+    def test_exception(self):
+        f = TaskFuture()
+        f.set_exception(ValueError("x"))
+        assert f.done()
+        with pytest.raises(ValueError):
+            f.result()
+        assert isinstance(f.exception(), ValueError)
+
+    def test_result_timeout(self):
+        f = TaskFuture()
+        with pytest.raises(TimeoutError):
+            f.result(timeout=0.01)
+
+    def test_callback_after_completion_runs_immediately(self):
+        f = TaskFuture()
+        f.set_result(1)
+        seen = []
+        f.add_done_callback(seen.append)
+        assert seen == [f]
+
+    def test_callback_before_completion(self):
+        f = TaskFuture()
+        seen = []
+        f.add_done_callback(seen.append)
+        assert seen == []
+        f.set_result(1)
+        assert seen == [f]
+
+
+class TestThreadPool:
+    def test_submit_and_result(self):
+        with ThreadPool(2) as pool:
+            assert pool.submit(lambda: 7).result(timeout=5) == 7
+
+    def test_args_kwargs(self):
+        with ThreadPool(1) as pool:
+            assert pool.submit(divmod, 7, 3).result(timeout=5) == (2, 1)
+            assert pool.submit(int, "ff", base=16).result(timeout=5) == 255
+
+    def test_exception_propagates_via_future(self):
+        def boom():
+            raise KeyError("nope")
+
+        with ThreadPool(1) as pool:
+            future = pool.submit(boom)
+            with pytest.raises(KeyError):
+                future.result(timeout=5)
+        assert pool.stats.failed == 1
+
+    def test_worker_survives_task_failure(self):
+        with ThreadPool(1) as pool:
+            pool.submit(lambda: 1 / 0).exception(timeout=5)
+            assert pool.submit(lambda: "alive").result(timeout=5) == "alive"
+
+    def test_map_wait_preserves_order(self):
+        with ThreadPool(4) as pool:
+            results = pool.map_wait(lambda x: x * x, list(range(10)), timeout=5)
+        assert results == [x * x for x in range(10)]
+
+    def test_concurrency_actually_happens(self):
+        barrier = threading.Barrier(3, timeout=5)
+
+        def rendezvous():
+            barrier.wait()
+            return True
+
+        with ThreadPool(3) as pool:
+            futures = [pool.submit(rendezvous) for _ in range(3)]
+            assert all(f.result(timeout=5) for f in futures)
+        assert pool.stats.max_concurrency == 3
+
+    def test_zero_workers_raises(self):
+        with pytest.raises(ServiceError):
+            ThreadPool(0)
+
+    def test_submit_after_shutdown_raises(self):
+        pool = ThreadPool(1)
+        pool.shutdown()
+        with pytest.raises(ServiceError, match="shut down"):
+            pool.submit(lambda: 1)
+
+    def test_shutdown_idempotent(self):
+        pool = ThreadPool(1)
+        pool.shutdown()
+        pool.shutdown()
+
+    def test_stats_counts(self):
+        with ThreadPool(2) as pool:
+            for _ in range(5):
+                pool.submit(lambda: None).result(timeout=5)
+        assert pool.stats.submitted == 5
+        assert pool.stats.completed == 5
+
+
+class TestCompletionLatch:
+    def test_wait_returns_when_counted_down(self):
+        latch = CompletionLatch(2)
+        latch.count_down()
+        assert latch.remaining == 1
+        latch.count_down()
+        assert latch.wait(timeout=1)
+        assert latch.remaining == 0
+
+    def test_zero_latch_is_immediately_open(self):
+        assert CompletionLatch(0).wait(timeout=0)
+
+    def test_wait_timeout(self):
+        assert not CompletionLatch(1).wait(timeout=0.01)
+
+    def test_extra_count_down_harmless(self):
+        latch = CompletionLatch(1)
+        latch.count_down()
+        latch.count_down()
+        assert latch.remaining == 0
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ServiceError):
+            CompletionLatch(-1)
+
+    def test_wakes_sleeping_thread(self):
+        latch = CompletionLatch(3)
+        woken_at = []
+
+        def sleeper():
+            latch.wait(timeout=5)
+            woken_at.append(time.monotonic())
+
+        thread = threading.Thread(target=sleeper)
+        thread.start()
+        time.sleep(0.02)
+        for _ in range(3):
+            latch.count_down()
+        thread.join(timeout=5)
+        assert woken_at

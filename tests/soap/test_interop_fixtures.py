@@ -1,0 +1,129 @@
+"""Interop fixtures: messages shaped like real-world SOAP toolkits emit.
+
+The reproduction must accept what Axis 1.x / gSOAP / .NET-era stacks
+put on the wire: different prefix conventions, xsi types with foreign
+prefixes, whitespace-pretty-printed envelopes, UTF-16 documents, and
+date/time values.
+"""
+
+from datetime import date, datetime, time, timezone
+
+import pytest
+
+from repro.soap.deserializer import parse_rpc_request, parse_rpc_response
+from repro.soap.envelope import Envelope
+from repro.soap.xsdtypes import decode_value, encode_value
+from repro.xmlcore.parser import parse
+
+AXIS_STYLE = """<?xml version="1.0" encoding="UTF-8"?>
+<soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/"
+    xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+    xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance">
+  <soapenv:Body>
+    <ns1:GetWeather soapenv:encodingStyle="http://schemas.xmlsoap.org/soap/encoding/"
+        xmlns:ns1="urn:weather">
+      <city xsi:type="xsd:string">Beijing</city>
+      <country xsi:type="xsd:string">China</country>
+    </ns1:GetWeather>
+  </soapenv:Body>
+</soapenv:Envelope>"""
+
+GSOAP_STYLE = (
+    '<?xml version="1.0" encoding="UTF-8"?>'
+    '<SOAP-ENV:Envelope xmlns:SOAP-ENV="http://schemas.xmlsoap.org/soap/envelope/"'
+    ' xmlns:SOAP-ENC="http://schemas.xmlsoap.org/soap/encoding/"'
+    ' xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"'
+    ' xmlns:xsd="http://www.w3.org/2001/XMLSchema"'
+    ' xmlns:ns="urn:weather">'
+    "<SOAP-ENV:Body>"
+    '<ns:GetWeatherResponse><return xsi:type="xsd:string">sunny</return>'
+    "</ns:GetWeatherResponse>"
+    "</SOAP-ENV:Body></SOAP-ENV:Envelope>"
+)
+
+DOTNET_STYLE = """<?xml version="1.0" encoding="utf-8"?>
+<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/"
+    xmlns:i="http://www.w3.org/2001/XMLSchema-instance"
+    xmlns:s="http://www.w3.org/2001/XMLSchema">
+  <soap:Body>
+    <GetWeather xmlns="urn:weather">
+      <city i:type="s:string">Shanghai</city>
+    </GetWeather>
+  </soap:Body>
+</soap:Envelope>"""
+
+
+class TestForeignToolkitMessages:
+    def test_axis_pretty_printed_request(self):
+        env = Envelope.from_string(AXIS_STYLE)
+        # pretty-printing puts whitespace text nodes inside Body; the
+        # entry itself must still parse
+        entries = [e for e in env.body_entries]
+        assert len(entries) == 1
+        request = parse_rpc_request(entries[0])
+        assert request.namespace == "urn:weather"
+        assert request.operation == "GetWeather"
+        assert request.params == {"city": "Beijing", "country": "China"}
+
+    def test_gsoap_compact_response(self):
+        env = Envelope.from_string(GSOAP_STYLE)
+        response = parse_rpc_response(env.first_body_entry())
+        assert response.operation == "GetWeather"
+        assert response.value == "sunny"
+
+    def test_dotnet_default_namespace_and_foreign_xsi_prefix(self):
+        env = Envelope.from_string(DOTNET_STYLE)
+        request = parse_rpc_request(env.first_body_entry())
+        assert request.namespace == "urn:weather"
+        # the 'i:' prefix resolves to the standard XSI namespace, so the
+        # typed value decodes as a string
+        assert request.params == {"city": "Shanghai"}
+
+    def test_utf16_document(self):
+        data = ("\ufeff" + AXIS_STYLE).encode("utf-16-le")
+        env = Envelope.from_string(data)
+        request = parse_rpc_request(env.first_body_entry())
+        assert request.params["city"] == "Beijing"
+
+    def test_whitespace_in_body_tolerated(self):
+        doc = (
+            '<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/">\n'
+            "  <e:Body>\n    <op xmlns='urn:x'/>\n  </e:Body>\n</e:Envelope>"
+        )
+        env = Envelope.from_string(doc)
+        assert len(env.body_entries) == 1
+
+
+class TestDateTimeTypes:
+    def wire(self, value):
+        from repro.xmlcore.writer import serialize
+
+        return decode_value(parse(serialize(encode_value("v", value))))
+
+    def test_date_round_trip(self):
+        assert self.wire(date(2006, 9, 25)) == date(2006, 9, 25)
+
+    def test_time_round_trip(self):
+        assert self.wire(time(14, 30, 5)) == time(14, 30, 5)
+
+    def test_datetime_stays_datetime(self):
+        dt = datetime(2006, 9, 25, 1, 2, 3, tzinfo=timezone.utc)
+        assert self.wire(dt) == dt
+
+    def test_date_in_struct(self):
+        value = {"departure": date(2026, 7, 8), "checkin": time(15, 0)}
+        assert self.wire(value) == value
+
+    def test_xsi_type_names(self):
+        from repro.soap.constants import XSI_TYPE_ATTR
+
+        assert encode_value("v", date(2026, 1, 1)).get(XSI_TYPE_ATTR) == "xsd:date"
+        assert encode_value("v", time(1, 2)).get(XSI_TYPE_ATTR) == "xsd:time"
+
+    def test_bad_date_text_raises(self):
+        from repro.errors import SerializationError
+
+        element = encode_value("v", date(2026, 1, 1))
+        element.children[:] = ["not-a-date"]
+        with pytest.raises(SerializationError):
+            decode_value(element)

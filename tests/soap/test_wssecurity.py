@@ -1,0 +1,165 @@
+"""Unit tests for the simulated WS-Security headers."""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.errors import SecurityError
+from repro.soap.envelope import Envelope
+from repro.soap.serializer import build_request_envelope
+from repro.soap.wssecurity import (
+    SECURITY_TAG,
+    Credentials,
+    attach_security_header,
+    security_header_overhead,
+    verify_security_header,
+)
+
+NS = "urn:svc"
+NOW = datetime(2006, 9, 25, 12, 0, 0, tzinfo=timezone.utc)
+CREDS = Credentials("alice", b"super-secret")
+
+
+def secrets_db(username):
+    return {"alice": b"super-secret", "bob": b"other"}.get(username)
+
+
+def signed_envelope(params=None, now=NOW):
+    env = build_request_envelope(NS, "echo", params or {"payload": "hi"})
+    attach_security_header(env, CREDS, now=now)
+    return Envelope.from_string(env.to_bytes())
+
+
+class TestSignVerify:
+    def test_verify_accepts_valid(self):
+        env = signed_envelope()
+        assert verify_security_header(env, secrets_db, now=NOW) == "alice"
+
+    def test_header_survives_wire(self):
+        env = signed_envelope()
+        assert env.find_header(SECURITY_TAG) is not None
+
+    def test_must_understand_by_default(self):
+        env = build_request_envelope(NS, "echo", {})
+        header = attach_security_header(env, CREDS, now=NOW)
+        assert header.get(
+            "{http://schemas.xmlsoap.org/soap/envelope/}mustUnderstand"
+        ) == "1"
+
+    def test_missing_header_raises(self):
+        env = build_request_envelope(NS, "echo", {})
+        with pytest.raises(SecurityError, match="no wsse:Security"):
+            verify_security_header(env, secrets_db, now=NOW)
+
+    def test_unknown_user_raises(self):
+        env = build_request_envelope(NS, "echo", {})
+        attach_security_header(env, Credentials("mallory", b"x"), now=NOW)
+        with pytest.raises(SecurityError, match="unknown user"):
+            verify_security_header(env, secrets_db, now=NOW)
+
+    def test_wrong_secret_raises(self):
+        env = build_request_envelope(NS, "echo", {})
+        attach_security_header(env, Credentials("alice", b"WRONG"), now=NOW)
+        with pytest.raises(SecurityError, match="digest mismatch"):
+            verify_security_header(env, secrets_db, now=NOW)
+
+    def test_tampered_body_raises(self):
+        env = signed_envelope({"payload": "original"})
+        env.first_body_entry().element_children()[0].children[:] = ["tampered"]
+        with pytest.raises(SecurityError, match="digest mismatch"):
+            verify_security_header(env, secrets_db, now=NOW)
+
+    def test_stale_timestamp_raises(self):
+        env = signed_envelope(now=NOW - timedelta(hours=1))
+        with pytest.raises(SecurityError, match="stale"):
+            verify_security_header(env, secrets_db, now=NOW)
+
+    def test_future_timestamp_raises(self):
+        env = signed_envelope(now=NOW + timedelta(hours=1))
+        with pytest.raises(SecurityError, match="stale"):
+            verify_security_header(env, secrets_db, now=NOW)
+
+    def test_freshness_window_configurable(self):
+        env = signed_envelope(now=NOW - timedelta(minutes=10))
+        assert verify_security_header(
+            env, secrets_db, now=NOW, freshness=timedelta(minutes=30)
+        ) == "alice"
+
+    def test_incomplete_token_raises(self):
+        env = signed_envelope()
+        token = env.find_header(SECURITY_TAG).find("UsernameToken")
+        token.children = [c for c in token.children if getattr(c, "local_name", "") != "Nonce"]
+        with pytest.raises(SecurityError, match="incomplete"):
+            verify_security_header(env, secrets_db, now=NOW)
+
+    def test_bad_base64_raises(self):
+        env = signed_envelope()
+        token = env.find_header(SECURITY_TAG).find("UsernameToken")
+        token.find("Nonce").children[:] = ["@@@"]
+        with pytest.raises(SecurityError, match="base64"):
+            verify_security_header(env, secrets_db, now=NOW)
+
+    def test_bad_created_raises(self):
+        env = signed_envelope()
+        token = env.find_header(SECURITY_TAG).find("UsernameToken")
+        token.find("Created").children[:] = ["not a date"]
+        with pytest.raises(SecurityError, match="unparseable|digest"):
+            verify_security_header(env, secrets_db, now=NOW)
+
+
+class TestOverheadProbe:
+    def test_header_adds_hundreds_of_bytes(self):
+        overhead = security_header_overhead(CREDS)
+        # UsernameToken + nonce + digest + namespaces: a few hundred bytes,
+        # which is exactly why the paper says packing pays off more with WSS.
+        assert 300 <= overhead <= 1200
+
+    def test_signed_message_larger_than_unsigned(self):
+        plain = build_request_envelope(NS, "echo", {"p": "x"}).to_bytes()
+        env = build_request_envelope(NS, "echo", {"p": "x"})
+        attach_security_header(env, CREDS, now=NOW)
+        assert len(env.to_bytes()) > len(plain) + 200
+
+    def test_certificate_profile_is_kilobytes(self):
+        """The X.509 profile header matches real WSS deployments (3-6 KB)."""
+        overhead = security_header_overhead(CREDS, include_certificate=True)
+        assert 2500 <= overhead <= 6000
+
+
+class TestCertificateProfile:
+    def test_header_contains_token_and_signature(self):
+        env = build_request_envelope(NS, "echo", {"p": "x"})
+        header = attach_security_header(
+            env, CREDS, now=NOW, include_certificate=True
+        )
+        locals_present = {c.local_name for c in header.element_children()}
+        assert "BinarySecurityToken" in locals_present
+        assert "Signature" in locals_present
+
+    def test_certificate_deterministic_per_user(self):
+        def header_for(username):
+            env = build_request_envelope(NS, "echo", {"p": "x"})
+            header = attach_security_header(
+                env, Credentials(username, b"s"), now=NOW, include_certificate=True
+            )
+            return header.find("BinarySecurityToken").text
+
+        assert header_for("alice") == header_for("alice")
+        assert header_for("alice") != header_for("bob")
+
+    def test_certificate_header_still_verifies(self):
+        env = build_request_envelope(NS, "echo", {"p": "x"})
+        attach_security_header(env, CREDS, now=NOW, include_certificate=True)
+        wire = Envelope.from_string(env.to_bytes())
+        assert verify_security_header(wire, secrets_db, now=NOW) == "alice"
+
+    def test_signature_survives_wire(self):
+        from repro.soap.wssecurity import SECURITY_TAG
+
+        env = build_request_envelope(NS, "echo", {"p": "x"})
+        attach_security_header(env, CREDS, now=NOW, include_certificate=True)
+        wire = Envelope.from_string(env.to_bytes())
+        security = wire.find_header(SECURITY_TAG)
+        signature = security.find("Signature")
+        assert signature is not None
+        assert signature.find("SignatureValue").text

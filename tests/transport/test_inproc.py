@@ -1,0 +1,164 @@
+"""Unit tests for the in-process transport."""
+
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.base import ChannelClosed, ListenerClosed
+from repro.transport.inproc import InProcTransport
+
+
+@pytest.fixture
+def transport():
+    return InProcTransport()
+
+
+class TestListenConnect:
+    def test_connect_refused_without_listener(self, transport):
+        with pytest.raises(TransportError, match="refused"):
+            transport.connect("nowhere")
+
+    def test_listen_twice_same_address_raises(self, transport):
+        transport.listen("svc")
+        with pytest.raises(TransportError, match="in use"):
+            transport.listen("svc")
+
+    def test_address_reusable_after_close(self, transport):
+        transport.listen("svc").close()
+        transport.listen("svc")
+
+    def test_listener_address(self, transport):
+        assert transport.listen("svc").address == "svc"
+
+    def test_accept_returns_connected_channel(self, transport):
+        listener = transport.listen("svc")
+        client = transport.connect("svc")
+        server = listener.accept(timeout=1)
+        client.sendall(b"ping")
+        assert server.recv() == b"ping"
+
+    def test_accept_timeout(self, transport):
+        listener = transport.listen("svc")
+        with pytest.raises(TransportError, match="timed out"):
+            listener.accept(timeout=0.01)
+
+    def test_accept_after_close_raises(self, transport):
+        listener = transport.listen("svc")
+        listener.close()
+        with pytest.raises(ListenerClosed):
+            listener.accept(timeout=1)
+
+    def test_close_unblocks_pending_accept(self, transport):
+        listener = transport.listen("svc")
+        errors = []
+
+        def blocked_accept():
+            try:
+                listener.accept(timeout=5)
+            except ListenerClosed:
+                errors.append("closed")
+
+        thread = threading.Thread(target=blocked_accept)
+        thread.start()
+        listener.close()
+        thread.join(timeout=2)
+        assert errors == ["closed"]
+
+
+class TestChannelSemantics:
+    @pytest.fixture
+    def pair(self, transport):
+        listener = transport.listen("svc")
+        client = transport.connect("svc")
+        server = listener.accept(timeout=1)
+        return client, server
+
+    def test_bidirectional(self, pair):
+        client, server = pair
+        client.sendall(b"question")
+        assert server.recv() == b"question"
+        server.sendall(b"answer")
+        assert client.recv() == b"answer"
+
+    def test_recv_respects_max_bytes(self, pair):
+        client, server = pair
+        client.sendall(b"abcdef")
+        assert server.recv(2) == b"ab"
+        assert server.recv(2) == b"cd"
+        assert server.recv(100) == b"ef"
+
+    def test_message_boundaries_not_preserved(self, pair):
+        client, server = pair
+        client.sendall(b"aa")
+        client.sendall(b"bb")
+        received = server.recv(10) + server.recv(10)
+        assert received == b"aabb"
+
+    def test_close_gives_eof_to_peer(self, pair):
+        client, server = pair
+        client.sendall(b"last")
+        client.close()
+        assert server.recv() == b"last"
+        assert server.recv() == b""
+        assert server.recv() == b""
+
+    def test_send_after_close_raises(self, pair):
+        client, _ = pair
+        client.close()
+        with pytest.raises(ChannelClosed):
+            client.sendall(b"x")
+
+    def test_recv_after_close_raises(self, pair):
+        client, _ = pair
+        client.close()
+        with pytest.raises(ChannelClosed):
+            client.recv()
+
+    def test_close_idempotent(self, pair):
+        client, _ = pair
+        client.close()
+        client.close()
+
+    def test_context_manager(self, transport):
+        with transport.listen("svc") as listener:
+            with transport.connect("svc") as client:
+                with listener.accept(timeout=1) as server:
+                    client.sendall(b"x")
+                    assert server.recv() == b"x"
+
+    def test_large_transfer(self, pair):
+        client, server = pair
+        payload = bytes(range(256)) * 4096  # 1 MiB
+        client.sendall(payload)
+        client.close()
+        received = bytearray()
+        while chunk := server.recv(65536):
+            received.extend(chunk)
+        assert bytes(received) == payload
+
+    def test_empty_send_is_noop_for_reader(self, pair):
+        client, server = pair
+        client.sendall(b"")
+        client.sendall(b"real")
+        data = server.recv()
+        while not data:
+            data = server.recv()
+        assert data == b"real"
+
+
+class TestIsolation:
+    def test_transport_instances_isolated(self):
+        t1, t2 = InProcTransport(), InProcTransport()
+        t1.listen("svc")
+        with pytest.raises(TransportError):
+            t2.connect("svc")
+
+    def test_multiple_clients(self, transport):
+        listener = transport.listen("svc")
+        clients = [transport.connect("svc") for _ in range(5)]
+        servers = [listener.accept(timeout=1) for _ in range(5)]
+        for i, client in enumerate(clients):
+            client.sendall(f"c{i}".encode())
+        received = sorted(server.recv().decode() for server in servers)
+        assert received == ["c0", "c1", "c2", "c3", "c4"]

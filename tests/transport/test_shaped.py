@@ -1,0 +1,161 @@
+"""Unit tests for network profiles, the link scheduler and shaped transport."""
+
+import threading
+import time
+
+import pytest
+
+from repro.transport.inproc import InProcTransport
+from repro.transport.netprofile import (
+    NULL_PROFILE,
+    PAPER_LAN,
+    WAN,
+    LinkScheduler,
+    NetworkProfile,
+)
+from repro.transport.shaped import ShapedTransport
+
+
+class FakeClock:
+    """Deterministic clock+sleep pair for scheduler tests."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestNetworkProfile:
+    def test_transmit_seconds(self):
+        profile = NetworkProfile("t", rtt=1e-3, bandwidth_bps=100e6)
+        assert profile.transmit_seconds(12_500_000) == pytest.approx(1.0)
+
+    def test_handshake_is_one_rtt(self):
+        assert PAPER_LAN.handshake_delay == PAPER_LAN.rtt
+
+    def test_one_way_latency(self):
+        assert WAN.one_way_latency == pytest.approx(WAN.rtt / 2)
+
+    def test_null_profile_is_free(self):
+        assert NULL_PROFILE.transmit_seconds(10**9) == 0.0
+        assert NULL_PROFILE.handshake_delay == 0.0
+
+    def test_describe(self):
+        assert "100" in PAPER_LAN.describe()
+
+
+class TestLinkScheduler:
+    def test_single_transmit_sleeps_transmit_plus_latency(self):
+        fake = FakeClock()
+        profile = NetworkProfile("t", rtt=0.010, bandwidth_bps=1000.0)  # 125 B/s
+        link = LinkScheduler(profile, clock=fake.clock, sleep=fake.sleep)
+        link.transmit(125)  # 1 second on the wire
+        assert fake.now == pytest.approx(1.0 + 0.005)
+
+    def test_sequential_transmits_accumulate(self):
+        fake = FakeClock()
+        profile = NetworkProfile("t", rtt=0.0, bandwidth_bps=1000.0)
+        link = LinkScheduler(profile, clock=fake.clock, sleep=fake.sleep)
+        link.transmit(125)
+        link.transmit(125)
+        assert fake.now == pytest.approx(2.0)
+
+    def test_shared_link_serializes_concurrent_senders(self):
+        # with a real clock: two 0.02s transmissions on one link take ~0.04s
+        profile = NetworkProfile("t", rtt=0.0, bandwidth_bps=8 * 50_000.0)
+        link = LinkScheduler(profile)
+        start = time.monotonic()
+        threads = [
+            threading.Thread(target=link.transmit, args=(1000,)) for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.monotonic() - start
+        assert elapsed >= 0.038
+
+    def test_handshake_sleeps_rtt(self):
+        fake = FakeClock()
+        link = LinkScheduler(
+            NetworkProfile("t", rtt=0.25, bandwidth_bps=1e9),
+            clock=fake.clock,
+            sleep=fake.sleep,
+        )
+        link.handshake()
+        assert fake.now == pytest.approx(0.25)
+        assert link.stats.handshakes == 1
+
+    def test_stats_recorded(self):
+        fake = FakeClock()
+        link = LinkScheduler(
+            NetworkProfile("t", rtt=0.0, bandwidth_bps=8000.0),
+            clock=fake.clock,
+            sleep=fake.sleep,
+        )
+        link.transmit(1000)
+        link.transmit(500)
+        snap = link.stats.snapshot()
+        assert snap["messages"] == 2
+        assert snap["bytes"] == 1500
+        assert snap["total_transmit_s"] == pytest.approx(1.5)
+
+    def test_per_message_overhead(self):
+        fake = FakeClock()
+        profile = NetworkProfile("t", rtt=0.0, bandwidth_bps=1e12, per_message_overhead=0.1)
+        link = LinkScheduler(profile, clock=fake.clock, sleep=fake.sleep)
+        link.transmit(1)
+        assert fake.now == pytest.approx(0.1, abs=1e-6)
+
+
+class TestShapedTransport:
+    def test_round_trip_still_works(self):
+        shaped = ShapedTransport(InProcTransport(), NULL_PROFILE)
+        listener = shaped.listen("svc")
+        client = shaped.connect("svc")
+        server = listener.accept(timeout=1)
+        client.sendall(b"payload")
+        assert server.recv() == b"payload"
+        server.sendall(b"back")
+        assert client.recv() == b"back"
+        listener.close()
+
+    def test_connect_pays_handshake(self):
+        profile = NetworkProfile("t", rtt=0.05, bandwidth_bps=1e9)
+        shaped = ShapedTransport(InProcTransport(), profile)
+        shaped.listen("svc")
+        start = time.monotonic()
+        shaped.connect("svc")
+        elapsed = time.monotonic() - start
+        assert elapsed >= 0.05
+        assert shaped.uplink.stats.handshakes == 1
+
+    def test_uplink_and_downlink_accounted_separately(self):
+        shaped = ShapedTransport(InProcTransport(), NULL_PROFILE)
+        listener = shaped.listen("svc")
+        client = shaped.connect("svc")
+        server = listener.accept(timeout=1)
+        client.sendall(b"12345")
+        server.recv()
+        server.sendall(b"123")
+        client.recv()
+        stats = shaped.wire_stats()
+        assert stats["uplink"]["bytes"] == 5
+        assert stats["downlink"]["bytes"] == 3
+
+    def test_send_pays_bandwidth(self):
+        profile = NetworkProfile("t", rtt=0.0, bandwidth_bps=8 * 10_000.0)
+        shaped = ShapedTransport(InProcTransport(), profile)
+        listener = shaped.listen("svc")
+        client = shaped.connect("svc")
+        listener.accept(timeout=1)
+        start = time.monotonic()
+        client.sendall(b"x" * 500)  # 0.05 s at 10 kB/s
+        elapsed = time.monotonic() - start
+        assert elapsed >= 0.045

@@ -1,0 +1,162 @@
+"""Unit tests for WSDL model, generation and parsing."""
+
+import pytest
+
+from repro.errors import WsdlError
+from repro.wsdl.generator import generate_wsdl, generate_wsdl_document, wsdl_for_service
+from repro.wsdl.model import WsdlDocumentModel, WsdlOperation, WsdlService
+from repro.wsdl.parser import parse_wsdl
+
+
+@pytest.fixture
+def weather_service():
+    return WsdlService(
+        name="WeatherService",
+        namespace="urn:svc:weather",
+        operations=(
+            WsdlOperation(
+                "GetWeather",
+                (("city", "xsd:string"), ("country", "xsd:string")),
+                "xsd:string",
+                "Current weather for a city",
+            ),
+            WsdlOperation("GetCities", (), "SOAP-ENC:Array"),
+        ),
+        location="http://localhost:8080/services/WeatherService",
+        documentation="Weather lookup, WebServiceX style (paper Fig. 4).",
+    )
+
+
+class TestModel:
+    def test_operation_lookup(self, weather_service):
+        assert weather_service.operation("GetWeather").returns == "xsd:string"
+
+    def test_operation_lookup_missing_raises(self, weather_service):
+        with pytest.raises(WsdlError):
+            weather_service.operation("Nope")
+
+    def test_operation_names(self, weather_service):
+        assert weather_service.operation_names() == ("GetWeather", "GetCities")
+
+    def test_parameter_names(self, weather_service):
+        assert weather_service.operation("GetWeather").parameter_names() == (
+            "city",
+            "country",
+        )
+
+    def test_with_location(self, weather_service):
+        moved = weather_service.with_location("http://other/")
+        assert moved.location == "http://other/"
+        assert moved.operations == weather_service.operations
+
+    def test_document_model_names(self, weather_service):
+        model = WsdlDocumentModel(weather_service)
+        assert model.port_type_name == "WeatherServicePortType"
+        assert model.binding_name == "WeatherServiceSoapBinding"
+        assert model.port_name == "WeatherServicePort"
+
+    def test_soap_action(self, weather_service):
+        model = WsdlDocumentModel(weather_service)
+        assert model.soap_action("GetWeather") == "urn:svc:weather#GetWeather"
+
+
+class TestGeneration:
+    def test_document_has_all_sections(self, weather_service):
+        root = generate_wsdl(WsdlDocumentModel(weather_service))
+        locals_present = {c.local_name for c in root.element_children()}
+        assert {"message", "portType", "binding", "service"} <= locals_present
+
+    def test_messages_per_operation(self, weather_service):
+        root = generate_wsdl(WsdlDocumentModel(weather_service))
+        names = {m.get("name") for m in root.findall("message")}
+        assert names == {
+            "GetWeatherRequest",
+            "GetWeatherResponse",
+            "GetCitiesRequest",
+            "GetCitiesResponse",
+        }
+
+    def test_target_namespace(self, weather_service):
+        root = generate_wsdl(WsdlDocumentModel(weather_service))
+        assert root.get("targetNamespace") == "urn:svc:weather"
+
+    def test_rpc_binding_style(self, weather_service):
+        document = generate_wsdl_document(WsdlDocumentModel(weather_service))
+        assert 'style="rpc"' in document
+        assert 'use="encoded"' in document
+
+    def test_location_in_port_address(self, weather_service):
+        document = generate_wsdl_document(WsdlDocumentModel(weather_service))
+        assert "http://localhost:8080/services/WeatherService" in document
+
+    def test_wsdl_for_service_convenience(self, weather_service):
+        assert wsdl_for_service(weather_service).startswith("<?xml")
+
+
+class TestRoundTrip:
+    def test_generate_parse_round_trip(self, weather_service):
+        document = generate_wsdl_document(WsdlDocumentModel(weather_service))
+        model = parse_wsdl(document)
+        parsed = model.service
+        assert parsed.name == weather_service.name
+        assert parsed.namespace == weather_service.namespace
+        assert parsed.location == weather_service.location
+        assert parsed.operations == weather_service.operations
+
+    def test_round_trip_no_params(self):
+        service = WsdlService("S", "urn:s", (WsdlOperation("ping", ()),))
+        parsed = parse_wsdl(generate_wsdl_document(WsdlDocumentModel(service)))
+        assert parsed.service.operation("ping").parameters == ()
+
+    def test_round_trip_documentation(self, weather_service):
+        parsed = parse_wsdl(
+            generate_wsdl_document(WsdlDocumentModel(weather_service))
+        ).service
+        assert parsed.documentation == weather_service.documentation
+        assert parsed.operation("GetWeather").documentation == "Current weather for a city"
+
+
+class TestParserErrors:
+    def test_wrong_root_raises(self):
+        with pytest.raises(WsdlError, match="root element"):
+            parse_wsdl("<notwsdl/>")
+
+    def test_missing_target_namespace_raises(self):
+        doc = '<d:definitions xmlns:d="http://schemas.xmlsoap.org/wsdl/"/>'
+        with pytest.raises(WsdlError, match="targetNamespace"):
+            parse_wsdl(doc)
+
+    def test_missing_port_type_raises(self):
+        doc = (
+            '<d:definitions xmlns:d="http://schemas.xmlsoap.org/wsdl/" '
+            'targetNamespace="urn:x"/>'
+        )
+        with pytest.raises(WsdlError, match="portType"):
+            parse_wsdl(doc)
+
+    def test_undefined_message_reference_raises(self):
+        doc = (
+            '<d:definitions xmlns:d="http://schemas.xmlsoap.org/wsdl/" '
+            'targetNamespace="urn:x">'
+            '<d:portType name="P"><d:operation name="op">'
+            '<d:input message="tns:Missing"/></d:operation></d:portType>'
+            "</d:definitions>"
+        )
+        with pytest.raises(WsdlError, match="not defined"):
+            parse_wsdl(doc)
+
+    def test_interface_only_document(self):
+        doc = (
+            '<d:definitions xmlns:d="http://schemas.xmlsoap.org/wsdl/" '
+            'name="Iface" targetNamespace="urn:x">'
+            '<d:message name="opRequest"/><d:message name="opResponse">'
+            '<d:part name="return" type="xsd:string"/></d:message>'
+            '<d:portType name="P"><d:operation name="op">'
+            '<d:input message="tns:opRequest"/>'
+            '<d:output message="tns:opResponse"/></d:operation></d:portType>'
+            "</d:definitions>"
+        )
+        model = parse_wsdl(doc)
+        assert model.service.name == "Iface"
+        assert model.service.location == ""
+        assert model.service.operation("op").returns == "xsd:string"

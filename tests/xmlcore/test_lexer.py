@@ -1,0 +1,150 @@
+"""Unit tests for the XML tokenizer."""
+
+import pytest
+
+from repro.errors import XmlWellFormednessError
+from repro.xmlcore.lexer import (
+    CDataToken,
+    CommentToken,
+    EndTagToken,
+    PIToken,
+    StartTagToken,
+    TextToken,
+    XmlDeclToken,
+    tokenize,
+)
+
+
+def toks(src):
+    return list(tokenize(src))
+
+
+class TestBasicTokens:
+    def test_simple_element(self):
+        t = toks("<a>text</a>")
+        assert isinstance(t[0], StartTagToken) and t[0].name == "a"
+        assert isinstance(t[1], TextToken) and t[1].text == "text"
+        assert isinstance(t[2], EndTagToken) and t[2].name == "a"
+
+    def test_self_closing(self):
+        (t,) = toks("<a/>")
+        assert isinstance(t, StartTagToken)
+        assert t.self_closing
+
+    def test_self_closing_with_space(self):
+        (t,) = toks("<a />")
+        assert t.self_closing
+
+    def test_attributes_double_quoted(self):
+        (t,) = toks('<a x="1" y="two"/>')
+        assert t.attributes == [("x", "1"), ("y", "two")]
+
+    def test_attributes_single_quoted(self):
+        (t,) = toks("<a x='1'/>")
+        assert t.attributes == [("x", "1")]
+
+    def test_attribute_whitespace_around_equals(self):
+        (t,) = toks('<a x = "1"/>')
+        assert t.attributes == [("x", "1")]
+
+    def test_attribute_entity_unescaped(self):
+        (t,) = toks('<a x="&lt;&amp;&gt;"/>')
+        assert t.attributes == [("x", "<&>")]
+
+    def test_text_entities_unescaped(self):
+        t = toks("<a>&amp;&#65;</a>")
+        assert t[1].text == "&A"
+
+    def test_end_tag_trailing_space(self):
+        t = toks("<a>x</a >")
+        assert isinstance(t[2], EndTagToken)
+
+
+class TestDeclAndMisc:
+    def test_xml_declaration(self):
+        t = toks('<?xml version="1.0" encoding="UTF-8"?><a/>')
+        assert isinstance(t[0], XmlDeclToken)
+        assert t[0].version == "1.0"
+        assert t[0].encoding == "UTF-8"
+
+    def test_declaration_not_first_raises(self):
+        with pytest.raises(XmlWellFormednessError):
+            toks('<a/><?xml version="1.0"?>')
+
+    def test_unsupported_version_raises(self):
+        with pytest.raises(XmlWellFormednessError):
+            toks('<?xml version="2.0"?><a/>')
+
+    def test_processing_instruction(self):
+        t = toks("<?target some data?><a/>")
+        assert isinstance(t[0], PIToken)
+        assert t[0].target == "target"
+        assert t[0].data == "some data"
+
+    def test_pi_reserved_target_raises(self):
+        with pytest.raises(XmlWellFormednessError):
+            toks("<a/><?xMl oops?>")
+
+    def test_comment(self):
+        t = toks("<a><!-- hi --></a>")
+        assert isinstance(t[1], CommentToken)
+        assert t[1].text == " hi "
+
+    def test_comment_double_dash_raises(self):
+        with pytest.raises(XmlWellFormednessError):
+            toks("<a><!-- a -- b --></a>")
+
+    def test_cdata(self):
+        t = toks("<a><![CDATA[<raw>&stuff]]></a>")
+        assert isinstance(t[1], CDataToken)
+        assert t[1].text == "<raw>&stuff"
+
+    def test_doctype_rejected(self):
+        with pytest.raises(XmlWellFormednessError):
+            toks("<!DOCTYPE foo []><a/>")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "<a",  # unterminated start tag
+            "<a>text</a",  # unterminated end tag
+            "<a x=1/>",  # unquoted attribute
+            "<a x/>",  # attribute without value
+            '<a x="1/>',  # unterminated attribute value
+            "<>",  # empty tag name
+            "<a><!-- unterminated</a>",
+            "<a><![CDATA[ unterminated</a>",
+            "<?pi unterminated",
+        ],
+    )
+    def test_malformed_raises(self, src):
+        with pytest.raises(XmlWellFormednessError):
+            toks(src)
+
+    def test_lt_in_attribute_raises(self):
+        with pytest.raises(XmlWellFormednessError):
+            toks('<a x="<"/>')
+
+    def test_cdata_close_in_text_raises(self):
+        with pytest.raises(XmlWellFormednessError):
+            toks("<a>bad ]]> text</a>")
+
+    def test_illegal_control_char_raises(self):
+        with pytest.raises(XmlWellFormednessError):
+            toks("<a>\x00</a>")
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        t = toks("<a>\n  <b/>\n</a>")
+        b = t[2]
+        assert isinstance(b, StartTagToken) and b.name == "b"
+        assert b.line == 2
+        assert b.column == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(XmlWellFormednessError) as exc:
+            toks("<a>\n<b x=bad/></a>")
+        assert exc.value.line == 2

@@ -1,0 +1,83 @@
+"""Tests for pretty-printing and path lookup."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.xmlcore.parser import parse
+from repro.xmlcore.pretty import find_path, find_path_text, pretty_print
+from repro.xmlcore.tree import Element
+
+
+@pytest.fixture
+def tree():
+    return parse(
+        "<root><section><item id='1'>one</item><item id='2'>two</item></section>"
+        "<empty/></root>"
+    )
+
+
+class TestPrettyPrint:
+    def test_indentation(self, tree):
+        out = pretty_print(tree)
+        assert "\n  <section>" in out
+        assert "\n    <item" in out
+
+    def test_round_trips_structurally(self, tree):
+        reparsed = parse(pretty_print(tree))
+        # drop the introduced whitespace text nodes before comparing
+        def strip_ws(element):
+            element.children = [
+                c for c in element.children
+                if not (isinstance(c, str) and not c.strip())
+            ]
+            for child in element.element_children():
+                strip_ws(child)
+            return element
+
+        assert strip_ws(reparsed).structurally_equal(tree)
+
+    def test_leaf_with_text_stays_inline(self, tree):
+        out = pretty_print(tree)
+        assert '<item id="1">one</item>' in out
+
+    def test_mixed_content_not_mangled(self):
+        mixed = parse("<p>before <b>bold</b> after</p>")
+        out = pretty_print(mixed)
+        assert out == "<p>before <b>bold</b> after</p>"
+
+    def test_empty_element(self):
+        assert pretty_print(Element("a")) == "<a/>"
+
+    def test_custom_indent(self, tree):
+        out = pretty_print(tree, indent="\t")
+        assert "\n\t<section>" in out
+
+    def test_soap_envelope_readable(self):
+        from repro.apps.weather import figure4_envelope
+
+        out = pretty_print(figure4_envelope().to_element())
+        assert out.count("\n") > 5
+        assert parse(out) is not None
+
+
+class TestFindPath:
+    def test_walk(self, tree):
+        assert find_path(tree, "section/item").get("id") == "1"
+
+    def test_text(self, tree):
+        assert find_path_text(tree, "section/item") == "one"
+
+    def test_single_step(self, tree):
+        assert find_path(tree, "empty").local_name == "empty"
+
+    def test_missing_step_names_position(self, tree):
+        with pytest.raises(XmlError, match="no <nothere> under <section>"):
+            find_path(tree, "section/nothere")
+
+    def test_empty_step_raises(self, tree):
+        with pytest.raises(XmlError, match="empty step"):
+            find_path(tree, "section//item")
+
+    def test_clark_step(self):
+        root = parse('<a xmlns="urn:x"><b>v</b></a>')
+        assert find_path_text(root, "{urn:x}b") == "v"

@@ -1,0 +1,177 @@
+"""Unit tests for QName and NamespaceScope."""
+
+import pytest
+
+from repro.errors import XmlNamespaceError
+from repro.xmlcore.qname import (
+    XML_NS,
+    NamespaceScope,
+    QName,
+    is_ncname,
+    split_prefixed,
+)
+
+
+class TestNCName:
+    @pytest.mark.parametrize("name", ["a", "_x", "soap-env", "Body", "a.b", "tag1", "元素"])
+    def test_valid(self, name):
+        assert is_ncname(name)
+
+    @pytest.mark.parametrize("name", ["", "1abc", "-a", ".a", "a b", "a:b"])
+    def test_invalid(self, name):
+        assert not is_ncname(name)
+
+
+class TestSplitPrefixed:
+    def test_no_prefix(self):
+        assert split_prefixed("Body") == ("", "Body")
+
+    def test_with_prefix(self):
+        assert split_prefixed("soap:Body") == ("soap", "Body")
+
+    def test_two_colons_raises(self):
+        with pytest.raises(XmlNamespaceError):
+            split_prefixed("a:b:c")
+
+    def test_empty_local_raises(self):
+        with pytest.raises(XmlNamespaceError):
+            split_prefixed("soap:")
+
+    def test_empty_prefix_raises(self):
+        with pytest.raises(XmlNamespaceError):
+            split_prefixed(":Body")
+
+
+class TestQName:
+    def test_str_with_uri(self):
+        assert str(QName("http://example.org", "Body")) == "{http://example.org}Body"
+
+    def test_str_without_uri(self):
+        assert str(QName("", "Body")) == "Body"
+
+    def test_parse_clark(self):
+        q = QName.parse("{http://example.org}Body")
+        assert q.uri == "http://example.org"
+        assert q.local == "Body"
+
+    def test_parse_plain(self):
+        q = QName.parse("Body")
+        assert q.uri == ""
+        assert q.local == "Body"
+
+    def test_parse_unterminated_raises(self):
+        with pytest.raises(XmlNamespaceError):
+            QName.parse("{http://example.org")
+
+    def test_invalid_local_raises(self):
+        with pytest.raises(XmlNamespaceError):
+            QName("http://example.org", "bad name")
+
+    def test_equality_and_hash(self):
+        a = QName("u", "n")
+        b = QName("u", "n")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != QName("u", "m")
+
+    def test_round_trip(self):
+        q = QName("http://schemas.xmlsoap.org/soap/envelope/", "Envelope")
+        assert QName.parse(str(q)) == q
+
+
+class TestNamespaceScope:
+    def test_xml_prefix_prebound(self):
+        scope = NamespaceScope()
+        assert scope.resolve("xml") == XML_NS
+
+    def test_default_namespace_empty_initially(self):
+        scope = NamespaceScope()
+        assert scope.resolve("") == ""
+
+    def test_declare_and_resolve(self):
+        scope = NamespaceScope()
+        scope.push({"soap": "http://soap"})
+        assert scope.resolve("soap") == "http://soap"
+
+    def test_undeclared_prefix_raises(self):
+        scope = NamespaceScope()
+        with pytest.raises(XmlNamespaceError):
+            scope.resolve("nope")
+
+    def test_inner_shadows_outer(self):
+        scope = NamespaceScope()
+        scope.push({"p": "outer"})
+        scope.push({"p": "inner"})
+        assert scope.resolve("p") == "inner"
+        scope.pop()
+        assert scope.resolve("p") == "outer"
+
+    def test_pop_restores(self):
+        scope = NamespaceScope()
+        scope.push({"p": "uri"})
+        scope.pop()
+        with pytest.raises(XmlNamespaceError):
+            scope.resolve("p")
+
+    def test_pop_underflow_raises(self):
+        scope = NamespaceScope()
+        with pytest.raises(XmlNamespaceError):
+            scope.pop()
+
+    def test_default_namespace_declaration(self):
+        scope = NamespaceScope()
+        scope.push({"": "http://default"})
+        assert scope.resolve("") == "http://default"
+
+    def test_resolve_name_element_uses_default(self):
+        scope = NamespaceScope()
+        scope.push({"": "http://default"})
+        assert scope.resolve_name("Body") == QName("http://default", "Body")
+
+    def test_resolve_name_attribute_ignores_default(self):
+        scope = NamespaceScope()
+        scope.push({"": "http://default"})
+        assert scope.resolve_name("id", is_attribute=True) == QName("", "id")
+
+    def test_resolve_name_with_prefix(self):
+        scope = NamespaceScope()
+        scope.push({"s": "http://s"})
+        assert scope.resolve_name("s:Body") == QName("http://s", "Body")
+
+    def test_prefix_for_finds_innermost(self):
+        scope = NamespaceScope()
+        scope.push({"a": "http://u"})
+        scope.push({"b": "http://u"})
+        assert scope.prefix_for("http://u") in ("a", "b")
+
+    def test_prefix_for_shadowed_prefix_skipped(self):
+        scope = NamespaceScope()
+        scope.push({"p": "http://old"})
+        scope.push({"p": "http://new"})
+        assert scope.prefix_for("http://old") is None
+
+    def test_prefix_for_missing_returns_none(self):
+        scope = NamespaceScope()
+        assert scope.prefix_for("http://nowhere") is None
+
+    def test_cannot_rebind_xml(self):
+        scope = NamespaceScope()
+        with pytest.raises(XmlNamespaceError):
+            scope.push({"xml": "http://other"})
+
+    def test_cannot_declare_xmlns(self):
+        scope = NamespaceScope()
+        with pytest.raises(XmlNamespaceError):
+            scope.push({"xmlns": "http://other"})
+
+    def test_prefix_to_empty_uri_raises(self):
+        scope = NamespaceScope()
+        with pytest.raises(XmlNamespaceError):
+            scope.push({"p": ""})
+
+    def test_depth(self):
+        scope = NamespaceScope()
+        assert scope.depth() == 0
+        scope.push()
+        scope.push()
+        assert scope.depth() == 2

@@ -1,0 +1,159 @@
+"""Unit tests for the SAX-style push/pull parsers."""
+
+import pytest
+
+from repro.errors import XmlWellFormednessError
+from repro.xmlcore.qname import QName
+from repro.xmlcore.sax import (
+    ContentHandler,
+    EndEvent,
+    PullParser,
+    StartEvent,
+    TextEvent,
+    iterate_events,
+    sax_parse,
+)
+
+
+class Recorder(ContentHandler):
+    def __init__(self):
+        self.events = []
+
+    def start_document(self):
+        self.events.append(("startdoc",))
+
+    def end_document(self):
+        self.events.append(("enddoc",))
+
+    def start_element(self, name, attributes):
+        self.events.append(("start", str(name), dict(attributes)))
+
+    def end_element(self, name):
+        self.events.append(("end", str(name)))
+
+    def characters(self, text):
+        self.events.append(("chars", text))
+
+
+class TestSaxParse:
+    def test_event_sequence(self):
+        rec = Recorder()
+        sax_parse('<a x="1">hi<b/></a>', rec)
+        assert rec.events == [
+            ("startdoc",),
+            ("start", "a", {"x": "1"}),
+            ("chars", "hi"),
+            ("start", "b", {}),
+            ("end", "b"),
+            ("end", "a"),
+            ("enddoc",),
+        ]
+
+    def test_namespace_expansion(self):
+        rec = Recorder()
+        sax_parse('<s:a xmlns:s="http://s"/>', rec)
+        assert rec.events[1] == ("start", "{http://s}a", {})
+
+    def test_default_handler_methods_are_noops(self):
+        sax_parse("<a>x</a>", ContentHandler())
+
+    def test_malformed_raises(self):
+        with pytest.raises(XmlWellFormednessError):
+            sax_parse("<a><b></a>", Recorder())
+
+
+class TestIterateEvents:
+    def test_depths(self):
+        events = list(iterate_events("<a><b>t</b></a>"))
+        a_start, b_start, text, b_end, a_end = events
+        assert isinstance(a_start, StartEvent) and a_start.depth == 0
+        assert isinstance(b_start, StartEvent) and b_start.depth == 1
+        assert isinstance(text, TextEvent) and text.depth == 2
+        assert isinstance(b_end, EndEvent) and b_end.depth == 1
+        assert isinstance(a_end, EndEvent) and a_end.depth == 0
+
+    def test_self_closing_emits_both(self):
+        events = list(iterate_events("<a/>"))
+        assert isinstance(events[0], StartEvent)
+        assert isinstance(events[1], EndEvent)
+        assert events[0].name == events[1].name == QName("", "a")
+
+    def test_two_roots_raise(self):
+        with pytest.raises(XmlWellFormednessError):
+            list(iterate_events("<a/><b/>"))
+
+    def test_unclosed_raises(self):
+        with pytest.raises(XmlWellFormednessError):
+            list(iterate_events("<a><b></b>"))
+
+    def test_empty_raises(self):
+        with pytest.raises(XmlWellFormednessError):
+            list(iterate_events("   "))
+
+    def test_bytes_input(self):
+        events = list(iterate_events(b"<a>x</a>"))
+        assert any(isinstance(e, TextEvent) and e.text == "x" for e in events)
+
+
+class TestPullParser:
+    def test_iteration(self):
+        pp = PullParser("<a><b/></a>")
+        names = [e.name.local for e in pp if isinstance(e, StartEvent)]
+        assert names == ["a", "b"]
+
+    def test_push_back(self):
+        pp = PullParser("<a/>")
+        first = next(pp)
+        pp.push_back(first)
+        assert next(pp) is first
+
+    def test_skip_subtree(self):
+        pp = PullParser("<root><skip><deep><deeper/></deep></skip><keep/></root>")
+        next(pp)  # <root>
+        skip_start = next(pp)
+        assert isinstance(skip_start, StartEvent) and skip_start.name.local == "skip"
+        pp.skip_subtree(skip_start)
+        nxt = next(pp)
+        assert isinstance(nxt, StartEvent) and nxt.name.local == "keep"
+
+    def test_skip_subtree_then_exhaust(self):
+        pp = PullParser("<root><a><b/></a></root>")
+        next(pp)
+        a = next(pp)
+        pp.skip_subtree(a)
+        remaining = list(pp)
+        assert len(remaining) == 1
+        assert isinstance(remaining[0], EndEvent)
+        assert remaining[0].name.local == "root"
+
+
+class TestProcessingInstructions:
+    def test_pi_event_delivered(self):
+        from repro.xmlcore.sax import PIEvent
+
+        events = list(iterate_events("<a><?target some data?></a>"))
+        pis = [e for e in events if isinstance(e, PIEvent)]
+        assert len(pis) == 1
+        assert pis[0].target == "target"
+        assert pis[0].data == "some data"
+        assert pis[0].depth == 1
+
+    def test_handler_callback_invoked(self):
+        class PIRecorder(ContentHandler):
+            def __init__(self):
+                self.pis = []
+
+            def processing_instruction(self, target, data):
+                self.pis.append((target, data))
+
+        recorder = PIRecorder()
+        sax_parse("<?style sheet?><a><?inner x?></a>", recorder)
+        assert recorder.pis == [("style", "sheet"), ("inner", "x")]
+
+    def test_pull_parser_skip_subtree_ignores_pis(self):
+        pp = PullParser("<root><skip><?pi here?></skip><keep/></root>")
+        next(pp)
+        skip = next(pp)
+        pp.skip_subtree(skip)
+        nxt = next(pp)
+        assert isinstance(nxt, StartEvent) and nxt.name.local == "keep"
