@@ -10,6 +10,7 @@ Usage::
     python -m repro.bench arch
     python -m repro.bench relatedwork
     python -m repro.bench all [--fast]
+    python -m repro.bench xml [--smoke] [--record LABEL]
 
 Profiles: lan (paper's 100 Mbit Ethernet emulation, default), wan,
 loopback (bare TCP), inproc (no sockets).
@@ -31,7 +32,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["fig5", "fig6", "fig7", "travel", "wss", "arch", "relatedwork", "all"],
+        nargs="?",
+        default="xml",
+        choices=["fig5", "fig6", "fig7", "travel", "wss", "arch", "relatedwork", "all", "xml"],
     )
     parser.add_argument(
         "--profile",
@@ -48,7 +51,26 @@ def main(argv: list[str] | None = None) -> int:
         choices=["table", "markdown", "json"],
         help="output format (default: ascii table)",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="xml experiment: minimal iterations, a CI crash detector",
+    )
+    parser.add_argument(
+        "--record",
+        metavar="LABEL",
+        help="xml experiment: append results to BENCH_xml.json under LABEL",
+    )
+    parser.add_argument(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="xml experiment: trajectory file (default: ./BENCH_xml.json)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "xml":
+        return _run_xml(args)
 
     kwargs: dict = {"profile": args.profile}
     if args.experiment == "fig5":
@@ -82,6 +104,23 @@ def main(argv: list[str] | None = None) -> int:
         for result in results:
             print()
             print(render(result))
+    return 0
+
+
+def _run_xml(args) -> int:
+    from repro.bench import xmlbench
+
+    results = xmlbench.run_xml_bench(smoke=args.smoke)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(results, indent=2))
+    else:
+        print(xmlbench.render_table(results))
+    if args.record:
+        path = args.bench_json or xmlbench.BENCH_JSON
+        xmlbench.record_entry(args.record, results, path=path)
+        print(f"recorded entry '{args.record}' in {path}")
     return 0
 
 

@@ -11,7 +11,7 @@ from repro.errors import InvocationError
 from repro.http.connection import ConnectionPool, HttpConnection
 from repro.http.message import Headers, HttpRequest
 from repro.soap.constants import SOAP_ACTION_HEADER, SOAP_CONTENT_TYPE
-from repro.soap.deserializer import parse_response_envelope
+from repro.soap.deserializer import parse_response_document
 from repro.soap.envelope import Envelope
 from repro.soap.serializer import build_request_envelope
 from repro.transport.base import Address, Transport
@@ -95,9 +95,11 @@ class ServiceProxy:
         envelope = build_request_envelope(
             self.namespace, operation, params, headers=[h.copy() for h in self.extra_headers]
         )
-        response_envelope = self.exchange(envelope, operation)
+        response_body = self.exchange_raw(envelope, operation)
         self.calls += 1
-        return parse_response_envelope(response_envelope).value
+        # Pull-parse the response: skip straight to the body entry
+        # without materializing headers this client never reads.
+        return parse_response_document(response_body).value
 
     def exchange(self, envelope: Envelope, action: str = "") -> Envelope:
         """Send a raw request envelope, return the raw response envelope.
@@ -105,6 +107,10 @@ class ServiceProxy:
         This is the hook the SPI packed client shares: it builds its own
         Parallel_Method envelope and still reuses the proxy's HTTP path.
         """
+        return Envelope.from_string(self.exchange_raw(envelope, action))
+
+    def exchange_raw(self, envelope: Envelope, action: str = "") -> bytes:
+        """Like :meth:`exchange` but returns the undecoded response body."""
         if self.credentials is not None:
             from repro.soap.wssecurity import attach_security_header
 
@@ -131,7 +137,7 @@ class ServiceProxy:
             # 500 carries a SOAP Fault we surface properly below;
             # anything else is an HTTP-level failure.
             response.raise_for_status()
-        return Envelope.from_string(response.body)
+        return response.body
 
     def fetch_wsdl(self) -> str:
         """GET this service's generated WSDL from the server."""

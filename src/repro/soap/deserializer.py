@@ -9,11 +9,11 @@ costs one trie walk instead of N string comparisons.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 from repro.errors import SoapError
 from repro.soap.constants import FAULT_TAG
-from repro.soap.envelope import Envelope
+from repro.soap.envelope import Envelope, iter_body_entries
 from repro.soap.fault import ClientFaultCause, SoapFault
 from repro.soap.serializer import RESPONSE_SUFFIX, RETURN_TAG
 from repro.soap.xsdtypes import decode_value
@@ -98,6 +98,27 @@ def parse_rpc_response(element: Element) -> RpcResponse:
 def parse_response_envelope(envelope: Envelope) -> RpcResponse:
     """Decode a classic single-entry response envelope."""
     return parse_rpc_response(envelope.first_body_entry())
+
+
+def iter_rpc_requests(
+    document: str | bytes, matcher: OperationMatcher | None = None
+) -> Iterator[RpcRequest]:
+    """Stream-decode a request document's body entries.
+
+    The pull fast path: envelope scaffolding and headers are consumed at
+    the token level (see :func:`repro.soap.envelope.iter_body_entries`)
+    and each body entry is fed to ``matcher`` as soon as it
+    materializes, so an unknown operation faults before the rest of the
+    document is even tokenized.
+    """
+    for entry in iter_body_entries(document):
+        yield parse_rpc_request(entry, matcher)
+
+
+def parse_response_document(document: str | bytes) -> RpcResponse:
+    """Decode a classic single-entry response document via the pull
+    path, skipping any response headers."""
+    return parse_rpc_response(next(iter_body_entries(document)))
 
 
 @dataclass(slots=True)

@@ -7,6 +7,8 @@ paper's Figure 1; several packed under ``Parallel_Method`` with SPI).
 
 from __future__ import annotations
 
+from typing import Iterator
+
 from repro.errors import SoapError
 from repro.soap.constants import (
     BODY_TAG,
@@ -16,6 +18,7 @@ from repro.soap.constants import (
     SOAP_ENV_NS,
     STANDARD_NSMAP,
 )
+from repro.xmlcore.cursor import XmlCursor
 from repro.xmlcore.parser import parse
 from repro.xmlcore.tree import Element
 from repro.xmlcore.writer import serialize, serialize_bytes
@@ -97,6 +100,19 @@ class Envelope:
 
     # -- helpers --------------------------------------------------------------
 
+    @classmethod
+    def from_string_pull(cls, document: str | bytes) -> "Envelope":
+        """Parse via the pull cursor, materializing body entries only.
+
+        Headers are skipped at the token level — no namespace expansion,
+        no Element construction.  Use on paths that will not inspect
+        headers (the classic client response path, benches); the
+        returned envelope's ``header_entries`` is always empty.
+        """
+        envelope = cls()
+        envelope.body_entries = list(iter_body_entries(document))
+        return envelope
+
     def first_body_entry(self) -> Element:
         """The first body entry (the only one, classically)."""
         return self.body_entries[0]
@@ -116,3 +132,52 @@ class Envelope:
             if entry.get(MUST_UNDERSTAND_ATTR) in ("1", "true") and entry.tag not in understood:
                 missed.append(entry)
         return missed
+
+
+def iter_body_entries(document: str | bytes) -> Iterator[Element]:
+    """Yield the Body's entries straight off the token stream.
+
+    The envelope scaffolding is validated (same :class:`SoapError`
+    diagnostics as :meth:`Envelope.from_element`) but the Header subtree
+    is *skipped* without namespace expansion or tree building, and only
+    body entries are materialized — the cursor/pull fast path for
+    consumers that feed an
+    :class:`~repro.soap.deserializer.OperationMatcher`.
+    """
+    cursor = XmlCursor(document)
+    root = cursor.enter(cursor.root())
+    if root.tag != ENVELOPE_TAG:
+        if root.local_name == "Envelope":
+            raise SoapError(
+                f"unsupported SOAP envelope namespace '{root.namespace}' "
+                f"(expected {SOAP_ENV_NS})"
+            )
+        raise SoapError(f"document root is <{root.tag}>, not a SOAP Envelope")
+
+    child = cursor.next_child()
+    if child is None:
+        raise SoapError("SOAP Envelope has no Body")
+    element = cursor.enter(child)
+    if element.tag == HEADER_TAG:
+        entry = cursor.next_child()
+        while entry is not None:  # discard header entries at token level
+            cursor.skip(entry)
+            entry = cursor.next_child()
+        child = cursor.next_child()
+        if child is None:
+            raise SoapError("SOAP Envelope has no Body")
+        element = cursor.enter(child)
+    if element.tag != BODY_TAG:
+        raise SoapError("SOAP Envelope has no Body")
+
+    entries = 0
+    entry = cursor.next_child()
+    while entry is not None:
+        yield cursor.read_element(entry)
+        entries += 1
+        entry = cursor.next_child()
+    if not entries:
+        raise SoapError("SOAP Body is empty")
+    if cursor.next_child() is not None:
+        raise SoapError("unexpected elements after SOAP Body")
+    cursor.finish()

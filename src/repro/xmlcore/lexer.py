@@ -7,64 +7,159 @@ state — tag balancing, duplicate attributes after namespace expansion,
 single root — is enforced by the tree parser on top.
 
 The lexer works on ``str``; decoding from bytes happens at the HTTP
-boundary.  Positions (line, column) are tracked for error reporting.
+boundary.
+
+Hot-path design:
+
+* Scanning is bulk, not per character: well-formed start tags are
+  consumed by one precompiled regex (``_START_TAG_RE``); text runs,
+  comments, CDATA and PIs by ``str.find``.  Anything the fast regex
+  does not match falls back to the original character loop, which
+  exists only to produce precise error messages.
+* Positions are lazy.  Tokens carry their character offset; ``line``
+  and ``column`` are computed (and cached) only when someone asks —
+  in practice only when an error is being raised.  The old eager
+  ``_advance_to`` bookkeeping sliced and counted every token's text.
+* Character-legality checking is one regex search
+  (:func:`repro.xmlcore.escape.find_illegal_char`), not a Python loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import re
 from typing import Iterator
 
 from repro.errors import XmlWellFormednessError
-from repro.xmlcore.escape import is_xml_char, unescape
+from repro.xmlcore.escape import find_illegal_char, unescape
 
 _WHITESPACE = " \t\r\n"
 
+# One match per well-formed start tag: name, a run of quoted attributes
+# (whitespace-separated, values free of '<'), optional '/'.  Tags this
+# regex rejects are re-lexed by the slow path for exact diagnostics
+# (or for legacy tolerance, e.g. attributes not separated by spaces).
+_START_TAG_RE = re.compile(
+    r"<([^ \t\r\n/>]+)"
+    r"((?:[ \t\r\n]+[^ \t\r\n=/>]+[ \t\r\n]*=[ \t\r\n]*(?:\"[^\"<]*\"|'[^'<]*'))*)"
+    r"[ \t\r\n]*(/?)>"
+)
+_ATTR_RE = re.compile(
+    r"[ \t\r\n]+([^ \t\r\n=/>]+)[ \t\r\n]*=[ \t\r\n]*(\"[^\"<]*\"|'[^'<]*')"
+)
+_END_TAG_RE = re.compile(r"</([^ \t\r\n>]+)[ \t\r\n]*>")
 
-@dataclass(slots=True)
+
 class Token:
-    line: int
-    column: int
+    """A lexical token anchored at a character offset.
+
+    ``line``/``column`` are derived from the offset on first access so
+    the hot path never pays for position bookkeeping.
+    """
+
+    __slots__ = ("_src", "offset", "_line", "_column")
+
+    def __init__(self, src: str, offset: int) -> None:
+        self._src = src
+        self.offset = offset
+        self._line = 0
+        self._column = 0
+
+    @property
+    def line(self) -> int:
+        if not self._line:
+            self._locate()
+        return self._line
+
+    @property
+    def column(self) -> int:
+        if not self._line:
+            self._locate()
+        return self._column
+
+    def _locate(self) -> None:
+        self._line, self._column = position_at(self._src, self.offset)
 
 
-@dataclass(slots=True)
+def position_at(src: str, offset: int) -> tuple[int, int]:
+    """1-based (line, column) of ``offset`` in ``src``."""
+    line = src.count("\n", 0, offset) + 1
+    last_newline = src.rfind("\n", 0, offset)
+    return line, offset - last_newline
+
+
 class XmlDeclToken(Token):
-    version: str = "1.0"
-    encoding: str | None = None
-    standalone: str | None = None
+    __slots__ = ("version", "encoding", "standalone")
+
+    def __init__(
+        self,
+        src: str,
+        offset: int,
+        version: str = "1.0",
+        encoding: str | None = None,
+        standalone: str | None = None,
+    ) -> None:
+        super().__init__(src, offset)
+        self.version = version
+        self.encoding = encoding
+        self.standalone = standalone
 
 
-@dataclass(slots=True)
 class StartTagToken(Token):
-    name: str = ""
-    attributes: list[tuple[str, str]] = field(default_factory=list)
-    self_closing: bool = False
+    __slots__ = ("name", "attributes", "self_closing")
+
+    def __init__(
+        self,
+        src: str,
+        offset: int,
+        name: str = "",
+        attributes: list[tuple[str, str]] | None = None,
+        self_closing: bool = False,
+    ) -> None:
+        super().__init__(src, offset)
+        self.name = name
+        self.attributes = attributes if attributes is not None else []
+        self.self_closing = self_closing
 
 
-@dataclass(slots=True)
 class EndTagToken(Token):
-    name: str = ""
+    __slots__ = ("name",)
+
+    def __init__(self, src: str, offset: int, name: str = "") -> None:
+        super().__init__(src, offset)
+        self.name = name
 
 
-@dataclass(slots=True)
 class TextToken(Token):
-    text: str = ""
+    __slots__ = ("text",)
+
+    def __init__(self, src: str, offset: int, text: str = "") -> None:
+        super().__init__(src, offset)
+        self.text = text
 
 
-@dataclass(slots=True)
 class CDataToken(Token):
-    text: str = ""
+    __slots__ = ("text",)
+
+    def __init__(self, src: str, offset: int, text: str = "") -> None:
+        super().__init__(src, offset)
+        self.text = text
 
 
-@dataclass(slots=True)
 class CommentToken(Token):
-    text: str = ""
+    __slots__ = ("text",)
+
+    def __init__(self, src: str, offset: int, text: str = "") -> None:
+        super().__init__(src, offset)
+        self.text = text
 
 
-@dataclass(slots=True)
 class PIToken(Token):
-    target: str = ""
-    data: str = ""
+    __slots__ = ("target", "data")
+
+    def __init__(self, src: str, offset: int, target: str = "", data: str = "") -> None:
+        super().__init__(src, offset)
+        self.target = target
+        self.data = data
 
 
 class Lexer:
@@ -73,8 +168,6 @@ class Lexer:
     def __init__(self, source: str) -> None:
         self._src = source
         self._pos = 0
-        self._line = 1
-        self._col = 1
 
     def tokens(self) -> Iterator[Token]:
         """Yield tokens until the document is exhausted."""
@@ -82,116 +175,146 @@ class Lexer:
         n = len(src)
         first = True
         while self._pos < n:
-            line, col = self._line, self._col
-            if src.startswith("<", self._pos):
-                token = self._lex_markup(line, col, allow_decl=first)
-                if token is not None:
-                    yield token
+            if src[self._pos] == "<":
+                yield self._lex_markup(allow_decl=first)
             else:
-                yield self._lex_text(line, col)
+                yield self._lex_text()
             first = False
 
     # -- markup ----------------------------------------------------------
 
-    def _lex_markup(self, line: int, col: int, *, allow_decl: bool) -> Token | None:
+    def _lex_markup(self, *, allow_decl: bool) -> Token:
         src = self._src
         pos = self._pos
+        nxt = src[pos + 1] if pos + 1 < len(src) else ""
+        if nxt not in "?!/":
+            return self._lex_start_tag()
+        if nxt == "/":
+            return self._lex_end_tag()
         if src.startswith("<?xml", pos) and pos + 5 < len(src) and src[pos + 5] in _WHITESPACE + "?":
-            return self._lex_xml_decl(line, col, allow_decl)
-        if src.startswith("<?", pos):
-            return self._lex_pi(line, col)
+            return self._lex_xml_decl(allow_decl)
+        if nxt == "?":
+            return self._lex_pi()
         if src.startswith("<!--", pos):
-            return self._lex_comment(line, col)
+            return self._lex_comment()
         if src.startswith("<![CDATA[", pos):
-            return self._lex_cdata(line, col)
+            return self._lex_cdata()
         if src.startswith("<!DOCTYPE", pos):
-            raise XmlWellFormednessError("DOCTYPE declarations are rejected (XXE hardening)", line, col)
-        if src.startswith("</", pos):
-            return self._lex_end_tag(line, col)
-        return self._lex_start_tag(line, col)
+            raise self._error("DOCTYPE declarations are rejected (XXE hardening)")
+        return self._lex_start_tag()
 
-    def _lex_xml_decl(self, line: int, col: int, allow_decl: bool) -> XmlDeclToken:
+    def _lex_xml_decl(self, allow_decl: bool) -> XmlDeclToken:
         if not allow_decl:
-            raise XmlWellFormednessError("XML declaration only allowed at document start", line, col)
-        end = self._src.find("?>", self._pos)
+            raise self._error("XML declaration only allowed at document start")
+        offset = self._pos
+        end = self._src.find("?>", offset)
         if end == -1:
-            raise XmlWellFormednessError("unterminated XML declaration", line, col)
-        body = self._src[self._pos + 5 : end]
-        self._advance_to(end + 2)
-        attrs = dict(_parse_pseudo_attributes(body, line, col))
+            raise self._error("unterminated XML declaration")
+        body = self._src[offset + 5 : end]
+        self._pos = end + 2
+        attrs = dict(self._parse_pseudo_attributes(body, offset))
         version = attrs.get("version", "1.0")
         if version not in ("1.0", "1.1"):
-            raise XmlWellFormednessError(f"unsupported XML version '{version}'", line, col)
-        return XmlDeclToken(line, col, version, attrs.get("encoding"), attrs.get("standalone"))
+            raise self._error(f"unsupported XML version '{version}'", offset)
+        return XmlDeclToken(
+            self._src, offset, version, attrs.get("encoding"), attrs.get("standalone")
+        )
 
-    def _lex_pi(self, line: int, col: int) -> PIToken:
-        end = self._src.find("?>", self._pos)
+    def _lex_pi(self) -> PIToken:
+        offset = self._pos
+        end = self._src.find("?>", offset)
         if end == -1:
-            raise XmlWellFormednessError("unterminated processing instruction", line, col)
-        body = self._src[self._pos + 2 : end]
-        self._advance_to(end + 2)
+            raise self._error("unterminated processing instruction")
+        body = self._src[offset + 2 : end]
+        self._pos = end + 2
         target, _, data = body.partition(" ")
         if not target:
-            raise XmlWellFormednessError("processing instruction with empty target", line, col)
+            raise self._error("processing instruction with empty target", offset)
         if target.lower() == "xml":
-            raise XmlWellFormednessError("PI target 'xml' is reserved", line, col)
-        return PIToken(line, col, target, data.strip())
+            raise self._error("PI target 'xml' is reserved", offset)
+        return PIToken(self._src, offset, target, data.strip())
 
-    def _lex_comment(self, line: int, col: int) -> CommentToken:
-        end = self._src.find("-->", self._pos + 4)
+    def _lex_comment(self) -> CommentToken:
+        offset = self._pos
+        end = self._src.find("-->", offset + 4)
         if end == -1:
-            raise XmlWellFormednessError("unterminated comment", line, col)
-        text = self._src[self._pos + 4 : end]
+            raise self._error("unterminated comment")
+        text = self._src[offset + 4 : end]
         if "--" in text:
-            raise XmlWellFormednessError("'--' not allowed inside comment", line, col)
-        self._advance_to(end + 3)
-        return CommentToken(line, col, text)
+            raise self._error("'--' not allowed inside comment")
+        self._pos = end + 3
+        return CommentToken(self._src, offset, text)
 
-    def _lex_cdata(self, line: int, col: int) -> CDataToken:
-        end = self._src.find("]]>", self._pos + 9)
+    def _lex_cdata(self) -> CDataToken:
+        offset = self._pos
+        end = self._src.find("]]>", offset + 9)
         if end == -1:
-            raise XmlWellFormednessError("unterminated CDATA section", line, col)
-        text = self._src[self._pos + 9 : end]
-        self._advance_to(end + 3)
-        _check_chars(text, line, col)
-        return CDataToken(line, col, text)
+            raise self._error("unterminated CDATA section")
+        text = self._src[offset + 9 : end]
+        self._pos = end + 3
+        self._check_chars(text, offset)
+        return CDataToken(self._src, offset, text)
 
-    def _lex_end_tag(self, line: int, col: int) -> EndTagToken:
-        end = self._src.find(">", self._pos)
-        if end == -1:
-            raise XmlWellFormednessError("unterminated end tag", line, col)
-        name = self._src[self._pos + 2 : end].strip(_WHITESPACE)
-        if not name or any(c in _WHITESPACE for c in name):
-            raise XmlWellFormednessError(f"malformed end tag '</{name}>'", line, col)
-        self._advance_to(end + 1)
-        return EndTagToken(line, col, name)
-
-    def _lex_start_tag(self, line: int, col: int) -> StartTagToken:
+    def _lex_end_tag(self) -> EndTagToken:
+        offset = self._pos
         src = self._src
-        pos = self._pos + 1
+        match = _END_TAG_RE.match(src, offset)
+        if match is not None:
+            self._pos = match.end()
+            return EndTagToken(src, offset, match.group(1))
+        end = src.find(">", offset)
+        if end == -1:
+            raise self._error("unterminated end tag")
+        name = src[offset + 2 : end].strip(_WHITESPACE)
+        if not name or any(c in _WHITESPACE for c in name):
+            raise self._error(f"malformed end tag '</{name}>'")
+        self._pos = end + 1
+        return EndTagToken(src, offset, name)
+
+    def _lex_start_tag(self) -> StartTagToken:
+        offset = self._pos
+        src = self._src
+        match = _START_TAG_RE.match(src, offset)
+        if match is None:
+            return self._lex_start_tag_slow()
+        name, raw_attrs, slash = match.groups()
+        self._pos = match.end()
+        attributes: list[tuple[str, str]] = []
+        if raw_attrs:
+            for attr_match in _ATTR_RE.finditer(raw_attrs):
+                value = attr_match.group(2)
+                attributes.append((attr_match.group(1), unescape(value[1:-1])))
+        return StartTagToken(src, offset, name, attributes, slash == "/")
+
+    def _lex_start_tag_slow(self) -> StartTagToken:
+        """Character-accurate fallback; emits the precise diagnostics
+        (and tolerances) of the original per-character lexer."""
+        offset = self._pos
+        src = self._src
+        pos = offset + 1
         n = len(src)
         start = pos
         while pos < n and src[pos] not in _WHITESPACE + "/>":
             pos += 1
         name = src[start:pos]
         if not name:
-            raise XmlWellFormednessError("'<' not followed by a tag name", line, col)
+            raise self._error("'<' not followed by a tag name")
         attributes: list[tuple[str, str]] = []
         while True:
             while pos < n and src[pos] in _WHITESPACE:
                 pos += 1
             if pos >= n:
-                raise XmlWellFormednessError(f"unterminated start tag <{name}", line, col)
+                raise self._error(f"unterminated start tag <{name}")
             if src[pos] == ">":
-                self._advance_to(pos + 1)
-                return StartTagToken(line, col, name, attributes, False)
+                self._pos = pos + 1
+                return StartTagToken(src, offset, name, attributes, False)
             if src.startswith("/>", pos):
-                self._advance_to(pos + 2)
-                return StartTagToken(line, col, name, attributes, True)
-            pos = self._lex_attribute(pos, name, attributes, line, col)
+                self._pos = pos + 2
+                return StartTagToken(src, offset, name, attributes, True)
+            pos = self._lex_attribute(pos, name, attributes)
 
     def _lex_attribute(
-        self, pos: int, tag: str, attributes: list[tuple[str, str]], line: int, col: int
+        self, pos: int, tag: str, attributes: list[tuple[str, str]]
     ) -> int:
         src = self._src
         n = len(src)
@@ -200,83 +323,79 @@ class Lexer:
             pos += 1
         name = src[start:pos]
         if not name:
-            raise XmlWellFormednessError(f"malformed attribute in <{tag}>", line, col)
+            raise self._error(f"malformed attribute in <{tag}>")
         while pos < n and src[pos] in _WHITESPACE:
             pos += 1
         if pos >= n or src[pos] != "=":
-            raise XmlWellFormednessError(f"attribute '{name}' in <{tag}> has no value", line, col)
+            raise self._error(f"attribute '{name}' in <{tag}> has no value")
         pos += 1
         while pos < n and src[pos] in _WHITESPACE:
             pos += 1
         if pos >= n or src[pos] not in "\"'":
-            raise XmlWellFormednessError(f"attribute '{name}' value must be quoted", line, col)
+            raise self._error(f"attribute '{name}' value must be quoted")
         quote = src[pos]
         end = src.find(quote, pos + 1)
         if end == -1:
-            raise XmlWellFormednessError(f"unterminated value for attribute '{name}'", line, col)
+            raise self._error(f"unterminated value for attribute '{name}'")
         raw = src[pos + 1 : end]
         if "<" in raw:
-            raise XmlWellFormednessError(f"'<' not allowed in attribute value of '{name}'", line, col)
+            raise self._error(f"'<' not allowed in attribute value of '{name}'")
         attributes.append((name, unescape(raw)))
         return end + 1
 
     # -- character data ----------------------------------------------------
 
-    def _lex_text(self, line: int, col: int) -> TextToken:
-        end = self._src.find("<", self._pos)
+    def _lex_text(self) -> TextToken:
+        offset = self._pos
+        src = self._src
+        end = src.find("<", offset)
         if end == -1:
-            end = len(self._src)
-        raw = self._src[self._pos : end]
-        self._advance_to(end)
+            end = len(src)
+        raw = src[offset:end]
+        self._pos = end
         if "]]>" in raw:
-            raise XmlWellFormednessError("']]>' not allowed in character data", line, col)
-        _check_chars(raw, line, col)
-        return TextToken(line, col, unescape(raw))
+            raise self._error("']]>' not allowed in character data", offset)
+        self._check_chars(raw, offset)
+        if "&" not in raw:
+            return TextToken(src, offset, raw)
+        return TextToken(src, offset, unescape(raw))
 
-    # -- bookkeeping ---------------------------------------------------------
+    # -- diagnostics -------------------------------------------------------
 
-    def _advance_to(self, new_pos: int) -> None:
-        segment = self._src[self._pos : new_pos]
-        newlines = segment.count("\n")
-        if newlines:
-            self._line += newlines
-            self._col = len(segment) - segment.rfind("\n")
-        else:
-            self._col += len(segment)
-        self._pos = new_pos
+    def _error(self, message: str, offset: int | None = None) -> XmlWellFormednessError:
+        line, column = position_at(self._src, self._pos if offset is None else offset)
+        return XmlWellFormednessError(message, line, column)
 
+    def _check_chars(self, text: str, offset: int) -> None:
+        match = find_illegal_char(text)
+        if match is not None:
+            raise self._error(f"illegal character U+{ord(match.group()):04X}", offset)
 
-def _check_chars(text: str, line: int, col: int) -> None:
-    for ch in text:
-        if not is_xml_char(ord(ch)):
-            raise XmlWellFormednessError(f"illegal character U+{ord(ch):04X}", line, col)
-
-
-def _parse_pseudo_attributes(body: str, line: int, col: int) -> list[tuple[str, str]]:
-    out: list[tuple[str, str]] = []
-    i = 0
-    n = len(body)
-    while i < n:
-        while i < n and body[i] in _WHITESPACE:
-            i += 1
-        if i >= n:
-            break
-        eq = body.find("=", i)
-        if eq == -1:
-            raise XmlWellFormednessError("malformed XML declaration", line, col)
-        name = body[i:eq].strip(_WHITESPACE)
-        j = eq + 1
-        while j < n and body[j] in _WHITESPACE:
-            j += 1
-        if j >= n or body[j] not in "\"'":
-            raise XmlWellFormednessError("malformed XML declaration", line, col)
-        quote = body[j]
-        end = body.find(quote, j + 1)
-        if end == -1:
-            raise XmlWellFormednessError("malformed XML declaration", line, col)
-        out.append((name, body[j + 1 : end]))
-        i = end + 1
-    return out
+    def _parse_pseudo_attributes(self, body: str, offset: int) -> list[tuple[str, str]]:
+        out: list[tuple[str, str]] = []
+        i = 0
+        n = len(body)
+        while i < n:
+            while i < n and body[i] in _WHITESPACE:
+                i += 1
+            if i >= n:
+                break
+            eq = body.find("=", i)
+            if eq == -1:
+                raise self._error("malformed XML declaration", offset)
+            name = body[i:eq].strip(_WHITESPACE)
+            j = eq + 1
+            while j < n and body[j] in _WHITESPACE:
+                j += 1
+            if j >= n or body[j] not in "\"'":
+                raise self._error("malformed XML declaration", offset)
+            quote = body[j]
+            end = body.find(quote, j + 1)
+            if end == -1:
+                raise self._error("malformed XML declaration", offset)
+            out.append((name, body[j + 1 : end]))
+            i = end + 1
+        return out
 
 
 def tokenize(source: str) -> Iterator[Token]:

@@ -9,7 +9,8 @@ when the element closes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.errors import XmlNamespaceError
 
@@ -36,11 +37,16 @@ def is_ncname(name: str) -> bool:
     return all(_is_name_char(c) for c in name[1:])
 
 
+@lru_cache(maxsize=4096)
 def split_prefixed(name: str) -> tuple[str, str]:
     """Split ``prefix:local`` into ``(prefix, local)``; prefix may be ''.
 
     Raises :class:`XmlNamespaceError` when either half is not an NCName
     or when more than one colon appears.
+
+    Cached: SOAP documents repeat a handful of names thousands of
+    times (the pack envelope's N identical body entries), and NCName
+    validation is a per-character Python loop.
     """
     if name.count(":") > 1:
         raise XmlNamespaceError(f"name '{name}' contains multiple colons")
@@ -58,23 +64,62 @@ class QName:
 
     uri: str
     local: str
+    # Clark rendering, precomputed at construction so ``str(qname)``
+    # (which Element.tag and attribute expansion hit per node) is a
+    # plain attribute read.  Excluded from equality/hash.
+    clark: str = field(init=False, repr=False, compare=False, default="")
 
     def __post_init__(self) -> None:
         if not is_ncname(self.local):
             raise XmlNamespaceError(f"'{self.local}' is not a valid NCName")
+        object.__setattr__(
+            self, "clark", f"{{{self.uri}}}{self.local}" if self.uri else self.local
+        )
 
     def __str__(self) -> str:
-        return f"{{{self.uri}}}{self.local}" if self.uri else self.local
+        return self.clark
 
     @classmethod
     def parse(cls, text: str) -> "QName":
-        """Parse Clark notation ``{uri}local`` or a bare local name."""
+        """Parse Clark notation ``{uri}local`` or a bare local name.
+
+        Successfully parsed names are interned: :class:`QName` is
+        frozen, so parser, writer and tree can share one instance per
+        distinct Clark string instead of re-validating it each time.
+        """
+        cached = _QNAME_CACHE.get(text)
+        if cached is not None:
+            return cached
         if text.startswith("{"):
             end = text.find("}")
             if end == -1:
                 raise XmlNamespaceError(f"unterminated Clark notation in '{text}'")
-            return cls(text[1:end], text[end + 1 :])
-        return cls("", text)
+            qname = cls(text[1:end], text[end + 1 :])
+        else:
+            qname = cls("", text)
+        if len(_QNAME_CACHE) < _QNAME_CACHE_MAX:
+            _QNAME_CACHE[text] = qname
+        return qname
+
+
+# Interning caches.  Bounded defensively: distinct names in a
+# deployment are the WSDL's vocabulary, a few hundred at most, but
+# adversarial documents must not grow memory without limit.
+_QNAME_CACHE: dict[str, QName] = {}
+_QNAME_PAIRS: dict[tuple[str, str], QName] = {}
+_QNAME_CACHE_MAX = 4096
+
+
+def qname_of(uri: str, local: str) -> QName:
+    """Interned ``QName(uri, local)`` — NCName validation runs once per
+    distinct name instead of once per occurrence."""
+    key = (uri, local)
+    qname = _QNAME_PAIRS.get(key)
+    if qname is None:
+        qname = QName(uri, local)
+        if len(_QNAME_PAIRS) < _QNAME_CACHE_MAX:
+            _QNAME_PAIRS[key] = qname
+    return qname
 
 
 class NamespaceScope:
@@ -84,10 +129,19 @@ class NamespaceScope:
     ``xmlns`` as the spec requires.
     """
 
-    __slots__ = ("_frames",)
+    __slots__ = ("_frames", "_version")
 
     def __init__(self) -> None:
         self._frames: list[dict[str, str]] = [{"xml": XML_NS, "xmlns": XMLNS_NS}]
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped whenever the prefix→URI mapping
+        changes (a declaration is made, or a declaring frame is popped).
+        Pushing/popping *empty* frames does not bump it, so callers can
+        memoize name resolution across sibling elements."""
+        return self._version
 
     def push(self, declarations: dict[str, str] | None = None) -> None:
         """Open an element scope, optionally with new declarations."""
@@ -96,18 +150,21 @@ class NamespaceScope:
             for prefix, uri in declarations.items():
                 self._check_declaration(prefix, uri)
                 frame[prefix] = uri
+            self._version += 1
         self._frames.append(frame)
 
     def declare(self, prefix: str, uri: str) -> None:
         """Add a declaration to the innermost frame."""
         self._check_declaration(prefix, uri)
         self._frames[-1][prefix] = uri
+        self._version += 1
 
     def pop(self) -> None:
         """Close the innermost element scope."""
         if len(self._frames) == 1:
             raise XmlNamespaceError("namespace scope underflow")
-        self._frames.pop()
+        if self._frames.pop():
+            self._version += 1
 
     def resolve(self, prefix: str) -> str:
         """Map a prefix to its URI; '' maps to the default namespace
@@ -140,8 +197,8 @@ class NamespaceScope:
         """
         prefix, local = split_prefixed(prefixed)
         if not prefix and is_attribute:
-            return QName("", local)
-        return QName(self.resolve(prefix), local)
+            return qname_of("", local)
+        return qname_of(self.resolve(prefix), local)
 
     def depth(self) -> int:
         """Number of open element scopes."""

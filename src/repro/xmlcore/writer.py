@@ -4,11 +4,14 @@ Namespace handling: element and attribute names are stored in Clark
 notation; the writer assigns prefixes on the way out.  An element's
 ``nsmap`` supplies preferred prefixes; URIs with no preferred prefix
 get generated ``ns0``, ``ns1``, ... declarations at first use.
+
+Hot-path notes: rendered names (Clark name → ``prefix:local``) are
+memoized against the namespace scope's version counter, so the pack
+envelope's N identical body entries resolve their prefixes once, not
+N times; output accumulates in a plain list joined at the end.
 """
 
 from __future__ import annotations
-
-import io
 
 from repro.errors import XmlNamespaceError
 from repro.xmlcore.escape import escape_attribute, escape_text
@@ -26,13 +29,15 @@ class StreamingWriter:
     """
 
     def __init__(self, *, declaration: bool = False) -> None:
-        self._buf = io.StringIO()
+        self._parts: list[str] = []
         self._scope = NamespaceScope()
-        self._open: list[tuple[str, int]] = []  # (rendered name, declarations pushed)
+        self._open: list[str] = []  # rendered names of open elements
         self._counter = 0
         self._tag_open = False
+        self._name_memo: dict[tuple[str, str, bool], str] = {}
+        self._memo_version = self._scope.version
         if declaration:
-            self._buf.write(XML_DECLARATION)
+            self._parts.append(XML_DECLARATION)
 
     # -- element events ------------------------------------------------
 
@@ -44,31 +49,33 @@ class StreamingWriter:
     ) -> None:
         """Open an element with attributes and namespace declarations."""
         self._close_start_tag()
-        qname = QName.parse(str(tag))
+        qname = tag if isinstance(tag, QName) else QName.parse(tag)
         self._scope.push()
         declarations: dict[str, str] = {}
-        for prefix, uri in (nsmap or {}).items():
-            self._scope.declare(prefix, uri)
-            declarations[prefix] = uri
+        if nsmap:
+            for prefix, uri in nsmap.items():
+                self._scope.declare(prefix, uri)
+                declarations[prefix] = uri
 
         name = self._render_name(qname, declarations, is_attribute=False)
         rendered_attrs: list[tuple[str, str]] = []
-        for attr, value in (attributes or {}).items():
-            attr_qname = QName.parse(str(attr))
-            rendered_attrs.append(
-                (self._render_name(attr_qname, declarations, is_attribute=True), value)
-            )
+        if attributes:
+            for attr, value in attributes.items():
+                attr_qname = attr if isinstance(attr, QName) else QName.parse(attr)
+                rendered_attrs.append(
+                    (self._render_name(attr_qname, declarations, is_attribute=True), value)
+                )
 
-        buf = self._buf
-        buf.write(f"<{name}")
+        parts = self._parts
+        parts.append(f"<{name}")
         for prefix, uri in declarations.items():
             if prefix:
-                buf.write(f' xmlns:{prefix}="{escape_attribute(uri)}"')
+                parts.append(f' xmlns:{prefix}="{escape_attribute(uri)}"')
             else:
-                buf.write(f' xmlns="{escape_attribute(uri)}"')
+                parts.append(f' xmlns="{escape_attribute(uri)}"')
         for attr_name, value in rendered_attrs:
-            buf.write(f' {attr_name}="{escape_attribute(value)}"')
-        self._open.append((name, 1))
+            parts.append(f' {attr_name}="{escape_attribute(value)}"')
+        self._open.append(name)
         self._tag_open = True
 
     def characters(self, text: str) -> None:
@@ -76,37 +83,37 @@ class StreamingWriter:
         if not text:
             return
         self._close_start_tag()
-        self._buf.write(escape_text(text))
+        self._parts.append(escape_text(text))
 
     def raw(self, markup: str) -> None:
         """Splice pre-serialized markup (used by differential serialization)."""
         self._close_start_tag()
-        self._buf.write(markup)
+        self._parts.append(markup)
 
     def comment(self, text: str) -> None:
         """Emit an XML comment; '--' in the text is illegal."""
         if "--" in text or text.endswith("-"):
             raise XmlNamespaceError("'--' (or a trailing '-') is not allowed in comments")
         self._close_start_tag()
-        self._buf.write(f"<!--{text}-->")
+        self._parts.append(f"<!--{text}-->")
 
     def processing_instruction(self, target: str, data: str = "") -> None:
         """Emit a processing instruction."""
         if not target or target.lower() == "xml" or "?>" in data:
             raise XmlNamespaceError(f"illegal processing instruction target '{target}'")
         self._close_start_tag()
-        self._buf.write(f"<?{target} {data}?>" if data else f"<?{target}?>")
+        self._parts.append(f"<?{target} {data}?>" if data else f"<?{target}?>")
 
     def end(self) -> None:
         """Close the most recently opened element."""
         if not self._open:
             raise XmlNamespaceError("end() with no open element")
-        name, _ = self._open.pop()
+        name = self._open.pop()
         if self._tag_open:
-            self._buf.write("/>")
+            self._parts.append("/>")
             self._tag_open = False
         else:
-            self._buf.write(f"</{name}>")
+            self._parts.append(f"</{name}>")
         self._scope.pop()
 
     def element(self, tag: str | QName, text: str = "", attributes: dict[str, str] | None = None) -> None:
@@ -118,18 +125,40 @@ class StreamingWriter:
     def getvalue(self) -> str:
         """The document text; raises if elements remain open."""
         if self._open:
-            raise XmlNamespaceError(f"unclosed element <{self._open[-1][0]}>")
-        return self._buf.getvalue()
+            raise XmlNamespaceError(f"unclosed element <{self._open[-1]}>")
+        return "".join(self._parts)
 
     # -- internals -------------------------------------------------------
 
     def _close_start_tag(self) -> None:
         if self._tag_open:
-            self._buf.write(">")
+            self._parts.append(">")
             self._tag_open = False
 
     def _render_name(
         self, qname: QName, declarations: dict[str, str], *, is_attribute: bool
+    ) -> str:
+        scope = self._scope
+        memo = self._name_memo
+        if scope.version != self._memo_version:
+            memo.clear()
+            self._memo_version = scope.version
+        key = (qname.uri, qname.local, is_attribute)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        name = self._render_name_uncached(qname, declarations, is_attribute)
+        if scope.version != self._memo_version:
+            # Rendering declared a prefix; the memo entries computed
+            # under the old scope may now be shadowed.  Start fresh —
+            # ``name`` itself is stable under the new version.
+            memo.clear()
+            self._memo_version = scope.version
+        memo[key] = name
+        return name
+
+    def _render_name_uncached(
+        self, qname: QName, declarations: dict[str, str], is_attribute: bool
     ) -> str:
         if not qname.uri:
             # Unprefixed attribute: always fine.  Unprefixed element:
