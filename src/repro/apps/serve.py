@@ -31,13 +31,25 @@ from repro.apps.weather import make_weather_service
 from repro.core.dispatcher import spi_server_handlers
 from repro.core.remote_exec import make_plan_runner_service
 from repro.diagnostics import PackMetricsHandler
+from repro.obs import Observability
 from repro.server.handlers import HandlerChain
 from repro.server.staged_arch import StagedSoapServer
 from repro.transport.tcp import TcpTransport
 
 
-def build_server(host: str, port: int, *, app_workers: int = 16) -> tuple[StagedSoapServer, PackMetricsHandler]:
-    """Assemble the full demo container with SPI + metrics handlers."""
+def build_server(
+    host: str,
+    port: int,
+    *,
+    app_workers: int = 16,
+    observability: Observability | None = None,
+) -> tuple[StagedSoapServer, PackMetricsHandler]:
+    """Assemble the full demo container with SPI + metrics handlers.
+
+    With an :class:`Observability`, the server records per-phase spans
+    and serves ``GET /metrics`` and ``GET /healthz``; the pack metrics
+    feed its registry so everything lands in one snapshot.
+    """
     services = [
         make_echo_service(),
         make_weather_service(),
@@ -46,7 +58,9 @@ def build_server(host: str, port: int, *, app_workers: int = 16) -> tuple[Staged
         *[make_airline_service(n, 480 + 70 * i) for i, n in enumerate(AIRLINE_NAMES)],
         *[make_hotel_service(n, 120 + 35 * i) for i, n in enumerate(HOTEL_NAMES)],
     ]
-    metrics = PackMetricsHandler()
+    metrics = PackMetricsHandler(
+        observability.registry if observability is not None else None
+    )
     chain = HandlerChain([metrics, *spi_server_handlers()])
     server = StagedSoapServer(
         services,
@@ -54,6 +68,7 @@ def build_server(host: str, port: int, *, app_workers: int = 16) -> tuple[Staged
         address=(host, port),
         chain=chain,
         app_workers=app_workers,
+        observability=observability,
     )
     server.container.deploy(make_plan_runner_service(server.container))
     return server, metrics
@@ -68,11 +83,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8080)
     parser.add_argument("--workers", type=int, default=16, help="application-stage workers")
+    parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable observability (no spans, no /metrics or /healthz routes)",
+    )
     args = parser.parse_args(argv)
 
-    server, metrics = build_server(args.host, args.port, app_workers=args.workers)
+    observability = None if args.no_obs else Observability()
+    server, metrics = build_server(
+        args.host, args.port, app_workers=args.workers, observability=observability
+    )
     address = server.start()
     print(f"SPI demo server listening on {address[0]}:{address[1]}")
+    if observability is not None:
+        print(f"  metrics: http://{address[0]}:{address[1]}/metrics")
+        print(f"  health:  http://{address[0]}:{address[1]}/healthz")
     print("deployed services:")
     for service in server.container.services():
         print(f"  {service.name:<24} {service.namespace}")

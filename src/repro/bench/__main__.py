@@ -11,6 +11,7 @@ Usage::
     python -m repro.bench relatedwork
     python -m repro.bench all [--fast]
     python -m repro.bench xml [--smoke] [--record LABEL]
+    python -m repro.bench e2e [--smoke] [--record LABEL] [--check-overhead PCT]
 
 Profiles: lan (paper's 100 Mbit Ethernet emulation, default), wan,
 loopback (bare TCP), inproc (no sockets).
@@ -34,7 +35,9 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         nargs="?",
         default="xml",
-        choices=["fig5", "fig6", "fig7", "travel", "wss", "arch", "relatedwork", "all", "xml"],
+        choices=[
+            "fig5", "fig6", "fig7", "travel", "wss", "arch", "relatedwork", "all", "xml", "e2e",
+        ],
     )
     parser.add_argument(
         "--profile",
@@ -54,23 +57,40 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="xml experiment: minimal iterations, a CI crash detector",
+        help="xml/e2e experiments: minimal iterations, a CI crash detector",
     )
     parser.add_argument(
         "--record",
         metavar="LABEL",
-        help="xml experiment: append results to BENCH_xml.json under LABEL",
+        help="xml/e2e experiments: append results to the trajectory file under LABEL",
     )
     parser.add_argument(
         "--bench-json",
         default=None,
         metavar="PATH",
-        help="xml experiment: trajectory file (default: ./BENCH_xml.json)",
+        help="xml/e2e experiments: trajectory file (default: ./BENCH_xml.json / ./BENCH_e2e.json)",
+    )
+    parser.add_argument(
+        "--check-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="e2e experiment: exit 1 if obs-on overhead on fig7 exceeds PCT percent",
+    )
+    parser.add_argument(
+        "--phase-report",
+        metavar="PATH",
+        nargs="?",
+        const="results/e2e_phases.md",
+        default=None,
+        help="e2e experiment: write the per-phase breakdown report (default path: %(const)s)",
     )
     args = parser.parse_args(argv)
 
     if args.experiment == "xml":
         return _run_xml(args)
+    if args.experiment == "e2e":
+        return _run_e2e(args)
 
     kwargs: dict = {"profile": args.profile}
     if args.experiment == "fig5":
@@ -121,6 +141,36 @@ def _run_xml(args) -> int:
         path = args.bench_json or xmlbench.BENCH_JSON
         xmlbench.record_entry(args.record, results, path=path)
         print(f"recorded entry '{args.record}' in {path}")
+    return 0
+
+
+def _run_e2e(args) -> int:
+    from repro.bench import e2e
+
+    results = e2e.run_e2e_bench(smoke=args.smoke)
+    if args.format == "json":
+        import json
+
+        print(json.dumps(e2e.strip_private(results), indent=2))
+    else:
+        print(e2e.render_table(results))
+    if args.phase_report:
+        report = e2e.write_phase_report(results, args.phase_report)
+        print(f"phase report written to {report}")
+    if args.record:
+        path = args.bench_json or e2e.BENCH_JSON
+        e2e.record_entry(args.record, results, path=path)
+        print(f"recorded entry '{args.record}' in {path}")
+    if args.check_overhead is not None:
+        gate = e2e.OVERHEAD_GATE_CASE
+        pct = results[gate]["overhead_pct"]
+        if not e2e.check_overhead(results, args.check_overhead):
+            print(
+                f"FAIL: obs-on overhead on {gate} is {pct:.2f}% "
+                f"(limit {args.check_overhead:.2f}%)"
+            )
+            return 1
+        print(f"overhead gate OK: {gate} {pct:.2f}% <= {args.check_overhead:.2f}%")
     return 0
 
 

@@ -1,0 +1,245 @@
+"""End-to-end round-trip benchmark with observability rails.
+
+Where :mod:`repro.bench.xmlbench` isolates the XML layer, this module
+times the *whole* request path — client pack, HTTP, envelope parse,
+dispatch, per-entry execution, repack, serialize — on the paper's
+figure shapes, over the in-process transport (no sockets, so the
+numbers are pure processing cost).
+
+Each shape is timed twice, with observability off and on, which gives
+the trajectory two jobs:
+
+* a committed end-to-end latency baseline (``BENCH_e2e.json``), so
+  later PRs are judged on the full path and not just the XML layer;
+* a measured obs overhead per shape (``overhead_pct``), gating the
+  "spans are cheap enough to leave on" claim (< 5% on fig7 in CI).
+
+An obs-on run also writes a per-phase breakdown (from the recorded
+spans) plus a waterfall of one representative packed trace under
+``results/``.
+
+Run::
+
+    python -m repro.bench e2e                    # full run, table output
+    python -m repro.bench e2e --smoke            # tiny run (CI crash detector)
+    python -m repro.bench e2e --record PR-N      # append to BENCH_e2e.json
+    python -m repro.bench e2e --check-overhead 5 # exit 1 if fig7 overhead > 5%
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.workloads import echo_calls, echo_testbed, make_invoker
+from repro.obs import Observability, phase_breakdown, render_spans
+
+BENCH_JSON = "BENCH_e2e.json"
+OVERHEAD_GATE_CASE = "fig7"
+
+# -- workload shapes ------------------------------------------------------
+
+
+@dataclass(slots=True)
+class E2eShape:
+    """One round trip: M packed echo calls of ``payload_bytes`` each."""
+
+    name: str
+    m: int
+    payload_bytes: int
+    repeats: int  # timed round trips per variant (full mode)
+
+
+# Shapes mirror the paper's figures, rescaled for a per-PR CI budget:
+# fig5/fig6 keep their payload sizes at the M=32 pack degree the paper
+# sweeps to; fig7's 100 KB payloads get a smaller M so one round trip
+# stays in the tens of milliseconds.
+SHAPES = [
+    E2eShape("fig5", 32, 10, 30),
+    E2eShape("fig6", 32, 1_000, 20),
+    E2eShape("fig7", 4, 100_000, 8),
+]
+
+
+# -- measurement ----------------------------------------------------------
+
+
+def _time_round_trips(
+    shape: E2eShape,
+    *,
+    observability: Observability | None,
+    repeats: int,
+) -> list[float]:
+    """Wall seconds per packed round trip (one warmup, then repeats)."""
+    samples: list[float] = []
+    with echo_testbed(
+        profile="inproc", architecture="staged", observability=observability
+    ) as testbed:
+        proxy = testbed.make_proxy()
+        invoker = make_invoker("our-approach", proxy)
+        calls = echo_calls(shape.m, shape.payload_bytes)
+        invoker.invoke_all(calls, timeout=120)  # warmup
+        for _ in range(repeats):
+            start = time.perf_counter()
+            invoker.invoke_all(calls, timeout=120)
+            samples.append(time.perf_counter() - start)
+        proxy.close()
+    return samples
+
+
+def run_e2e_bench(*, smoke: bool = False) -> dict[str, dict]:
+    """Benchmark every shape obs-off and obs-on.
+
+    Returns ``{shape: {m, payload_bytes, repeats, off_p50_ms,
+    on_p50_ms, overhead_pct, phases}}`` where ``phases`` is the
+    span-derived per-phase breakdown of the obs-on run.
+    """
+    results: dict[str, dict] = {}
+    for shape in SHAPES:
+        repeats = max(4, shape.repeats // 4) if smoke else shape.repeats
+        off = _time_round_trips(shape, observability=None, repeats=repeats)
+        obs = Observability()
+        on = _time_round_trips(shape, observability=obs, repeats=repeats)
+        off_p50 = statistics.median(off)
+        on_p50 = statistics.median(on)
+        trace_id = _last_trace_id(obs)
+        results[shape.name] = {
+            "m": shape.m,
+            "payload_bytes": shape.payload_bytes,
+            "repeats": repeats,
+            "off_p50_ms": round(off_p50 * 1e3, 4),
+            "on_p50_ms": round(on_p50 * 1e3, 4),
+            # best-of times, not medians: scheduler noise inflates any
+            # single sample but never deflates one, so min/min is the
+            # stable estimator for a small-sample overhead gate
+            "overhead_pct": round((min(on) / min(off) - 1.0) * 100.0, 2),
+            "phases": {
+                name: {k: round(v, 4) if isinstance(v, float) else v for k, v in row.items()}
+                for name, row in phase_breakdown(obs.tracer.spans(trace_id)).items()
+            }
+            if trace_id
+            else {},
+        }
+        results[shape.name]["_waterfall"] = (
+            render_spans(trace_id, obs.tracer.spans(trace_id)) if trace_id else ""
+        )
+    return results
+
+
+def _last_trace_id(obs: Observability) -> str | None:
+    ids = obs.tracer.trace_ids()
+    return ids[-1] if ids else None
+
+
+# -- reporting ------------------------------------------------------------
+
+
+def render_table(results: dict[str, dict]) -> str:
+    """ASCII table: per-shape obs-off/on latency and overhead."""
+    lines = [
+        f"{'shape':<8} {'M':>4} {'payload':>9} {'off p50 ms':>12} "
+        f"{'on p50 ms':>12} {'overhead %':>11}"
+    ]
+    lines.append("-" * 62)
+    for name, row in results.items():
+        lines.append(
+            f"{name:<8} {row['m']:>4} {row['payload_bytes']:>8}B "
+            f"{row['off_p50_ms']:>12.3f} {row['on_p50_ms']:>12.3f} "
+            f"{row['overhead_pct']:>11.2f}"
+        )
+    return "\n".join(lines)
+
+
+def write_phase_report(
+    results: dict[str, dict], path: str | Path = "results/e2e_phases.md"
+) -> Path:
+    """Write the per-phase breakdown + one waterfall per shape."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        "# End-to-end phase breakdown",
+        "",
+        "Per-phase span times from one representative packed round trip",
+        "per shape (in-process transport, staged server, obs on).",
+        "Regenerate: `python -m repro.bench e2e --phase-report`.",
+        "",
+    ]
+    for name, row in results.items():
+        lines.append(f"## {name} (M={row['m']}, payload={row['payload_bytes']} B)")
+        lines.append("")
+        lines.append(f"obs-off p50 {row['off_p50_ms']:.3f} ms, obs-on p50 "
+                     f"{row['on_p50_ms']:.3f} ms ({row['overhead_pct']:+.2f}%)")
+        lines.append("")
+        lines.append("| phase | count | total ms | mean ms |")
+        lines.append("|---|---:|---:|---:|")
+        for phase, stats in row.get("phases", {}).items():
+            lines.append(
+                f"| {phase} | {stats['count']} | {stats['total_ms']:.3f} "
+                f"| {stats['mean_ms']:.3f} |"
+            )
+        lines.append("")
+        if row.get("_waterfall"):
+            lines.append("```")
+            lines.append(row["_waterfall"])
+            lines.append("```")
+            lines.append("")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def strip_private(results: dict[str, dict]) -> dict[str, dict]:
+    """Results without report-only keys (what BENCH_e2e.json stores)."""
+    return {
+        name: {k: v for k, v in row.items() if not k.startswith("_")}
+        for name, row in results.items()
+    }
+
+
+# -- trajectory rails (same shape as BENCH_xml.json) ----------------------
+
+
+def load_trajectory(path: str | Path = BENCH_JSON) -> dict:
+    """Read the trajectory file, or an empty skeleton if absent."""
+    path = Path(path)
+    if path.exists():
+        return json.loads(path.read_text())
+    return {
+        "benchmark": "python -m repro.bench e2e",
+        "units": {
+            "off_p50_ms": "median wall ms per packed round trip, obs off",
+            "on_p50_ms": "median wall ms per packed round trip, obs on",
+            "overhead_pct": "100 * (on/off - 1)",
+        },
+        "entries": [],
+    }
+
+
+def record_entry(
+    label: str,
+    results: dict[str, dict],
+    *,
+    path: str | Path = BENCH_JSON,
+    notes: str = "",
+) -> dict:
+    """Append a labelled entry to the committed trajectory file."""
+    trajectory = load_trajectory(path)
+    entry = {
+        "label": label,
+        "date": time.strftime("%Y-%m-%d"),
+        "results": strip_private(results),
+    }
+    if notes:
+        entry["notes"] = notes
+    trajectory["entries"].append(entry)
+    Path(path).write_text(json.dumps(trajectory, indent=2) + "\n")
+    return entry
+
+
+def check_overhead(
+    results: dict[str, dict], limit_pct: float, *, case: str = OVERHEAD_GATE_CASE
+) -> bool:
+    """True when obs-on overhead on ``case`` is within ``limit_pct``."""
+    return results[case]["overhead_pct"] <= limit_pct

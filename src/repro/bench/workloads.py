@@ -26,7 +26,9 @@ from repro.client.invoker import (
 from repro.client.proxy import ServiceProxy
 from repro.core.batch import PackedInvoker
 from repro.core.dispatcher import spi_server_handlers
+from repro.diagnostics import PackMetricsHandler
 from repro.errors import ReproError
+from repro.obs.trace import Observability, Tracer
 from repro.server.common_arch import CommonSoapServer
 from repro.server.handlers import HandlerChain
 from repro.server.staged_arch import StagedSoapServer
@@ -68,15 +70,29 @@ class Testbed:
     address: object
     profile: str
     architecture: str
+    observability: Observability | None = None
 
-    def make_proxy(self, *, reuse_connections: bool = False) -> ServiceProxy:
-        """A fresh client proxy for this deployment."""
+    def make_proxy(
+        self,
+        *,
+        reuse_connections: bool = False,
+        tracer: Tracer | None = None,
+    ) -> ServiceProxy:
+        """A fresh client proxy for this deployment.
+
+        When the testbed carries an :class:`Observability` and no
+        explicit ``tracer`` is given, the proxy shares the testbed's
+        tracer so client and server spans land in the same trace.
+        """
+        if tracer is None and self.observability is not None:
+            tracer = self.observability.tracer
         return ServiceProxy(
             self.transport,
             self.address,
             namespace=ECHO_NS,
             service_name=ECHO_SERVICE,
             reuse_connections=reuse_connections,
+            tracer=tracer,
         )
 
 
@@ -87,15 +103,29 @@ def echo_testbed(
     architecture: str = "staged",
     spi: bool = True,
     app_workers: int = 32,
+    observability: Observability | None = None,
 ) -> Iterator[Testbed]:
-    """Deploy the Echo service and yield a ready Testbed."""
+    """Deploy the Echo service and yield a ready Testbed.
+
+    ``observability``: threads an obs subsystem through the server
+    (spans, /metrics, /healthz) and installs a
+    :class:`~repro.diagnostics.PackMetricsHandler` feeding its registry,
+    so pack-degree and execute-latency histograms show up in /metrics.
+    """
     transport = build_transport(profile)
     address = "echo-bench" if profile == "inproc" else ("127.0.0.1", 0)
-    chain = HandlerChain(spi_server_handlers()) if spi else None
+    handlers = spi_server_handlers() if spi else []
+    if observability is not None and spi:
+        handlers.insert(0, PackMetricsHandler(observability.registry))
+    chain = HandlerChain(handlers) if handlers else None
 
     if architecture == "common":
         server = CommonSoapServer(
-            [make_echo_service()], transport=transport, address=address, chain=chain
+            [make_echo_service()],
+            transport=transport,
+            address=address,
+            chain=chain,
+            observability=observability,
         )
     elif architecture == "staged":
         server = StagedSoapServer(
@@ -104,13 +134,14 @@ def echo_testbed(
             address=address,
             chain=chain,
             app_workers=app_workers,
+            observability=observability,
         )
     else:
         raise ReproError(f"unknown architecture '{architecture}'")
 
     bound = server.start()
     try:
-        yield Testbed(transport, server, bound, profile, architecture)
+        yield Testbed(transport, server, bound, profile, architecture, observability)
     finally:
         server.stop()
 

@@ -10,6 +10,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.errors import InvocationError
 from repro.http.connection import ConnectionPool, HttpConnection
 from repro.http.message import Headers, HttpRequest
+from repro.obs.trace import (
+    OBS_NS,
+    TRACE_HEADER_TAG,
+    TRACE_HTTP_HEADER,
+    TRACE_ID_ATTR,
+    Tracer,
+    new_trace_id,
+)
 from repro.soap.constants import SOAP_ACTION_HEADER, SOAP_CONTENT_TYPE
 from repro.soap.deserializer import parse_response_document
 from repro.soap.envelope import Envelope
@@ -47,12 +55,19 @@ class ServiceProxy:
         interface: WsdlService | None = None,
         extra_headers: list[Element] | None = None,
         credentials: "Credentials | None" = None,
+        tracer: Tracer | None = None,
     ) -> None:
         """``credentials``: when given, every outgoing envelope is signed
         with a WS-Security UsernameToken over its (possibly packed)
         body, so servers running a
         :class:`~repro.server.security_handler.SecurityVerifyHandler`
-        accept it.  One signature covers an entire packed batch."""
+        accept it.  One signature covers an entire packed batch.
+
+        ``tracer``: when given, every exchange mints a trace id, records
+        a ``client.call`` span, and propagates the id both as an
+        ``X-Repro-Trace-Id`` HTTP header and a mustUnderstand=false SOAP
+        header entry (so it survives SPI packing and any transport that
+        strips custom HTTP headers)."""
         self.transport = transport
         self.address = address
         self.namespace = namespace
@@ -62,6 +77,8 @@ class ServiceProxy:
         self.interface = interface
         self.extra_headers = list(extra_headers or [])
         self.credentials = credentials
+        self.tracer = tracer
+        self.last_trace_id: str | None = None
         self._pool = ConnectionPool(transport) if reuse_connections else None
         self.calls = 0
         self.connections_opened = 0
@@ -111,33 +128,43 @@ class ServiceProxy:
 
     def exchange_raw(self, envelope: Envelope, action: str = "") -> bytes:
         """Like :meth:`exchange` but returns the undecoded response body."""
+        header_fields = {
+            "Content-Type": SOAP_CONTENT_TYPE,
+            SOAP_ACTION_HEADER: f'"{self.namespace}#{action}"',
+            "Host": self._host_header(),
+        }
+        trace_id = None
+        if self.tracer is not None:
+            trace_id = new_trace_id()
+            self.last_trace_id = trace_id
+            header_fields[TRACE_HTTP_HEADER] = trace_id
+            # mustUnderstand stays unset (=false): servers without the
+            # obs subsystem must keep accepting the message untouched.
+            envelope.add_header(
+                Element(TRACE_HEADER_TAG, {TRACE_ID_ATTR: trace_id}, nsmap={"obs": OBS_NS})
+            )
         if self.credentials is not None:
             from repro.soap.wssecurity import attach_security_header
 
             attach_security_header(envelope, self.credentials)
-        request = HttpRequest(
-            "POST",
-            self.path,
-            Headers(
-                {
-                    "Content-Type": SOAP_CONTENT_TYPE,
-                    SOAP_ACTION_HEADER: f'"{self.namespace}#{action}"',
-                    "Host": self._host_header(),
-                }
-            ),
-            envelope.to_bytes(),
-        )
-        if self._pool is not None:
-            response = self._pool.request(self.address, request)
+        request = HttpRequest("POST", self.path, Headers(header_fields), envelope.to_bytes())
+        if trace_id is not None:
+            with self.tracer.span("client.call", trace_id, detail=action or "exchange"):
+                response = self._send_request(request)
         else:
-            with HttpConnection(self.transport, self.address) as connection:
-                self.connections_opened += 1
-                response = connection.request(request)
+            response = self._send_request(request)
         if response.status not in (200, 500):
             # 500 carries a SOAP Fault we surface properly below;
             # anything else is an HTTP-level failure.
             response.raise_for_status()
         return response.body
+
+    def _send_request(self, request: HttpRequest):
+        if self._pool is not None:
+            return self._pool.request(self.address, request)
+        with HttpConnection(self.transport, self.address) as connection:
+            self.connections_opened += 1
+            return connection.request(request)
 
     def fetch_wsdl(self) -> str:
         """GET this service's generated WSDL from the server."""

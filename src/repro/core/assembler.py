@@ -17,6 +17,7 @@ from typing import Any, Mapping
 
 from repro.client.futures import InvocationFuture
 from repro.core import packformat
+from repro.obs.trace import span as obs_span
 from repro.server.handlers import Handler, MessageContext
 from repro.soap.envelope import Envelope
 from repro.soap.serializer import serialize_rpc_request
@@ -98,7 +99,8 @@ class ServerAssembler(Handler):
             return
         # ids were copied request→response by the container, so no
         # reassignment here
-        wrapper = packformat.build_parallel_method(
-            list(context.response_entries), assign_ids=False
-        )
+        with obs_span("spi.pack", detail=f"entries={len(context.response_entries)}"):
+            wrapper = packformat.build_parallel_method(
+                list(context.response_entries), assign_ids=False
+            )
         context.response_entries = [wrapper]

@@ -20,6 +20,7 @@ from repro.client.futures import InvocationFuture
 from repro.core import packformat
 from repro.core.assembler import PACKED_FLAG_PROPERTY
 from repro.errors import PackError
+from repro.obs.trace import span as obs_span
 from repro.server.handlers import Handler, MessageContext
 from repro.soap.constants import FAULT_TAG
 from repro.soap.deserializer import parse_rpc_response
@@ -40,7 +41,9 @@ class ServerDispatcher(Handler):
         entries = context.request_entries
         if len(entries) != 1 or not packformat.is_parallel_method(entries[0]):
             return
-        children = packformat.unpack_parallel_method(entries[0])
+        with obs_span("spi.unpack") as unpack_span:
+            children = packformat.unpack_parallel_method(entries[0])
+            unpack_span.detail = f"entries={len(children)}"
         context.request_entries = children
         context.packed = True
         context.properties[PACKED_FLAG_PROPERTY] = True

@@ -11,45 +11,15 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.registry import Histogram, MetricsRegistry
 from repro.server.handlers import Handler, MessageContext
 
+__all__ = ["Histogram", "PackMetricsHandler", "TraceEvent", "TraceLog", "TracingHandler"]
 
-@dataclass(slots=True)
-class Histogram:
-    """Fixed-bucket counting histogram (bucket upper bounds inclusive)."""
-
-    bounds: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
-    counts: list[int] = field(default_factory=list)
-    overflow: int = 0
-    total: int = 0
-    sum: float = 0.0
-
-    def __post_init__(self) -> None:
-        if not self.counts:
-            self.counts = [0] * len(self.bounds)
-
-    def record(self, value: float) -> None:
-        """Count one observation into its bucket."""
-        self.total += 1
-        self.sum += value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.overflow += 1
-
-    @property
-    def mean(self) -> float:
-        return self.sum / self.total if self.total else 0.0
-
-    def snapshot(self) -> dict:
-        """Total/mean/bucket counts as a plain dict."""
-        buckets = {f"<={bound}": count for bound, count in zip(self.bounds, self.counts)}
-        buckets[f">{self.bounds[-1]}"] = self.overflow
-        return {"total": self.total, "mean": self.mean, "buckets": buckets}
+EXECUTE_MS_BOUNDS = (1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0)
 
 
 class PackMetricsHandler(Handler):
@@ -58,13 +28,21 @@ class PackMetricsHandler(Handler):
     Records, per HTTP exchange: the packing degree (entries per
     message), and end-to-end service time between the request chain and
     the response chain (i.e. the whole execution phase).
+
+    With a ``registry``, the two histograms are created *in* it (names
+    ``pack.degree`` and ``pack.execute_ms``) so they appear in the
+    unified ``/metrics`` snapshot alongside the span histograms.
     """
 
     name = "pack-metrics"
 
-    def __init__(self) -> None:
-        self.pack_degree = Histogram()
-        self.execute_ms = Histogram(bounds=(1, 5, 10, 50, 100, 500, 1000, 5000))
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        if registry is None:
+            self.pack_degree = Histogram()
+            self.execute_ms = Histogram(bounds=EXECUTE_MS_BOUNDS)
+        else:
+            self.pack_degree = registry.histogram("pack.degree")
+            self.execute_ms = registry.histogram("pack.execute_ms", EXECUTE_MS_BOUNDS)
         self.packed_messages = 0
         self.plain_messages = 0
         self._lock = threading.Lock()

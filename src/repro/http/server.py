@@ -15,15 +15,26 @@ differ in what happens *inside* that callable:
 from __future__ import annotations
 
 import contextlib
+import json
 import threading
+import time
 from typing import Callable, Iterator
 
 from repro.errors import HttpError, TransportError
 from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.http.parser import ChannelReader, ConnectionClosedCleanly, read_request
+from repro.obs.trace import (
+    TRACE_HTTP_HEADER,
+    Observability,
+    activate,
+    deactivate,
+    new_trace_id,
+)
 from repro.transport.base import Address, Channel, Listener, ListenerClosed, Transport
 
 App = Callable[[HttpRequest], HttpResponse]
+
+ADMIN_PATHS = ("/metrics", "/healthz")
 
 
 class HttpServer:
@@ -45,6 +56,7 @@ class HttpServer:
         chunk_responses_over: int | None = None,
         chunk_size: int = 8192,
         max_connections: int | None = None,
+        observability: Observability | None = None,
     ) -> None:
         """``chunk_responses_over``: when set, response bodies larger
         than this many bytes are sent with chunked transfer encoding —
@@ -56,8 +68,18 @@ class HttpServer:
         connections are serviced concurrently ("too many concurrent
         threads will degrade throughput rapidly", §3.3); excess
         connections wait in the accept backlog.
+
+        ``observability`` lights up tracing and the admin surface: each
+        request gets ``http.parse``/``http.send`` spans on the trace
+        named by its ``X-Repro-Trace-Id`` header (a fresh id is minted
+        for untraced requests), the trace context is active while the
+        app callable runs, and ``GET /metrics`` / ``GET /healthz``
+        return JSON snapshots without entering the app.  Without it the
+        seed code path runs unchanged.
         """
         self._app = app
+        self._obs = observability
+        self._started_at = time.time()
         self._transport = transport
         self._bind_address = address
         self._server_header = server_header
@@ -155,8 +177,14 @@ class HttpServer:
 
     def _serve_connection(self, channel: Channel) -> None:
         reader = ChannelReader(channel)
+        obs = self._obs
         try:
             while not self._stopping.is_set():
+                # With obs on, the parse span starts here; on a fresh
+                # connection that is the moment bytes become readable,
+                # on a reused keep-alive connection it includes client
+                # think time between requests.
+                parse_start = time.perf_counter() if obs is not None else 0.0
                 try:
                     request = read_request(reader)
                 except ConnectionClosedCleanly:
@@ -167,6 +195,29 @@ class HttpServer:
                 except TransportError:
                     return
 
+                trace_id = ""
+                if obs is not None:
+                    admin = self._admin_response(request)
+                    if admin is not None:
+                        with self._counter_lock:
+                            self.requests_served += 1
+                        keep_alive = request.keep_alive and not self._stopping.is_set()
+                        self._send(channel, admin, close=not keep_alive)
+                        if not keep_alive:
+                            return
+                        continue
+                    trace_id = (
+                        request.headers.get(TRACE_HTTP_HEADER) or new_trace_id()
+                    )
+                    obs.tracer.record_span(
+                        "http.parse",
+                        trace_id,
+                        parse_start,
+                        time.perf_counter(),
+                        detail=request.path,
+                    )
+                    obs.registry.counter("http.requests").inc()
+                    activate(obs.tracer, trace_id)
                 try:
                     response = self._app(request)
                 except Exception as exc:  # app bug: report, keep serving
@@ -174,11 +225,20 @@ class HttpServer:
                         500, Headers({"Content-Type": "text/plain"}),
                         f"internal error: {exc}".encode("utf-8"),
                     )
+                finally:
+                    if obs is not None:
+                        deactivate()
                 with self._counter_lock:
                     self.requests_served += 1
 
                 keep_alive = request.keep_alive and not self._stopping.is_set()
-                self._send(channel, response, close=not keep_alive)
+                if obs is not None:
+                    with obs.tracer.span(
+                        "http.send", trace_id, detail=f"{len(response.body)}B"
+                    ):
+                        self._send(channel, response, close=not keep_alive)
+                else:
+                    self._send(channel, response, close=not keep_alive)
                 if not keep_alive:
                     return
         finally:
@@ -188,6 +248,38 @@ class HttpServer:
             self._release_slot()
             with self._threads_lock:
                 self._connection_threads.discard(threading.current_thread())
+
+    # -- admin surface ------------------------------------------------------
+
+    def _admin_response(self, request: HttpRequest) -> HttpResponse | None:
+        """JSON for ``GET /metrics`` / ``GET /healthz``; None otherwise."""
+        if request.method != "GET":
+            return None
+        path = request.path.partition("?")[0]
+        if path not in ADMIN_PATHS:
+            return None
+        assert self._obs is not None
+        if path == "/healthz":
+            payload = self.health_snapshot()
+        else:
+            payload = self._obs.metrics_snapshot()
+        return HttpResponse(
+            200,
+            Headers({"Content-Type": "application/json"}),
+            json.dumps(payload, indent=2).encode("utf-8"),
+        )
+
+    def health_snapshot(self) -> dict:
+        """The ``/healthz`` document: liveness plus connection counters."""
+        with self._counter_lock:
+            return {
+                "status": "ok",
+                "uptime_s": round(time.time() - self._started_at, 3),
+                "connections_accepted": self.connections_accepted,
+                "current_connections": self._current_connections,
+                "max_concurrent_connections": self.max_concurrent_connections,
+                "requests_served": self.requests_served,
+            }
 
     def _release_slot(self) -> None:
         if self._connection_slots is not None:

@@ -1,0 +1,60 @@
+"""``repro.obs`` — tracing + metrics threaded through the request path.
+
+The paper's whole argument is about *where* time goes (parse vs.
+dispatch vs. execute vs. serialize); this package is the measurement
+substrate that makes those phases visible end-to-end:
+
+* :mod:`repro.obs.registry` — thread-safe counters/gauges/histograms
+  unified behind one :class:`MetricsRegistry`;
+* :mod:`repro.obs.trace` — trace ids minted client-side, propagated as
+  an HTTP header plus a SOAP header entry (surviving SPI packing), and
+  recorded server-side as per-phase spans;
+* :mod:`repro.obs.timeline` — text waterfalls of one trace's spans.
+
+Attach one :class:`Observability` to a server (and optionally share its
+tracer with a client proxy) to light everything up; servers without one
+run the seed byte-identical fast path.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    DEFAULT_BOUNDS,
+    Gauge,
+    Histogram,
+    LATENCY_BOUNDS_S,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    OBS_NS,
+    Observability,
+    Span,
+    TRACE_HEADER_TAG,
+    TRACE_HTTP_HEADER,
+    TRACE_ID_ATTR,
+    Tracer,
+    new_trace_id,
+)
+from repro.obs.timeline import phase_breakdown, render_all, render_spans, render_timeline
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BOUNDS",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BOUNDS_S",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "OBS_NS",
+    "Observability",
+    "Span",
+    "TRACE_HEADER_TAG",
+    "TRACE_HTTP_HEADER",
+    "TRACE_ID_ATTR",
+    "Tracer",
+    "new_trace_id",
+    "phase_breakdown",
+    "render_all",
+    "render_spans",
+    "render_timeline",
+]

@@ -1,0 +1,248 @@
+"""Trace-context propagation and per-phase spans.
+
+One *trace* is one logical client operation — a ``proxy.call`` or a
+packed ``PackBatch.flush`` — identified by a random 64-bit hex id.  The
+client mints the id and sends it twice: as the ``X-Repro-Trace-Id``
+HTTP header (cheap for the HTTP layer to read before SOAP parsing) and
+as a ``mustUnderstand="0"`` SOAP header entry, so the id survives any
+intermediary that re-wraps the body — in particular SPI packing, where
+M logical requests ride one ``Parallel_Method`` entry.
+
+A *span* is one timed phase of a trace (``http.parse``,
+``security.verify``, ``soap.parse``, ``spi.unpack``, ``execute`` per
+entry, ``spi.pack``, ``soap.serialize``, ``http.send``, and
+``client.call`` on the client).  Spans are recorded into a bounded ring
+on the :class:`Tracer` and their durations feed ``span.<name>.seconds``
+histograms in the attached
+:class:`~repro.obs.registry.MetricsRegistry`, which is how per-phase
+latency shows up under ``/metrics``.
+
+Hot-path contract: when no trace is active (observability disabled) the
+module-level :func:`span` helper returns the shared :data:`NULL_SPAN`
+singleton — no object allocation, no clock read — so an obs-disabled
+server runs the exact seed code path plus one attribute lookup.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Iterator
+
+from repro.obs.registry import LATENCY_BOUNDS_S, MetricsRegistry
+
+# Wire constants for propagation.
+TRACE_HTTP_HEADER = "X-Repro-Trace-Id"
+OBS_NS = "urn:repro:obs"
+TRACE_HEADER_TAG = f"{{{OBS_NS}}}Trace"
+TRACE_ID_ATTR = "traceId"
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit hex trace id."""
+    return os.urandom(8).hex()
+
+
+class Span:
+    """One finished (or in-flight) timed phase of a trace."""
+
+    __slots__ = ("trace_id", "name", "detail", "start", "end")
+
+    def __init__(self, trace_id: str, name: str, detail: str = "") -> None:
+        self.trace_id = trace_id
+        self.name = name
+        self.detail = detail
+        self.start = 0.0
+        self.end = 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        """JSON-friendly span summary."""
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "detail": self.detail,
+            "start_s": self.start,
+            "duration_s": self.duration_s,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, trace={self.trace_id}, {self.duration_s * 1e3:.3f} ms)"
+
+
+class _SpanHandle:
+    """Context manager that times one span and hands it to the tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._span.start = self._tracer._clock()
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._span.end = self._tracer._clock()
+        self._tracer._finish(self._span)
+
+
+class _NullSpan:
+    """Shared do-nothing span guard for the obs-disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def __setattr__(self, name: str, value: object) -> None:
+        # swallow `span.detail = ...` style writes inside `with` blocks
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Bounded span ring + optional registry feed; thread-safe."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        *,
+        capacity: int = 4096,
+        clock=time.perf_counter,
+    ) -> None:
+        self.registry = registry
+        self._clock = clock
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, trace_id: str, detail: str = "") -> _SpanHandle:
+        """A context manager timing one phase of ``trace_id``."""
+        return _SpanHandle(self, Span(trace_id, name, detail))
+
+    def record_span(
+        self, name: str, trace_id: str, start: float, end: float, detail: str = ""
+    ) -> Span:
+        """Record a phase timed by the caller (e.g. before the trace id
+        was known — the HTTP parse phase discovers the id)."""
+        span = Span(trace_id, name, detail)
+        span.start = start
+        span.end = end
+        self._finish(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+        if self.registry is not None:
+            self.registry.histogram(
+                f"span.{span.name}.seconds", LATENCY_BOUNDS_S
+            ).record(span.duration_s)
+
+    # -- inspection ----------------------------------------------------
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """Recorded spans in completion order, optionally one trace's."""
+        with self._lock:
+            snapshot = list(self._spans)
+        if trace_id is None:
+            return snapshot
+        return [span for span in snapshot if span.trace_id == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids in first-completion order."""
+        seen: dict[str, None] = {}
+        for span in self.spans():
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+# -- ambient per-thread trace context ----------------------------------
+
+_active = threading.local()
+
+
+def activate(tracer: Tracer, trace_id: str) -> None:
+    """Bind a (tracer, trace id) to the current thread; the protocol
+    thread does this once the HTTP request head names the trace."""
+    _active.tracer = tracer
+    _active.trace_id = trace_id
+
+
+def deactivate() -> None:
+    """Clear the current thread's trace binding."""
+    _active.tracer = None
+    _active.trace_id = None
+
+
+def current() -> tuple[Tracer, str] | None:
+    """The active (tracer, trace id), or None — capture this before
+    hopping threads (the staged server hands it to stage workers)."""
+    tracer = getattr(_active, "tracer", None)
+    if tracer is None:
+        return None
+    return tracer, _active.trace_id
+
+
+def current_trace_id() -> str | None:
+    """The active trace id, or None."""
+    tracer = getattr(_active, "tracer", None)
+    return _active.trace_id if tracer is not None else None
+
+
+def span(name: str, detail: str = ""):
+    """A span on the thread's active trace — or :data:`NULL_SPAN` when
+    tracing is off (no allocation, no clock read)."""
+    tracer = getattr(_active, "tracer", None)
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, _active.trace_id, detail)
+
+
+def span_in(context: tuple[Tracer, str] | None, name: str, detail: str = ""):
+    """Like :func:`span` but against an explicitly captured context —
+    for worker threads that inherited it from the protocol thread."""
+    if context is None:
+        return NULL_SPAN
+    return context[0].span(name, context[1], detail)
+
+
+class Observability:
+    """The bundle a server (or a whole testbed) threads everywhere:
+    one registry, one tracer feeding it, one start timestamp."""
+
+    def __init__(self, *, span_capacity: int = 4096) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(self.registry, capacity=span_capacity)
+        self.started_at = time.time()
+
+    def metrics_snapshot(self) -> dict:
+        """The ``/metrics`` JSON document."""
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "spans_recorded": len(self.tracer),
+            "traces": len(self.tracer.trace_ids()),
+            **self.registry.snapshot(),
+        }
+
+    def iter_traces(self) -> Iterator[tuple[str, list[Span]]]:
+        """(trace id, spans) pairs in first-completion order."""
+        for trace_id in self.tracer.trace_ids():
+            yield trace_id, self.tracer.spans(trace_id)

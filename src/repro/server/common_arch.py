@@ -14,6 +14,7 @@ import contextlib
 from typing import Iterator
 
 from repro.http.server import HttpServer
+from repro.obs.trace import Observability, span as obs_span
 from repro.server.container import ServiceContainer
 from repro.server.endpoint import SoapEndpoint
 from repro.server.handlers import HandlerChain
@@ -36,15 +37,20 @@ class CommonSoapServer:
         address: Address = ("127.0.0.1", 0),
         chain: HandlerChain | None = None,
         chunk_responses_over: int | None = None,
+        observability: Observability | None = None,
     ) -> None:
+        self.observability = observability
         self.container = ServiceContainer(services)
-        self.endpoint = SoapEndpoint(self.container, self._execute, chain=chain)
+        self.endpoint = SoapEndpoint(
+            self.container, self._execute, chain=chain, observability=observability
+        )
         self.transport = transport if transport is not None else TcpTransport()
         self.http = HttpServer(
             self.endpoint,
             transport=self.transport,
             address=address,
             chunk_responses_over=chunk_responses_over,
+            observability=observability,
         )
 
     def _execute(self, entries: list[Element]) -> list[Element]:
@@ -55,11 +61,12 @@ class CommonSoapServer:
         # thread to give them to); only their results are discarded.
         results = []
         for entry in entries:
-            if is_one_way(entry):
-                self.container.execute_entry(entry)
-                results.append(accepted_response(entry))
-            else:
-                results.append(self.container.execute_entry(entry))
+            with obs_span("execute", detail=entry.local_name):
+                if is_one_way(entry):
+                    self.container.execute_entry(entry)
+                    results.append(accepted_response(entry))
+                else:
+                    results.append(self.container.execute_entry(entry))
         return results
 
     # -- lifecycle -------------------------------------------------------

@@ -21,6 +21,15 @@ from typing import Callable, Protocol
 
 from repro.errors import ReproError
 from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.obs.registry import DEFAULT_BOUNDS
+from repro.obs.trace import (
+    TRACE_HEADER_TAG,
+    TRACE_ID_ATTR,
+    Observability,
+    activate,
+    current_trace_id,
+    span as obs_span,
+)
 from repro.soap.constants import (
     FAULT_CLIENT,
     FAULT_MUST_UNDERSTAND,
@@ -72,11 +81,13 @@ class SoapEndpoint:
         executor: Executor,
         *,
         chain: HandlerChain | None = None,
+        observability: Observability | None = None,
     ) -> None:
         self.container = container
         self.chain = chain if chain is not None else HandlerChain()
         self._executor = executor
         self.stats = EndpointStats()
+        self._obs = observability
 
     # -- HTTP entry point ---------------------------------------------------
 
@@ -126,7 +137,11 @@ class SoapEndpoint:
     def _handle_soap(self, request: HttpRequest) -> HttpResponse:
         start = time.perf_counter()
         try:
-            envelope = Envelope.from_string(request.body)
+            # Pull-cursor request parse: header and body entries come
+            # straight off the token stream, no scaffold tree (the
+            # server-side extension of the PR-1 pull fast path).
+            with obs_span("soap.parse", detail=f"{len(request.body)}B"):
+                envelope = Envelope.from_string_server(request.body)
             if has_multirefs(envelope.body_entries):
                 # Axis rpc/encoded interop: inline href/multiRef graphs
                 # before anything downstream sees the body
@@ -137,6 +152,8 @@ class SoapEndpoint:
             return self._fault_response(fault, status=400)
         self.stats.parse_time += time.perf_counter() - start
         self.stats.soap_messages += 1
+        if self._obs is not None:
+            self._adopt_soap_trace(envelope)
 
         context = MessageContext.for_envelope(envelope)
         try:
@@ -144,6 +161,10 @@ class SoapEndpoint:
         except ReproError as exc:
             self.stats.envelope_faults += 1
             return self._fault_response(SoapFault.from_exception(exc), status=500)
+        if self._obs is not None:
+            self._obs.registry.histogram("soap.pack_degree", DEFAULT_BOUNDS).record(
+                len(context.request_entries)
+            )
 
         missed = envelope.unprocessed_must_understand(context.understood_headers)
         if missed:
@@ -158,10 +179,12 @@ class SoapEndpoint:
         self.chain.run_response(context)
 
         start = time.perf_counter()
-        response_envelope = Envelope()
-        response_envelope.header_entries = list(context.response_headers)
-        response_envelope.body_entries = list(context.response_entries)
-        body = response_envelope.to_bytes()
+        with obs_span("soap.serialize") as serialize_span:
+            response_envelope = Envelope()
+            response_envelope.header_entries = list(context.response_headers)
+            response_envelope.body_entries = list(context.response_entries)
+            body = response_envelope.to_bytes()
+            serialize_span.detail = f"{len(body)}B"
         self.stats.serialize_time += time.perf_counter() - start
 
         status = 200
@@ -175,6 +198,22 @@ class SoapEndpoint:
         return HttpResponse(
             status, Headers({"Content-Type": SOAP_CONTENT_TYPE}), body
         )
+
+    def _adopt_soap_trace(self, envelope: Envelope) -> None:
+        """Re-home the ambient trace onto the SOAP-carried trace id.
+
+        The client sends the id twice — HTTP header and a
+        mustUnderstand=false SOAP header entry.  If an intermediary
+        stripped the HTTP header, the HTTP layer minted a fresh id;
+        adopting the envelope's copy here stitches the server spans back
+        onto the client's trace.
+        """
+        header = envelope.find_header(TRACE_HEADER_TAG)
+        if header is None:
+            return
+        carried = header.get(TRACE_ID_ATTR)
+        if carried and carried != current_trace_id():
+            activate(self._obs.tracer, carried)
 
     def _fault_response(self, fault: SoapFault, *, status: int) -> HttpResponse:
         envelope = Envelope()

@@ -14,6 +14,7 @@ from datetime import timedelta
 from typing import Callable
 
 from repro.errors import SecurityError
+from repro.obs.trace import span as obs_span
 from repro.server.handlers import Handler, MessageContext
 from repro.soap.wssecurity import DEFAULT_FRESHNESS, SECURITY_TAG, verify_security_header
 
@@ -54,9 +55,10 @@ class SecurityVerifyHandler(Handler):
                 self.anonymous += 1
             return
         try:
-            username = verify_security_header(
-                envelope, self._lookup_secret, freshness=self._freshness
-            )
+            with obs_span("security.verify"):
+                username = verify_security_header(
+                    envelope, self._lookup_secret, freshness=self._freshness
+                )
         except SecurityError:
             with self._lock:
                 self.rejected += 1

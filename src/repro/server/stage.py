@@ -5,38 +5,54 @@ The staged architecture of Figure 2 wires two of them together:
 *protocol processing* (implicitly: the HTTP connection threads) and
 *application processing* (an explicit Stage of worker threads executing
 service operations).
+
+Service-time accounting is a :class:`~repro.obs.registry.Histogram`
+(the unified metrics primitive) rather than a bespoke sum/max pair;
+give the stage a :class:`~repro.obs.registry.MetricsRegistry` and its
+latency histogram is created in the registry (name
+``stage.<name>.service_time_s``) so it shows up under ``/metrics``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.registry import LATENCY_BOUNDS_S, Histogram, MetricsRegistry
 from repro.server.threadpool import TaskFuture, ThreadPool
 
 
-@dataclass(slots=True)
 class StageStats:
-    events: int = 0
-    failures: int = 0
-    total_service_time: float = 0.0
-    max_service_time: float = 0.0
-    per_kind: dict[str, int] = field(default_factory=dict)
+    """Per-stage event accounting over a unified latency histogram."""
+
+    __slots__ = ("events", "failures", "max_service_time", "per_kind", "service_time")
+
+    def __init__(self, histogram: Histogram | None = None) -> None:
+        self.events = 0
+        self.failures = 0
+        self.max_service_time = 0.0
+        self.per_kind: dict[str, int] = {}
+        self.service_time = (
+            histogram if histogram is not None else Histogram(LATENCY_BOUNDS_S)
+        )
 
     def record(self, kind: str, elapsed: float, *, failed: bool) -> None:
         """Account one handled event."""
         self.events += 1
         if failed:
             self.failures += 1
-        self.total_service_time += elapsed
+        self.service_time.record(elapsed)
         if elapsed > self.max_service_time:
             self.max_service_time = elapsed
         self.per_kind[kind] = self.per_kind.get(kind, 0) + 1
 
     @property
+    def total_service_time(self) -> float:
+        return self.service_time.sum
+
+    @property
     def mean_service_time(self) -> float:
-        return self.total_service_time / self.events if self.events else 0.0
+        return self.service_time.mean
 
     def snapshot(self) -> dict[str, Any]:
         """Counters as a plain dict."""
@@ -52,10 +68,17 @@ class StageStats:
 class Stage:
     """One event-driven stage: submit work, get a TaskFuture back."""
 
-    def __init__(self, name: str, workers: int) -> None:
+    def __init__(
+        self, name: str, workers: int, *, registry: MetricsRegistry | None = None
+    ) -> None:
         self.name = name
         self._pool = ThreadPool(workers, name=f"stage-{name}")
-        self.stats = StageStats()
+        histogram = (
+            registry.histogram(f"stage.{name}.service_time_s", LATENCY_BOUNDS_S)
+            if registry is not None
+            else None
+        )
+        self.stats = StageStats(histogram)
 
     @property
     def workers(self) -> int:

@@ -25,6 +25,8 @@ from typing import Iterator
 
 from repro.errors import ServiceError
 from repro.http.server import HttpServer
+from repro.obs import trace as obs_trace
+from repro.obs.trace import Observability
 from repro.server.container import ServiceContainer
 from repro.server.endpoint import SoapEndpoint
 from repro.server.handlers import HandlerChain
@@ -53,16 +55,25 @@ class StagedSoapServer:
         chain: HandlerChain | None = None,
         app_workers: int = DEFAULT_APP_WORKERS,
         chunk_responses_over: int | None = None,
+        observability: Observability | None = None,
     ) -> None:
+        self.observability = observability
         self.container = ServiceContainer(services)
-        self.app_stage = Stage("application", app_workers)
-        self.endpoint = SoapEndpoint(self.container, self._execute, chain=chain)
+        self.app_stage = Stage(
+            "application",
+            app_workers,
+            registry=observability.registry if observability is not None else None,
+        )
+        self.endpoint = SoapEndpoint(
+            self.container, self._execute, chain=chain, observability=observability
+        )
         self.transport = transport if transport is not None else TcpTransport()
         self.http = HttpServer(
             self.endpoint,
             transport=self.transport,
             address=address,
             chunk_responses_over=chunk_responses_over,
+            observability=observability,
         )
 
     def _execute(self, entries: list[Element]) -> list[Element]:
@@ -72,6 +83,10 @@ class StagedSoapServer:
             return []
         waited = [(i, e) for i, e in enumerate(entries) if not is_one_way(e)]
         results: list[Element | None] = [None] * len(entries)
+        # The protocol thread's trace context does not follow work onto
+        # the stage workers' threads; capture it here and attach each
+        # per-entry execute span explicitly.
+        ctx = obs_trace.current()
 
         # One-way entries: acknowledge now, execute on the application
         # stage after the response leaves (fire-and-forget).
@@ -79,7 +94,7 @@ class StagedSoapServer:
             if is_one_way(entry):
                 results[index] = accepted_response(entry)
                 self.app_stage.submit(
-                    self.container.execute_entry, entry, kind="one-way-execution"
+                    self._execute_traced, ctx, entry, kind="one-way-execution"
                 )
 
         if len(waited) == 1:
@@ -87,13 +102,14 @@ class StagedSoapServer:
             # protocol thread and spare a context switch (the common
             # fast path).
             index, entry = waited[0]
-            results[index] = self.container.execute_entry(entry)
+            with obs_trace.span("execute", detail=entry.local_name):
+                results[index] = self.container.execute_entry(entry)
         elif waited:
             latch = CompletionLatch(len(waited))
 
             def run(index: int, entry: Element) -> None:
                 try:
-                    results[index] = self.container.execute_entry(entry)
+                    results[index] = self._execute_traced(ctx, entry)
                 finally:
                     latch.count_down()
 
@@ -107,6 +123,10 @@ class StagedSoapServer:
                     f"within {EXECUTION_TIMEOUT}s"
                 )
         return [entry for entry in results if entry is not None]
+
+    def _execute_traced(self, ctx, entry: Element) -> Element:
+        with obs_trace.span_in(ctx, "execute", detail=entry.local_name):
+            return self.container.execute_entry(entry)
 
     # -- lifecycle -------------------------------------------------------
 

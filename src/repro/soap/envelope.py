@@ -113,6 +113,22 @@ class Envelope:
         envelope.body_entries = list(iter_body_entries(document))
         return envelope
 
+    @classmethod
+    def from_string_server(cls, document: str | bytes) -> "Envelope":
+        """Cursor-based parse for the server request path.
+
+        Header entries *and* body entries are materialized straight off
+        the token stream — the Envelope/Header/Body scaffold never
+        becomes tree nodes — so the server keeps full header visibility
+        (mustUnderstand, WS-Security, trace propagation) while skipping
+        the intermediate document tree that :meth:`from_string` builds.
+        Raises the same :class:`SoapError` diagnostics.
+        """
+        envelope = cls()
+        envelope.header_entries = headers = []
+        envelope.body_entries = list(_walk_envelope(document, headers))
+        return envelope
+
     def first_body_entry(self) -> Element:
         """The first body entry (the only one, classically)."""
         return self.body_entries[0]
@@ -144,6 +160,15 @@ def iter_body_entries(document: str | bytes) -> Iterator[Element]:
     consumers that feed an
     :class:`~repro.soap.deserializer.OperationMatcher`.
     """
+    return _walk_envelope(document, None)
+
+
+def _walk_envelope(
+    document: str | bytes, header_sink: list[Element] | None
+) -> Iterator[Element]:
+    """Cursor walk shared by the pull paths: yields body entries; header
+    entries are materialized into ``header_sink`` when given (the server
+    path) or discarded at the token level (the client path)."""
     cursor = XmlCursor(document)
     root = cursor.enter(cursor.root())
     if root.tag != ENVELOPE_TAG:
@@ -160,8 +185,11 @@ def iter_body_entries(document: str | bytes) -> Iterator[Element]:
     element = cursor.enter(child)
     if element.tag == HEADER_TAG:
         entry = cursor.next_child()
-        while entry is not None:  # discard header entries at token level
-            cursor.skip(entry)
+        while entry is not None:
+            if header_sink is None:
+                cursor.skip(entry)
+            else:
+                header_sink.append(cursor.read_element(entry))
             entry = cursor.next_child()
         child = cursor.next_child()
         if child is None:
