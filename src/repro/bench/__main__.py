@@ -12,6 +12,7 @@ Usage::
     python -m repro.bench all [--fast]
     python -m repro.bench xml [--smoke] [--record LABEL]
     python -m repro.bench e2e [--smoke] [--record LABEL] [--check-overhead PCT]
+                              [--check-regression PCT]
 
 Profiles: lan (paper's 100 Mbit Ethernet emulation, default), wan,
 loopback (bare TCP), inproc (no sockets).
@@ -76,6 +77,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PCT",
         help="e2e experiment: exit 1 if obs-on overhead on fig7 exceeds PCT percent",
+    )
+    parser.add_argument(
+        "--check-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="e2e experiment: exit 1 if fig7 obs-off p50 is more than PCT percent "
+        "slower than the newest committed BENCH_e2e.json entry",
     )
     parser.add_argument(
         "--phase-report",
@@ -148,6 +157,15 @@ def _run_e2e(args) -> int:
     from repro.bench import e2e
 
     results = e2e.run_e2e_bench(smoke=args.smoke)
+    # gate against the committed baseline BEFORE --record appends the
+    # current run (which would otherwise become its own baseline)
+    regression = (
+        e2e.check_regression(
+            results, args.check_regression, path=args.bench_json or e2e.BENCH_JSON
+        )
+        if args.check_regression is not None
+        else None
+    )
     if args.format == "json":
         import json
 
@@ -171,6 +189,24 @@ def _run_e2e(args) -> int:
             )
             return 1
         print(f"overhead gate OK: {gate} {pct:.2f}% <= {args.check_overhead:.2f}%")
+    if regression is not None:
+        gate = e2e.OVERHEAD_GATE_CASE
+        if regression["baseline_ms"] is None:
+            print(f"regression gate: no committed baseline for {gate}, passing")
+        elif not regression["ok"]:
+            print(
+                f"FAIL: {gate} obs-off p50 {regression['current_ms']:.3f} ms is "
+                f"{regression['delta_pct']:+.2f}% vs baseline "
+                f"'{regression['baseline_label']}' {regression['baseline_ms']:.3f} ms "
+                f"(limit {args.check_regression:+.2f}%)"
+            )
+            return 1
+        else:
+            print(
+                f"regression gate OK: {gate} {regression['current_ms']:.3f} ms, "
+                f"{regression['delta_pct']:+.2f}% vs baseline "
+                f"'{regression['baseline_label']}' (limit {args.check_regression:+.2f}%)"
+            )
     return 0
 
 

@@ -243,3 +243,40 @@ def check_overhead(
 ) -> bool:
     """True when obs-on overhead on ``case`` is within ``limit_pct``."""
     return results[case]["overhead_pct"] <= limit_pct
+
+
+def check_regression(
+    results: dict[str, dict],
+    limit_pct: float,
+    *,
+    case: str = OVERHEAD_GATE_CASE,
+    path: str | Path = BENCH_JSON,
+) -> dict:
+    """Gate ``case``'s obs-off p50 against the committed trajectory.
+
+    The baseline is the newest trajectory entry carrying the case (so
+    a freshly-recorded entry for the current run should be appended
+    *after* gating).  Returns ``{ok, current_ms, baseline_ms,
+    baseline_label, delta_pct}``; with no committed baseline the gate
+    passes vacuously (``baseline_ms`` is None).
+    """
+    current = results[case]["off_p50_ms"]
+    for entry in reversed(load_trajectory(path)["entries"]):
+        row = entry.get("results", {}).get(case)
+        if row and "off_p50_ms" in row:
+            baseline = row["off_p50_ms"]
+            delta_pct = round((current / baseline - 1.0) * 100.0, 2)
+            return {
+                "ok": delta_pct <= limit_pct,
+                "current_ms": current,
+                "baseline_ms": baseline,
+                "baseline_label": entry.get("label", "?"),
+                "delta_pct": delta_pct,
+            }
+    return {
+        "ok": True,
+        "current_ms": current,
+        "baseline_ms": None,
+        "baseline_label": None,
+        "delta_pct": 0.0,
+    }

@@ -205,6 +205,6 @@ def secured_proxy(testbed: Testbed) -> ServiceProxy:
     # remove mustUnderstand so the echo server doesn't reject it
     from repro.soap.constants import MUST_UNDERSTAND_ATTR
 
-    header.attributes.pop(MUST_UNDERSTAND_ATTR, None)
+    header.pop_attribute(MUST_UNDERSTAND_ATTR)
     proxy.extra_headers = [header]
     return proxy

@@ -31,9 +31,9 @@ from repro.apps.echo import ECHO_NS, make_echo_payload
 from repro.core.packformat import build_parallel_method
 from repro.soap.envelope import Envelope
 from repro.soap.serializer import serialize_rpc_request
+from repro.xmlcore import parse
 from repro.xmlcore.escape import escape_attribute, escape_text, unescape
 from repro.xmlcore.lexer import tokenize
-from repro.xmlcore.parser import parse
 from repro.xmlcore.tree import Element
 from repro.xmlcore.writer import serialize
 
@@ -159,6 +159,9 @@ def build_cases(*, smoke: bool = False) -> list[tuple[str, Callable[[], object],
         cases.append(
             (f"{shape.name}/scan_body", _make_scan_body(document), inner)
         )
+        cases.append(
+            (f"{shape.name}/treebuild", _make_treebuild(shape), inner)
+        )
 
     clean, marked, escaped = _escape_corpus()
     inner = 2 if smoke else 20
@@ -171,14 +174,40 @@ def build_cases(*, smoke: bool = False) -> list[tuple[str, Callable[[], object],
 
 
 def _make_scan_body(document: str) -> Callable[[], object]:
-    """Body-entry extraction; uses the pull cursor when available so the
+    """Body-entry extraction; uses the pull walk when available so the
     same case is comparable across the trajectory (older entries fall
     back to full-tree envelope parsing)."""
     try:
         from repro.soap.envelope import iter_body_entries
     except ImportError:
-        return lambda d=document: Envelope.from_string(d).body_entries
+        return lambda d=document: Envelope.parse(d).body_entries
     return lambda d=document: list(iter_body_entries(d))
+
+
+def _make_treebuild(shape: Shape) -> Callable[[], object]:
+    """Programmatic Element-tree construction for the shape — no XML
+    text involved.  Isolates the tree-core allocation cost (slotted
+    Element, tuple attribute storage) from lexing and escaping."""
+    payload = make_echo_payload(shape.payload_bytes)
+
+    def build() -> Element:
+        envelope = Envelope()
+        if shape.entries == 1:
+            envelope.add_body(
+                serialize_rpc_request(ECHO_NS, "echo", {"payload": payload})
+            )
+        else:
+            envelope.add_body(
+                build_parallel_method(
+                    [
+                        serialize_rpc_request(ECHO_NS, "echo", {"payload": payload})
+                        for _ in range(shape.entries)
+                    ]
+                )
+            )
+        return envelope.to_element()
+
+    return build
 
 
 # -- runner / recording ---------------------------------------------------

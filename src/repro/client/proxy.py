@@ -124,7 +124,7 @@ class ServiceProxy:
         This is the hook the SPI packed client shares: it builds its own
         Parallel_Method envelope and still reuses the proxy's HTTP path.
         """
-        return Envelope.from_string(self.exchange_raw(envelope, action))
+        return Envelope.parse(self.exchange_raw(envelope, action), server=True)
 
     def exchange_raw(self, envelope: Envelope, action: str = "") -> bytes:
         """Like :meth:`exchange` but returns the undecoded response body."""

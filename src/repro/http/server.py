@@ -252,15 +252,28 @@ class HttpServer:
     # -- admin surface ------------------------------------------------------
 
     def _admin_response(self, request: HttpRequest) -> HttpResponse | None:
-        """JSON for ``GET /metrics`` / ``GET /healthz``; None otherwise."""
+        """``GET /metrics`` / ``GET /healthz``; None otherwise.
+
+        ``/metrics`` defaults to the JSON snapshot;
+        ``/metrics?format=prometheus`` renders the text exposition
+        format a stock Prometheus can scrape.
+        """
         if request.method != "GET":
             return None
-        path = request.path.partition("?")[0]
+        path, _, query = request.path.partition("?")
         if path not in ADMIN_PATHS:
             return None
         assert self._obs is not None
         if path == "/healthz":
             payload = self.health_snapshot()
+        elif "format=prometheus" in query.split("&"):
+            from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+
+            return HttpResponse(
+                200,
+                Headers({"Content-Type": CONTENT_TYPE}),
+                render_prometheus(self._obs.registry).encode("utf-8"),
+            )
         else:
             payload = self._obs.metrics_snapshot()
         return HttpResponse(

@@ -9,7 +9,9 @@ substrate that makes those phases visible end-to-end:
 * :mod:`repro.obs.trace` — trace ids minted client-side, propagated as
   an HTTP header plus a SOAP header entry (surviving SPI packing), and
   recorded server-side as per-phase spans;
-* :mod:`repro.obs.timeline` — text waterfalls of one trace's spans.
+* :mod:`repro.obs.timeline` — text waterfalls of one trace's spans;
+* :mod:`repro.obs.prometheus` — the text exposition format behind
+  ``GET /metrics?format=prometheus``.
 
 Attach one :class:`Observability` to a server (and optionally share its
 tracer with a client proxy) to light everything up; servers without one
@@ -35,6 +37,7 @@ from repro.obs.trace import (
     Tracer,
     new_trace_id,
 )
+from repro.obs.prometheus import render_prometheus, sanitize_name
 from repro.obs.timeline import phase_breakdown, render_all, render_spans, render_timeline
 
 __all__ = [
@@ -55,6 +58,8 @@ __all__ = [
     "new_trace_id",
     "phase_breakdown",
     "render_all",
+    "render_prometheus",
     "render_spans",
     "render_timeline",
+    "sanitize_name",
 ]

@@ -1,0 +1,69 @@
+"""Prometheus text exposition (version 0.0.4) for the metrics registry.
+
+Renders a :class:`~repro.obs.registry.MetricsRegistry` snapshot in the
+``text/plain; version=0.0.4`` format Prometheus scrapes, so a repro
+server can sit behind a stock Prometheus without an exporter sidecar:
+
+* counters  → ``# TYPE name counter`` + the cumulative value
+* gauges    → ``# TYPE name gauge`` + the current value
+* histograms → cumulative ``name_bucket{le="..."}`` series (per the
+  Prometheus convention each bucket includes everything below it, and
+  the ``le="+Inf"`` bucket equals ``name_count``) plus ``name_sum``
+  and ``name_count``
+
+Dotted repro metric names (``http.requests``) become legal Prometheus
+names by mapping every character outside ``[a-zA-Z0-9_]`` to ``_``.
+Everything is computed from the registry's public ``snapshot()``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.registry import MetricsRegistry, _bound_label
+
+_NAME_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def sanitize_name(name: str) -> str:
+    """A legal Prometheus metric name for a dotted repro metric name."""
+    name = _NAME_SANITIZE_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    for name, value in snapshot["counters"].items():
+        metric = sanitize_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot["gauges"].items():
+        metric = sanitize_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, summary in snapshot["histograms"].items():
+        metric = sanitize_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        counts = list(summary["buckets"].values())  # per-bucket, overflow last
+        cumulative = 0
+        for bound, count in zip(summary["bounds"], counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_bound_label(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {summary["total"]}')
+        lines.append(f"{metric}_sum {repr(float(summary['sum']))}")
+        lines.append(f"{metric}_count {summary['total']}")
+    return "\n".join(lines) + "\n"

@@ -129,18 +129,31 @@ class Histogram:
         return self.sum / self.total if self.total else 0.0
 
     def snapshot(self) -> dict:
-        """Total/mean/bucket counts as a plain dict."""
+        """Total/mean/sum/bucket counts as a plain dict.
+
+        ``bounds`` (the numeric bucket upper bounds, in order) rides
+        along so renderers that need cumulative buckets — the
+        Prometheus exposition — can rebuild them without reaching into
+        instrument internals.
+        """
         with self._lock:
             counts = list(self.counts)
             overflow = self.overflow
             total = self.total
+            total_sum = self.sum
             mean = self.mean
         buckets = {
             f"<={_bound_label(bound)}": count
             for bound, count in zip(self.bounds, counts)
         }
         buckets[f">{_bound_label(self.bounds[-1])}"] = overflow
-        return {"total": total, "mean": mean, "buckets": buckets}
+        return {
+            "total": total,
+            "mean": mean,
+            "sum": total_sum,
+            "buckets": buckets,
+            "bounds": list(self.bounds),
+        }
 
 
 class MetricsRegistry:

@@ -25,11 +25,12 @@ server runs the exact seed code path plus one attribute lookup.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
 from collections import deque
-from typing import Iterator
+from typing import IO, Iterator
 
 from repro.obs.registry import LATENCY_BOUNDS_S, MetricsRegistry
 
@@ -113,7 +114,15 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Bounded span ring + optional registry feed; thread-safe."""
+    """Bounded span ring + optional registry feed; thread-safe.
+
+    With an ``export_sink`` (any text file-like object) every finished
+    span is additionally written as one JSON line, so long-running
+    servers can ship traces off-box by pointing the sink at a log file
+    or a pipe.  Sink I/O happens outside the ring lock; a sink that
+    raises is detached rather than allowed to take down request
+    threads.
+    """
 
     def __init__(
         self,
@@ -121,11 +130,14 @@ class Tracer:
         *,
         capacity: int = 4096,
         clock=time.perf_counter,
+        export_sink: "IO[str] | None" = None,
     ) -> None:
         self.registry = registry
         self._clock = clock
         self._spans: deque[Span] = deque(maxlen=capacity)
         self._lock = threading.Lock()
+        self.export_sink = export_sink
+        self._sink_lock = threading.Lock()
 
     # -- recording -----------------------------------------------------
 
@@ -151,6 +163,14 @@ class Tracer:
             self.registry.histogram(
                 f"span.{span.name}.seconds", LATENCY_BOUNDS_S
             ).record(span.duration_s)
+        sink = self.export_sink
+        if sink is not None:
+            line = json.dumps(span.as_dict(), separators=(",", ":"))
+            try:
+                with self._sink_lock:
+                    sink.write(line + "\n")
+            except Exception:
+                self.export_sink = None
 
     # -- inspection ----------------------------------------------------
 
@@ -228,9 +248,16 @@ class Observability:
     """The bundle a server (or a whole testbed) threads everywhere:
     one registry, one tracer feeding it, one start timestamp."""
 
-    def __init__(self, *, span_capacity: int = 4096) -> None:
+    def __init__(
+        self,
+        *,
+        span_capacity: int = 4096,
+        span_sink: "IO[str] | None" = None,
+    ) -> None:
         self.registry = MetricsRegistry()
-        self.tracer = Tracer(self.registry, capacity=span_capacity)
+        self.tracer = Tracer(
+            self.registry, capacity=span_capacity, export_sink=span_sink
+        )
         self.started_at = time.time()
 
     def metrics_snapshot(self) -> dict:

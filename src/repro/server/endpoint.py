@@ -141,7 +141,7 @@ class SoapEndpoint:
             # straight off the token stream, no scaffold tree (the
             # server-side extension of the PR-1 pull fast path).
             with obs_span("soap.parse", detail=f"{len(request.body)}B"):
-                envelope = Envelope.from_string_server(request.body)
+                envelope = Envelope.parse(request.body, server=True)
             if has_multirefs(envelope.body_entries):
                 # Axis rpc/encoded interop: inline href/multiRef graphs
                 # before anything downstream sees the body

@@ -53,7 +53,7 @@ class DifferentialDeserializer:
     """Decode request envelopes, byte-matching against a learned template.
 
     ``deserialize(raw) -> RpcRequest`` is a drop-in for
-    ``parse_rpc_request(Envelope.from_string(raw).first_body_entry())``
+    ``parse_rpc_request(Envelope.parse(raw).first_body_entry())``
     on single-entry request envelopes.
     """
 
@@ -83,7 +83,7 @@ class DifferentialDeserializer:
 
     @staticmethod
     def _full_parse(raw: bytes) -> RpcRequest:
-        envelope = Envelope.from_string(raw)
+        envelope = Envelope.parse(raw, server=True)
         entries = envelope.body_entries
         if len(entries) != 1:
             raise SoapError(

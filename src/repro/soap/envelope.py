@@ -7,6 +7,7 @@ paper's Figure 1; several packed under ``Parallel_Method`` with SPI).
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator
 
 from repro.errors import SoapError
@@ -18,9 +19,8 @@ from repro.soap.constants import (
     SOAP_ENV_NS,
     STANDARD_NSMAP,
 )
-from repro.xmlcore.cursor import XmlCursor
-from repro.xmlcore.parser import parse
 from repro.xmlcore.tree import Element
+from repro.xmlcore.treebuilder import XmlScanner
 from repro.xmlcore.writer import serialize, serialize_bytes
 
 
@@ -95,39 +95,67 @@ class Envelope:
         return envelope
 
     @classmethod
-    def from_string(cls, document: str | bytes) -> "Envelope":
-        return cls.from_element(parse(document))
+    def parse(cls, source: str | bytes, *, server: bool = False) -> "Envelope":
+        """Parse a SOAP document — the one envelope-parsing entry point.
 
-    # -- helpers --------------------------------------------------------------
+        The scanner walks the document once; the Envelope/Header/Body
+        scaffolding never becomes tree nodes, and body entries are
+        materialized directly.
+
+        With ``server=True`` header entries are materialized too, so
+        server paths keep full header visibility (mustUnderstand,
+        WS-Security, trace propagation).  With the default
+        ``server=False`` headers are skipped without namespace
+        expansion or Element construction — the client response path,
+        which only consumes body entries.
+
+        Replaces ``from_string`` / ``from_string_pull`` /
+        ``from_string_server``, which survive as deprecated aliases.
+        """
+        envelope = cls()
+        if server:
+            envelope.header_entries = headers = []
+            envelope.body_entries = list(_walk_envelope(source, headers))
+        else:
+            envelope.body_entries = list(_walk_envelope(source, None))
+        return envelope
+
+    # -- deprecated aliases ---------------------------------------------------
+
+    @classmethod
+    def from_string(cls, document: str | bytes) -> "Envelope":
+        """Deprecated alias for :meth:`parse` with ``server=True``.
+
+        (``server=True`` because the historical tree-based parse
+        materialized header entries.)
+        """
+        warnings.warn(
+            "Envelope.from_string is deprecated; use Envelope.parse",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls.parse(document, server=True)
 
     @classmethod
     def from_string_pull(cls, document: str | bytes) -> "Envelope":
-        """Parse via the pull cursor, materializing body entries only.
-
-        Headers are skipped at the token level — no namespace expansion,
-        no Element construction.  Use on paths that will not inspect
-        headers (the classic client response path, benches); the
-        returned envelope's ``header_entries`` is always empty.
-        """
-        envelope = cls()
-        envelope.body_entries = list(iter_body_entries(document))
-        return envelope
+        """Deprecated alias for :meth:`parse` (headers skipped)."""
+        warnings.warn(
+            "Envelope.from_string_pull is deprecated; use Envelope.parse",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls.parse(document)
 
     @classmethod
     def from_string_server(cls, document: str | bytes) -> "Envelope":
-        """Cursor-based parse for the server request path.
-
-        Header entries *and* body entries are materialized straight off
-        the token stream — the Envelope/Header/Body scaffold never
-        becomes tree nodes — so the server keeps full header visibility
-        (mustUnderstand, WS-Security, trace propagation) while skipping
-        the intermediate document tree that :meth:`from_string` builds.
-        Raises the same :class:`SoapError` diagnostics.
-        """
-        envelope = cls()
-        envelope.header_entries = headers = []
-        envelope.body_entries = list(_walk_envelope(document, headers))
-        return envelope
+        """Deprecated alias for :meth:`parse` with ``server=True``."""
+        warnings.warn(
+            "Envelope.from_string_server is deprecated; use "
+            "Envelope.parse(..., server=True)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls.parse(document, server=True)
 
     def first_body_entry(self) -> Element:
         """The first body entry (the only one, classically)."""
@@ -151,12 +179,12 @@ class Envelope:
 
 
 def iter_body_entries(document: str | bytes) -> Iterator[Element]:
-    """Yield the Body's entries straight off the token stream.
+    """Yield the Body's entries straight off the scanner.
 
     The envelope scaffolding is validated (same :class:`SoapError`
     diagnostics as :meth:`Envelope.from_element`) but the Header subtree
     is *skipped* without namespace expansion or tree building, and only
-    body entries are materialized — the cursor/pull fast path for
+    body entries are materialized — the streaming fast path for
     consumers that feed an
     :class:`~repro.soap.deserializer.OperationMatcher`.
     """
@@ -166,10 +194,10 @@ def iter_body_entries(document: str | bytes) -> Iterator[Element]:
 def _walk_envelope(
     document: str | bytes, header_sink: list[Element] | None
 ) -> Iterator[Element]:
-    """Cursor walk shared by the pull paths: yields body entries; header
-    entries are materialized into ``header_sink`` when given (the server
-    path) or discarded at the token level (the client path)."""
-    cursor = XmlCursor(document)
+    """Scanner walk shared by all parse paths: yields body entries;
+    header entries are materialized into ``header_sink`` when given (the
+    server path) or skipped without expansion (the client path)."""
+    cursor = XmlScanner(document)
     root = cursor.enter(cursor.root())
     if root.tag != ENVELOPE_TAG:
         if root.local_name == "Envelope":

@@ -27,7 +27,7 @@ class SoapMessage:
 
     @classmethod
     def from_bytes(cls, data: bytes, *, action: str = "") -> "SoapMessage":
-        return cls(Envelope.from_string(data), action=action)
+        return cls(Envelope.parse(data, server=True), action=action)
 
     def http_headers(self) -> dict[str, str]:
         """Content-Type and SOAPAction headers for the HTTP binding."""

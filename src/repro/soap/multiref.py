@@ -85,20 +85,18 @@ def resolve_multirefs(entries: list[Element]) -> list[Element]:
             # the reference element keeps its own name; it adopts the
             # target's type attributes and content
             merged = Element(element.tag)
-            merged.attributes = {
-                name: value
-                for name, value in resolved.attributes.items()
+            merged.replace_attributes(
+                (name, value)
+                for name, value in resolved.items()
                 if name not in (ID_ATTR, HREF_ATTR)
-            }
+            )
             merged.children = resolved.children
             return merged
 
         clone = Element(element.tag)
-        clone.attributes = {
-            name: value
-            for name, value in element.attributes.items()
-            if name != ID_ATTR
-        }
+        clone.replace_attributes(
+            (name, value) for name, value in element.items() if name != ID_ATTR
+        )
         for child in element.children:
             clone.children.append(child if isinstance(child, str) else inline(child))
         return clone

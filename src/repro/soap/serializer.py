@@ -12,7 +12,7 @@ from repro.errors import SerializationError
 from repro.soap.envelope import Envelope
 from repro.soap.fault import SoapFault
 from repro.soap.xsdtypes import encode_value
-from repro.xmlcore.qname import QName, is_ncname
+from repro.xmlcore.qname import is_ncname, qname_of
 from repro.xmlcore.tree import Element
 
 RESPONSE_SUFFIX = "Response"
@@ -28,7 +28,7 @@ def serialize_rpc_request(
     positional convention of RPC/encoded SOAP.
     """
     _check_operation_name(operation)
-    request = Element(QName(namespace, operation))
+    request = Element(qname_of(namespace, operation).clark)
     for name, value in params.items():
         if not is_ncname(name):
             raise SerializationError(f"'{name}' is not a valid parameter name")
@@ -39,9 +39,26 @@ def serialize_rpc_request(
 def serialize_rpc_response(namespace: str, operation: str, result: Any) -> Element:
     """Build ``<ns:operationResponse><return .../></ns:operationResponse>``."""
     _check_operation_name(operation)
-    response = Element(QName(namespace, operation + RESPONSE_SUFFIX))
+    response = Element(qname_of(namespace, operation + RESPONSE_SUFFIX).clark)
     response.children.append(encode_value(RETURN_TAG, result))
     return response
+
+
+def collect_entry_namespaces(
+    entries: "list[Element]", *, skip: tuple[str, ...] = ()
+) -> list[str]:
+    """Distinct non-empty entry-root namespace URIs, first-seen order.
+
+    The pack builder hoists these onto the ``Parallel_Method`` wrapper
+    so the writer declares each method namespace once per pack instead
+    of once per entry.
+    """
+    seen: list[str] = []
+    for entry in entries:
+        uri = entry.qname.uri
+        if uri and uri not in skip and uri not in seen:
+            seen.append(uri)
+    return seen
 
 
 def build_request_envelope(

@@ -24,7 +24,7 @@ from repro.errors import SecurityError
 from repro.soap.constants import BODY_TAG, WSSE_NS, WSU_NS
 from repro.soap.envelope import Envelope
 from repro.xmlcore.tree import Element
-from repro.xmlcore.writer import serialize
+from repro.xmlcore.writer import StreamingWriter, serialize
 
 SECURITY_TAG = f"{{{WSSE_NS}}}Security"
 _WSSE = f"{{{WSSE_NS}}}"
@@ -54,24 +54,56 @@ def _canonical_body(envelope: Envelope) -> bytes:
 
     A freshly built tree and its parsed-from-the-wire twin differ in
     recorded prefix preferences (``nsmap``) and possibly attribute
-    order, so canonicalization strips nsmaps (forcing deterministic
-    generated prefixes) and sorts attributes by expanded name — the
-    same normalizations Exclusive XML C14N performs.
+    order, so canonicalization ignores recorded nsmaps and sorts
+    attributes by expanded name — the same normalizations Exclusive
+    XML C14N performs.
+
+    Implementation: one streaming writer renders every entry directly
+    (no canonical deep copies).  A cheap pre-pass collects the distinct
+    namespace URIs in document order and declares them all on the
+    synthetic Body start tag, so the writer's namespace scope never
+    changes mid-document and its rendered-name memo stays warm across
+    all M packed entries.
     """
-    body = Element(BODY_TAG)
+    uris: list[str] = []
+    _collect_uri(BODY_TAG, uris)
     for entry in envelope.body_entries:
-        body.children.append(_canonical_copy(entry))
-    return serialize(body).encode("utf-8")
+        _collect_entry_uris(entry, uris)
+    writer = StreamingWriter()
+    writer.start(BODY_TAG, None, {f"c{i}": uri for i, uri in enumerate(uris)})
+    for entry in envelope.body_entries:
+        _write_canonical(writer, entry)
+    writer.end()
+    return writer.getvalue().encode("utf-8")
 
 
-def _canonical_copy(element: Element) -> Element:
-    clone = Element(element.tag, dict(sorted(element.attributes.items())))
+def _collect_uri(clark: str, uris: list[str]) -> None:
+    if clark.startswith("{"):
+        uri = clark[1 : clark.index("}")]
+        if uri not in uris:
+            uris.append(uri)
+
+
+def _collect_entry_uris(element: Element, uris: list[str]) -> None:
+    _collect_uri(element.tag, uris)
+    for name, _ in element.items():
+        _collect_uri(name, uris)
+    for child in element.children:
+        if isinstance(child, Element):
+            _collect_entry_uris(child, uris)
+
+
+def _write_canonical(writer: StreamingWriter, element: Element) -> None:
+    attrs = element.items()
+    if len(attrs) > 1:
+        attrs = tuple(sorted(attrs))
+    writer.start(element.tag, attrs)
     for child in element.children:
         if isinstance(child, str):
-            clone.children.append(child)
+            writer.characters(child)
         else:
-            clone.children.append(_canonical_copy(child))
-    return clone
+            _write_canonical(writer, child)
+    writer.end()
 
 
 XMLDSIG_NS = "http://www.w3.org/2000/09/xmldsig#"

@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.errors import WsdlError
 from repro.soap.constants import WSDL_NS, WSDL_SOAP_NS
 from repro.wsdl.model import WsdlDocumentModel, WsdlOperation, WsdlService
-from repro.xmlcore.parser import parse
+from repro.xmlcore import parse
 from repro.xmlcore.tree import Element
 
 _W = f"{{{WSDL_NS}}}"

@@ -1,0 +1,41 @@
+"""Unified parse facade for the xmlcore package.
+
+One keyword-driven entry point replaces the old per-module functions:
+
+``parse(source)``
+    Whole-document tree build (the fused scanner fast path) — what
+    ``parser.parse`` used to do, minus the token stream.
+``parse(source, mode="cursor")``
+    A :class:`~repro.xmlcore.cursor.XmlCursor` positioned before the
+    root element, for callers that navigate instead of materializing.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.xmlcore.cursor import XmlCursor
+from repro.xmlcore.tree import Element
+from repro.xmlcore.treebuilder import build_tree
+
+__all__ = ["parse"]
+
+
+def parse(
+    source: str | bytes, *, mode: str = "tree"
+) -> Union[Element, XmlCursor]:
+    """Parse an XML document.
+
+    Parameters
+    ----------
+    source:
+        Complete document as ``str`` or (BOM/encoding-aware) ``bytes``.
+    mode:
+        ``"tree"`` (default) returns the root :class:`Element`;
+        ``"cursor"`` returns an :class:`XmlCursor` for pull navigation.
+    """
+    if mode == "tree":
+        return build_tree(source)
+    if mode == "cursor":
+        return XmlCursor(source)
+    raise ValueError(f"unknown parse mode {mode!r} (expected 'tree' or 'cursor')")

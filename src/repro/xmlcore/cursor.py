@@ -27,7 +27,8 @@ from __future__ import annotations
 
 from repro.errors import XmlWellFormednessError
 from repro.xmlcore import lexer as lx
-from repro.xmlcore.parser import _expand_start_tag, decode_document
+from repro.xmlcore.parser import _expand_start_tag
+from repro.xmlcore.treebuilder import decode_document
 from repro.xmlcore.qname import NamespaceScope
 from repro.xmlcore.tree import Element
 

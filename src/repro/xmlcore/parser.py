@@ -1,107 +1,33 @@
-"""Namespace-aware tree parser built on the lexer.
+"""Deprecated token-stream tree parser (now an alias layer).
 
-``parse(text)`` returns the root :class:`~repro.xmlcore.tree.Element`
-with all names expanded to Clark notation.  Enforces the cross-token
-well-formedness rules the lexer cannot: balanced tags, a single root,
-no duplicate (expanded) attributes, declared prefixes, content only
-inside the root.
+The tree build moved to :mod:`repro.xmlcore.treebuilder`, which fuses
+lexing and parsing into one pass; the unified entry point is
+:func:`repro.xmlcore.parse`.  This module keeps the old ``parse`` name
+alive as a thin deprecated alias and still hosts
+:func:`_expand_start_tag` for the token-pull :mod:`repro.xmlcore.cursor`.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.errors import XmlWellFormednessError
 from repro.xmlcore import lexer as lx
-from repro.xmlcore.qname import NamespaceScope, QName, split_prefixed
+from repro.xmlcore.qname import NamespaceScope
 from repro.xmlcore.tree import Element
+from repro.xmlcore.treebuilder import build_tree, decode_document
+
+__all__ = ["parse", "decode_document"]
 
 
 def parse(source: str | bytes) -> Element:
-    """Parse a complete XML document and return its root element."""
-    if isinstance(source, bytes):
-        source = decode_document(source)
-    root: Element | None = None
-    stack: list[Element] = []
-    scope = NamespaceScope()
-
-    for token in lx.tokenize(source):
-        if isinstance(token, (lx.XmlDeclToken, lx.CommentToken, lx.PIToken)):
-            continue
-        if isinstance(token, lx.StartTagToken):
-            element = _expand_start_tag(token, scope)
-            if stack:
-                stack[-1].children.append(element)
-            elif root is None:
-                root = element
-            else:
-                raise XmlWellFormednessError(
-                    "document has more than one root element", token.line, token.column
-                )
-            if token.self_closing:
-                scope.pop()
-            else:
-                stack.append(element)
-        elif isinstance(token, lx.EndTagToken):
-            if not stack:
-                raise XmlWellFormednessError(
-                    f"unexpected end tag </{token.name}>", token.line, token.column
-                )
-            expected = stack[-1]
-            closing = scope.resolve_name(token.name)
-            if str(closing) != expected.tag:
-                raise XmlWellFormednessError(
-                    f"mismatched end tag: expected </...{expected.local_name}>, got </{token.name}>",
-                    token.line,
-                    token.column,
-                )
-            stack.pop()
-            scope.pop()
-        elif isinstance(token, (lx.TextToken, lx.CDataToken)):
-            if stack:
-                if token.text:
-                    stack[-1].children.append(token.text)
-            elif token.text.strip():
-                raise XmlWellFormednessError(
-                    "character data outside the root element", token.line, token.column
-                )
-
-    if root is None:
-        raise XmlWellFormednessError("document contains no element")
-    if stack:
-        raise XmlWellFormednessError(f"unclosed element <{stack[-1].tag}>")
-    return root
-
-
-def decode_document(data: bytes) -> str:
-    """Decode document bytes, honouring a BOM or declared encoding.
-
-    SOAP 1.1 over HTTP is overwhelmingly UTF-8; UTF-16 BOMs and an
-    explicit ``encoding=`` pseudo-attribute are also honoured.  Codec
-    failures (bogus declared encodings, malformed byte sequences) are
-    reported as well-formedness errors, never as raw codec exceptions.
-    """
-    try:
-        if data.startswith(b"\xef\xbb\xbf"):
-            return data[3:].decode("utf-8")
-        if data.startswith(b"\xff\xfe"):
-            return data.decode("utf-16-le")[1:]
-        if data.startswith(b"\xfe\xff"):
-            return data.decode("utf-16-be")[1:]
-        head = data[:256]
-        if head.startswith(b"<?xml"):
-            end = head.find(b"?>")
-            if end != -1:
-                decl = head[:end].decode("ascii", "replace")
-                marker = 'encoding="'
-                alt = "encoding='"
-                for m in (marker, alt):
-                    idx = decl.find(m)
-                    if idx != -1:
-                        rest = decl[idx + len(m) :]
-                        enc = rest[: rest.find(m[-1])]
-                        return data.decode(enc)
-        return data.decode("utf-8")
-    except (UnicodeError, LookupError) as exc:
-        raise XmlWellFormednessError(f"undecodable document: {exc}") from None
+    """Deprecated alias for :func:`repro.xmlcore.parse`."""
+    warnings.warn(
+        "repro.xmlcore.parser.parse is deprecated; use repro.xmlcore.parse",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_tree(source)
 
 
 def _expand_start_tag(token: lx.StartTagToken, scope: NamespaceScope) -> Element:

@@ -32,7 +32,7 @@ def _has_mixed_content(element: Element) -> bool:
 def _write(writer: StreamingWriter, element: Element, depth: int, indent: str) -> None:
     if depth:
         writer.characters("\n" + indent * depth)
-    writer.start(element.tag, element.attributes, element.nsmap)
+    writer.start(element.tag, element.items(), element.nsmap)
     if _has_mixed_content(element):
         for child in element.children:
             if isinstance(child, str):
@@ -49,7 +49,7 @@ def _write(writer: StreamingWriter, element: Element, depth: int, indent: str) -
 
 
 def _write_inline(writer: StreamingWriter, element: Element) -> None:
-    writer.start(element.tag, element.attributes, element.nsmap)
+    writer.start(element.tag, element.items(), element.nsmap)
     for child in element.children:
         if isinstance(child, str):
             writer.characters(child)

@@ -20,7 +20,7 @@ from typing import Iterator
 
 from repro.errors import XmlWellFormednessError
 from repro.xmlcore import lexer as lx
-from repro.xmlcore.parser import decode_document
+from repro.xmlcore.treebuilder import decode_document
 from repro.xmlcore.qname import NamespaceScope, QName
 
 

@@ -1,20 +1,32 @@
 """In-memory XML element tree (the library's DOM-like substrate).
 
 The model is deliberately small: an :class:`Element` has a tag (Clark
-notation or plain local name), an ordered attribute map, and a list of
+notation or plain local name), an ordered attribute list, and a list of
 children where each child is either another ``Element`` or a ``str``
 text node.  Mixed content therefore round-trips exactly, which matters
 for differential serialization and WS-Security digests.
+
+Attribute storage is a tuple of ``(name, value)`` pairs behind accessor
+methods (:meth:`Element.get` / :meth:`Element.set` /
+:meth:`Element.items`), not a dict: SOAP elements carry zero to three
+attributes, so a pair tuple is cheaper to build than a dict on the
+parse hot path and a linear scan beats hashing on lookup.  The old
+``element.attributes`` mapping survives as a deprecated live view for
+one transition release.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import MutableMapping
 from typing import Iterable, Iterator, Union
 
 from repro.errors import XmlError
 from repro.xmlcore.qname import QName
 
 Child = Union["Element", str]
+
+AttrItems = tuple[tuple[str, str], ...]
 
 
 class Element:
@@ -26,25 +38,34 @@ class Element:
         Element name, either ``local``, ``{uri}local`` Clark notation,
         or a :class:`QName`.
     attributes:
-        Mapping of attribute name (same conventions as ``tag``) to value.
+        Attribute names (same conventions as ``tag``) with values:
+        a mapping, or an iterable of ``(name, value)`` pairs.
     nsmap:
         Preferred prefix→URI declarations to emit on this element when
         serialized.  Purely cosmetic; resolution uses Clark names.
     """
 
-    __slots__ = ("tag", "attributes", "children", "nsmap")
+    __slots__ = ("tag", "_attrs", "children", "nsmap")
 
     def __init__(
         self,
         tag: str | QName,
-        attributes: dict[str, str] | None = None,
+        attributes: "dict[str, str] | Iterable[tuple[str, str]] | None" = None,
         *,
         nsmap: dict[str, str] | None = None,
     ) -> None:
-        self.tag = str(tag)
-        self.attributes: dict[str, str] = dict(attributes or {})
+        self.tag = tag if type(tag) is str else str(tag)
+        if attributes:
+            if type(attributes) is tuple:
+                self._attrs = attributes
+            elif hasattr(attributes, "items"):
+                self._attrs = tuple(attributes.items())
+            else:
+                self._attrs = tuple(attributes)
+        else:
+            self._attrs = ()
         self.children: list[Child] = []
-        self.nsmap: dict[str, str] = dict(nsmap or {})
+        self.nsmap: dict[str, str] = dict(nsmap) if nsmap else {}
 
     # -- construction -------------------------------------------------
 
@@ -63,7 +84,7 @@ class Element:
     def subelement(
         self,
         tag: str | QName,
-        attributes: dict[str, str] | None = None,
+        attributes: "dict[str, str] | Iterable[tuple[str, str]] | None" = None,
         *,
         text: str | None = None,
         nsmap: dict[str, str] | None = None,
@@ -75,9 +96,74 @@ class Element:
         self.children.append(child)
         return child
 
+    # -- attributes ----------------------------------------------------
+
     def set(self, name: str | QName, value: str) -> None:
         """Set an attribute (name in Clark or local form)."""
-        self.attributes[str(name)] = value
+        name = name if type(name) is str else str(name)
+        attrs = self._attrs
+        for index, (key, _) in enumerate(attrs):
+            if key == name:
+                self._attrs = attrs[:index] + ((name, value),) + attrs[index + 1 :]
+                return
+        self._attrs = attrs + ((name, value),)
+
+    def get(self, name: str | QName, default: str | None = None) -> str | None:
+        """Attribute value, or ``default`` when absent."""
+        name = name if type(name) is str else str(name)
+        for key, value in self._attrs:
+            if key == name:
+                return value
+        return default
+
+    def items(self) -> AttrItems:
+        """The attributes as an ordered tuple of ``(name, value)`` pairs."""
+        return self._attrs
+
+    def pop_attribute(
+        self, name: str | QName, default: str | None = None
+    ) -> str | None:
+        """Remove an attribute, returning its value (or ``default``)."""
+        name = name if type(name) is str else str(name)
+        attrs = self._attrs
+        for index, (key, value) in enumerate(attrs):
+            if key == name:
+                self._attrs = attrs[:index] + attrs[index + 1 :]
+                return value
+        return default
+
+    def replace_attributes(
+        self, attributes: "dict[str, str] | Iterable[tuple[str, str]]"
+    ) -> None:
+        """Replace the whole attribute list in one step."""
+        if hasattr(attributes, "items"):
+            self._attrs = tuple(attributes.items())
+        else:
+            self._attrs = tuple(attributes)
+
+    @property
+    def attributes(self) -> "_AttributesView":
+        """Deprecated dict-style live view of the attributes.
+
+        Use :meth:`get` / :meth:`set` / :meth:`items` /
+        :meth:`pop_attribute` instead; this view exists so pre-redesign
+        callers keep working for one release.
+        """
+        warnings.warn(
+            "Element.attributes is deprecated; use Element.get/set/items",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _AttributesView(self)
+
+    @attributes.setter
+    def attributes(self, value: "dict[str, str] | Iterable[tuple[str, str]]") -> None:
+        warnings.warn(
+            "assigning Element.attributes is deprecated; use Element.replace_attributes",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.replace_attributes(value)
 
     # -- inspection ----------------------------------------------------
 
@@ -92,10 +178,6 @@ class Element:
     @property
     def namespace(self) -> str:
         return self.qname.uri
-
-    def get(self, name: str | QName, default: str | None = None) -> str | None:
-        """Attribute value, or ``default`` when absent."""
-        return self.attributes.get(str(name), default)
 
     @property
     def text(self) -> str:
@@ -155,10 +237,14 @@ class Element:
     def structurally_equal(self, other: "Element") -> bool:
         """Deep equality on tag, attributes and (normalized) children.
 
-        Adjacent text nodes are merged before comparison so two trees
-        that serialize identically compare equal.
+        Attribute order is ignored (as dict equality did before the
+        tuple storage) and adjacent text nodes are merged before
+        comparison, so two trees that serialize identically compare
+        equal.
         """
-        if self.tag != other.tag or self.attributes != other.attributes:
+        if self.tag != other.tag:
+            return False
+        if self._attrs != other._attrs and dict(self._attrs) != dict(other._attrs):
             return False
         mine = _normalized_children(self)
         theirs = _normalized_children(other)
@@ -174,13 +260,53 @@ class Element:
 
     def copy(self) -> "Element":
         """Deep copy of the subtree."""
-        clone = Element(self.tag, self.attributes, nsmap=self.nsmap)
+        clone = Element(self.tag, self._attrs, nsmap=self.nsmap)
         for child in self.children:
             clone.children.append(child if isinstance(child, str) else child.copy())
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<Element {self.tag} attrs={len(self.attributes)} children={len(self.children)}>"
+        return f"<Element {self.tag} attrs={len(self._attrs)} children={len(self.children)}>"
+
+
+class _AttributesView(MutableMapping):
+    """Mutable dict-style view over an Element's attribute tuple.
+
+    Backs the deprecated ``Element.attributes`` property; every read
+    and write goes straight through to the element, so pre-redesign
+    code observes exactly the old semantics (insertion order, in-place
+    ``del``/``pop``, dict equality).
+    """
+
+    __slots__ = ("_element",)
+
+    def __init__(self, element: Element) -> None:
+        self._element = element
+
+    def __getitem__(self, key: str) -> str:
+        value = self._element.get(key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value  # type: ignore[return-value]
+
+    def __setitem__(self, key: str, value: str) -> None:
+        self._element.set(key, value)
+
+    def __delitem__(self, key: str) -> None:
+        if self._element.pop_attribute(key, _MISSING) is _MISSING:
+            raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter([name for name, _ in self._element._attrs])
+
+    def __len__(self) -> int:
+        return len(self._element._attrs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(dict(self._element._attrs))
+
+
+_MISSING = object()
 
 
 def _tag_matches(element: Element, pattern: str) -> bool:

@@ -1,0 +1,511 @@
+"""Direct scanner→tree builder: the fused lex+parse fast path.
+
+The token-stream pipeline (``lexer.tokenize`` → ``parser.parse``)
+allocates a Token object per tag and per text run and pays an
+``isinstance`` dispatch for each.  For SOAP documents — a handful of
+distinct names repeated thousands of times — that intermediate layer is
+pure overhead.  :class:`XmlScanner` walks the source with the lexer's
+own precompiled regexes and builds :class:`~repro.xmlcore.tree.Element`
+nodes *directly*, with three extra tricks:
+
+* empty namespace frames are never pushed, so the scope version (and
+  with it the name memo below) stays stable across sibling elements
+  that declare nothing — the packed-envelope shape after hoisting;
+* raw→Clark name resolution is memoized per scope version for both
+  tags and attributes, so repeated names cost one dict hit;
+* anything off the happy path (comments, CDATA, PIs, malformed tags)
+  falls back to the corresponding :mod:`repro.xmlcore.lexer` slow path,
+  keeping diagnostics and legacy tolerances byte-for-byte identical.
+
+The scanner doubles as the pull engine behind
+``soap.envelope`` parsing: :meth:`root` / :meth:`enter` /
+:meth:`next_child` / :meth:`skip` / :meth:`read_element` /
+:meth:`finish` mirror :class:`~repro.xmlcore.cursor.XmlCursor` but
+without per-token objects.  :func:`build_tree` is the whole-document
+entry point behind :func:`repro.xmlcore.parse`.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import XmlWellFormednessError
+from repro.xmlcore import lexer as lx
+from repro.xmlcore.escape import find_illegal_char, unescape
+from repro.xmlcore.lexer import _ATTR_RE, _END_TAG_RE, _START_TAG_RE, position_at
+from repro.xmlcore.qname import NamespaceScope
+from repro.xmlcore.tree import Element
+
+
+def decode_document(data: bytes) -> str:
+    """Decode document bytes, honouring a BOM or declared encoding.
+
+    SOAP 1.1 over HTTP is overwhelmingly UTF-8; UTF-16 BOMs and an
+    explicit ``encoding=`` pseudo-attribute are also honoured.  Codec
+    failures (bogus declared encodings, malformed byte sequences) are
+    reported as well-formedness errors, never as raw codec exceptions.
+    """
+    try:
+        if data.startswith(b"\xef\xbb\xbf"):
+            return data[3:].decode("utf-8")
+        if data.startswith(b"\xff\xfe"):
+            return data.decode("utf-16-le")[1:]
+        if data.startswith(b"\xfe\xff"):
+            return data.decode("utf-16-be")[1:]
+        head = data[:256]
+        if head.startswith(b"<?xml"):
+            end = head.find(b"?>")
+            if end != -1:
+                decl = head[:end].decode("ascii", "replace")
+                marker = 'encoding="'
+                alt = "encoding='"
+                for m in (marker, alt):
+                    idx = decl.find(m)
+                    if idx != -1:
+                        rest = decl[idx + len(m) :]
+                        enc = rest[: rest.find(m[-1])]
+                        return data.decode(enc)
+        return data.decode("utf-8")
+    except (UnicodeError, LookupError) as exc:
+        raise XmlWellFormednessError(f"undecodable document: {exc}") from None
+
+
+class StartTag(NamedTuple):
+    """A scanned-but-unexpanded start tag (names still prefixed)."""
+
+    name: str
+    attributes: list[tuple[str, str]]
+    self_closing: bool
+    offset: int
+
+
+class XmlScanner:
+    """Regex-direct scanner over one document; see the module docstring."""
+
+    __slots__ = (
+        "_src",
+        "_pos",
+        "_scope",
+        "_entered",
+        "_tag_memo",
+        "_attr_memo",
+        "_memo_version",
+    )
+
+    def __init__(self, source: str | bytes) -> None:
+        if isinstance(source, bytes):
+            source = decode_document(source)
+        self._src = source
+        self._pos = 0
+        self._scope = NamespaceScope()
+        # (raw name, self_closing, pushed-a-scope-frame) per entered element
+        self._entered: list[tuple[str, bool, bool]] = []
+        self._tag_memo: dict[str, str] = {}
+        self._attr_memo: dict[str, str] = {}
+        self._memo_version = self._scope.version
+
+    # -- whole-document parse --------------------------------------------
+
+    def document(self) -> Element:
+        """Parse the complete document and return its root element."""
+        start = self.root()
+        element = self._expand(start)
+        if start.self_closing:
+            self._pop_frame()
+        else:
+            self._read_children_into(element, start.name)
+        self._epilog()
+        return element
+
+    # -- pull navigation --------------------------------------------------
+
+    def root(self) -> StartTag:
+        """Consume the prolog and return the root element's start tag."""
+        src = self._src
+        n = len(src)
+        pos = self._pos
+        allow_decl = pos == 0
+        while True:
+            lt = src.find("<", pos)
+            limit = lt if lt != -1 else n
+            if limit > pos:
+                text = self._prepare_text(pos, limit)
+                if text.strip():
+                    self._fail("character data outside the root element", pos)
+                allow_decl = False
+            if lt == -1:
+                self._pos = n
+                raise XmlWellFormednessError("document contains no element")
+            pos = lt
+            nxt = src[lt + 1] if lt + 1 < n else ""
+            if nxt == "/":
+                name, _ = self._scan_end(pos)
+                self._fail(f"unexpected end tag </{name}>", pos)
+            if nxt in "?!":
+                misc = self._scan_misc(pos, allow_decl=allow_decl)
+                pos = self._pos
+                allow_decl = False
+                if isinstance(misc, StartTag):
+                    return misc
+                if misc is not None and misc.strip():
+                    self._fail("character data outside the root element", lt)
+                continue
+            return self._scan_start(pos)
+
+    def enter(self, start: StartTag) -> Element:
+        """Expand ``start`` into a childless Element and open its scope.
+
+        After entering, :meth:`next_child` iterates the element's child
+        start tags; once it returns None the scope has been closed.
+        """
+        element = self._expand(start)
+        return element
+
+    def next_child(self) -> StartTag | None:
+        """The next child start tag of the innermost entered element, or
+        None when that element closes."""
+        if not self._entered:
+            raise XmlWellFormednessError("next_child() with no entered element")
+        name, self_closing, _ = self._entered[-1]
+        if self_closing:
+            self._leave()
+            return None
+        src = self._src
+        n = len(src)
+        pos = self._pos
+        while True:
+            lt = src.find("<", pos)
+            if lt == -1:
+                self._pos = n
+                raise XmlWellFormednessError(f"unclosed element <{name}>")
+            if lt > pos:
+                self._prepare_text(pos, lt)  # validated, content discarded
+            pos = lt
+            nxt = src[lt + 1] if lt + 1 < n else ""
+            if nxt == "/":
+                end_name, end_pos = self._scan_end(pos)
+                self._pos = end_pos
+                if end_name != name:
+                    line, column = position_at(src, lt)
+                    raise XmlWellFormednessError(
+                        f"mismatched end tag: expected </{name}>, got </{end_name}>",
+                        line,
+                        column,
+                    )
+                self._leave()
+                return None
+            if nxt in "?!":
+                misc = self._scan_misc(pos, allow_decl=False)
+                if isinstance(misc, StartTag):
+                    return misc
+                pos = self._pos
+                continue
+            start = self._scan_start(pos)
+            return start
+
+    def skip(self, start: StartTag) -> None:
+        """Discard the subtree opened by ``start`` without expanding it.
+
+        Internal namespace declarations never touch the scope; character
+        data is still validated (legality, ``]]>``) like the token path
+        did, but never unescaped or kept.
+        """
+        if start.self_closing:
+            return
+        src = self._src
+        n = len(src)
+        pos = self._pos
+        depth = 1
+        while depth:
+            lt = src.find("<", pos)
+            if lt == -1:
+                self._pos = n
+                line, column = position_at(src, start.offset)
+                raise XmlWellFormednessError(
+                    f"unclosed element <{start.name}>", line, column
+                )
+            if lt > pos:
+                self._prepare_text(pos, lt)
+            pos = lt
+            nxt = src[lt + 1] if lt + 1 < n else ""
+            if nxt == "/":
+                _, pos = self._scan_end(lt)
+                depth -= 1
+            elif nxt in "?!":
+                misc = self._scan_misc(pos, allow_decl=False)
+                pos = self._pos
+                if isinstance(misc, StartTag) and not misc.self_closing:
+                    depth += 1
+            else:
+                inner = self._scan_start(pos)
+                pos = self._pos
+                if not inner.self_closing:
+                    depth += 1
+        self._pos = pos
+
+    def read_element(self, start: StartTag) -> Element:
+        """Materialize the subtree opened by ``start`` as an Element."""
+        element = self._expand(start)
+        if start.self_closing:
+            self._pop_frame()
+            return element
+        self._read_children_into(element, start.name)
+        return element
+
+    def finish(self) -> None:
+        """Drain open elements, checking nothing but epilog remains."""
+        while self._entered:
+            child = self.next_child()
+            if child is not None:
+                self.skip(child)
+        self._epilog()
+
+    # -- scanning internals ----------------------------------------------
+
+    def _read_children_into(self, root: Element, raw_name: str) -> None:
+        """Consume ``root``'s content through its end tag, building the
+        subtree in place.  ``root`` must already be expanded (its scope
+        frame, if any, is recorded on the entered stack)."""
+        src = self._src
+        n = len(src)
+        pos = self._pos
+        entered = self._entered
+        base = len(entered) - 1  # root's own entry
+        stack = [root]
+        while True:
+            lt = src.find("<", pos)
+            if lt == -1:
+                self._pos = n
+                raise XmlWellFormednessError(f"unclosed element <{stack[-1].tag}>")
+            if lt > pos:
+                text = self._prepare_text(pos, lt)
+                if text:
+                    stack[-1].children.append(text)
+            pos = lt
+            nxt = src[lt + 1] if lt + 1 < n else ""
+            if nxt == "/":
+                end_name, pos = self._scan_end(lt)
+                element = stack.pop()
+                open_name, _, pushed = entered.pop()
+                if end_name != open_name:
+                    # Different raw names may still resolve identically
+                    # (same URI under two prefixes) — match the tree
+                    # parser's resolved comparison and message.
+                    closing = self._scope.resolve_name(end_name)
+                    if closing.clark != element.tag:
+                        line, column = position_at(src, lt)
+                        raise XmlWellFormednessError(
+                            f"mismatched end tag: expected </..."
+                            f"{element.qname.local}>, got </{end_name}>",
+                            line,
+                            column,
+                        )
+                if pushed:
+                    self._scope.pop()
+                if len(entered) == base:
+                    self._pos = pos
+                    return
+                continue
+            if nxt in "?!":
+                self._pos = pos
+                misc = self._scan_misc(pos, allow_decl=False)
+                pos = self._pos
+                if isinstance(misc, StartTag):
+                    element = self._expand(misc)
+                    stack[-1].children.append(element)
+                    if misc.self_closing:
+                        self._pop_frame()
+                    else:
+                        stack.append(element)
+                elif misc:
+                    stack[-1].children.append(misc)
+                continue
+            self._pos = pos
+            start = self._scan_start(pos)
+            pos = self._pos
+            element = self._expand(start)
+            stack[-1].children.append(element)
+            if start.self_closing:
+                self._pop_frame()
+            else:
+                stack.append(element)
+
+    def _scan_start(self, pos: int) -> StartTag:
+        """Scan one start tag at ``pos``; advances ``self._pos``."""
+        src = self._src
+        match = _START_TAG_RE.match(src, pos)
+        if match is None:
+            lexer = lx.Lexer(src)
+            lexer._pos = pos
+            token = lexer._lex_start_tag_slow()
+            self._pos = lexer._pos
+            return StartTag(token.name, token.attributes, token.self_closing, pos)
+        name, raw_attrs, slash = match.groups()
+        attributes: list[tuple[str, str]] = []
+        if raw_attrs:
+            for attr_match in _ATTR_RE.finditer(raw_attrs):
+                value = attr_match.group(2)
+                attributes.append((attr_match.group(1), unescape(value[1:-1])))
+        self._pos = match.end()
+        return StartTag(name, attributes, slash == "/", pos)
+
+    def _scan_end(self, pos: int) -> tuple[str, int]:
+        """Scan one end tag at ``pos``; returns (raw name, end offset)."""
+        match = _END_TAG_RE.match(self._src, pos)
+        if match is not None:
+            return match.group(1), match.end()
+        lexer = lx.Lexer(self._src)
+        lexer._pos = pos
+        token = lexer._lex_end_tag()
+        return token.name, lexer._pos
+
+    def _scan_misc(self, pos: int, *, allow_decl: bool) -> "str | StartTag | None":
+        """Handle ``<?``/``<!`` markup via the lexer's own code paths.
+
+        Returns CDATA text, a :class:`StartTag` for the ``<!name``
+        legacy tolerance, or None for comments/PIs/declarations.
+        Advances ``self._pos``.
+        """
+        lexer = lx.Lexer(self._src)
+        lexer._pos = pos
+        token = lexer._lex_markup(allow_decl=allow_decl)
+        self._pos = lexer._pos
+        if isinstance(token, lx.CDataToken):
+            return token.text
+        if isinstance(token, lx.StartTagToken):
+            return StartTag(token.name, token.attributes, token.self_closing, pos)
+        return None
+
+    def _prepare_text(self, pos: int, end: int) -> str:
+        """Validate and unescape the character run ``src[pos:end]``."""
+        raw = self._src[pos:end]
+        if "]]>" in raw:
+            self._fail("']]>' not allowed in character data", pos)
+        match = find_illegal_char(raw)
+        if match is not None:
+            self._fail(f"illegal character U+{ord(match.group()):04X}", pos)
+        if "&" in raw:
+            return unescape(raw)
+        return raw
+
+    # -- namespace expansion ----------------------------------------------
+
+    def _expand(self, start: StartTag) -> Element:
+        """Expand a start tag into a childless Element, opening its
+        namespace frame (if it declares one) and recording it on the
+        entered stack."""
+        scope = self._scope
+        declarations: dict[str, str] | None = None
+        plain = start.attributes
+        for attr_name, _ in plain:
+            if attr_name.startswith("xmlns") and (
+                len(attr_name) == 5 or attr_name[5] == ":"
+            ):
+                declarations = {}
+                plain = []
+                for name, value in start.attributes:
+                    if name == "xmlns":
+                        declarations[""] = value
+                    elif name.startswith("xmlns:"):
+                        declarations[name[6:]] = value
+                    else:
+                        plain.append((name, value))
+                break
+
+        try:
+            pushed = False
+            if declarations:
+                scope.push(declarations)
+                pushed = True
+            if scope.version != self._memo_version:
+                self._tag_memo = {}
+                self._attr_memo = {}
+                self._memo_version = scope.version
+            tag = self._tag_memo.get(start.name)
+            if tag is None:
+                tag = scope.resolve_name(start.name).clark
+                self._tag_memo[start.name] = tag
+            if plain:
+                attr_memo = self._attr_memo
+                attrs = []
+                for name, value in plain:
+                    key = attr_memo.get(name)
+                    if key is None:
+                        key = scope.resolve_name(name, is_attribute=True).clark
+                        attr_memo[name] = key
+                    attrs.append((key, value))
+                if len(attrs) > 1:
+                    seen: set[str] = set()
+                    for index, (key, _) in enumerate(attrs):
+                        if key in seen:
+                            raise XmlWellFormednessError(
+                                f"duplicate attribute '{plain[index][0]}' "
+                                f"on <{start.name}>",
+                                *position_at(self._src, start.offset),
+                            )
+                        seen.add(key)
+                attributes = tuple(attrs)
+            else:
+                attributes = ()
+        except XmlWellFormednessError:
+            raise
+        except Exception as exc:
+            line, column = position_at(self._src, start.offset)
+            raise type(exc)(f"{exc} (line {line}, column {column})") from None
+
+        element = Element.__new__(Element)
+        element.tag = tag
+        element._attrs = attributes
+        element.children = []
+        element.nsmap = declarations if declarations else {}
+        self._entered.append((start.name, start.self_closing, pushed))
+        return element
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _epilog(self) -> None:
+        """Validate that only comments/PIs/whitespace remain."""
+        src = self._src
+        n = len(src)
+        pos = self._pos
+        while True:
+            lt = src.find("<", pos)
+            limit = lt if lt != -1 else n
+            if limit > pos:
+                text = self._prepare_text(pos, limit)
+                if text.strip():
+                    self._fail("character data outside the root element", pos)
+            if lt == -1:
+                self._pos = n
+                return
+            pos = lt
+            nxt = src[lt + 1] if lt + 1 < n else ""
+            if nxt == "/":
+                name, _ = self._scan_end(pos)
+                self._fail(f"unexpected end tag </{name}>", pos)
+            if nxt in "?!":
+                misc = self._scan_misc(pos, allow_decl=False)
+                pos = self._pos
+                if isinstance(misc, StartTag):
+                    self._fail("document has more than one root element", lt)
+                if misc is not None and misc.strip():
+                    self._fail("character data outside the root element", lt)
+                continue
+            self._fail("document has more than one root element", pos)
+
+    def _leave(self) -> None:
+        _, _, pushed = self._entered.pop()
+        if pushed:
+            self._scope.pop()
+
+    def _pop_frame(self) -> None:
+        self._leave()
+
+    def _fail(self, message: str, offset: int) -> None:
+        line, column = position_at(self._src, offset)
+        raise XmlWellFormednessError(message, line, column)
+
+
+def build_tree(source: str | bytes) -> Element:
+    """Parse a complete XML document straight into an element tree."""
+    return XmlScanner(source).document()

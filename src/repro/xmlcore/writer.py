@@ -13,6 +13,8 @@ N times; output accumulates in a plain list joined at the end.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.errors import XmlNamespaceError
 from repro.xmlcore.escape import escape_attribute, escape_text
 from repro.xmlcore.qname import NamespaceScope, QName
@@ -44,10 +46,14 @@ class StreamingWriter:
     def start(
         self,
         tag: str | QName,
-        attributes: dict[str, str] | None = None,
+        attributes: "dict[str, str] | Iterable[tuple[str, str]] | None" = None,
         nsmap: dict[str, str] | None = None,
     ) -> None:
-        """Open an element with attributes and namespace declarations."""
+        """Open an element with attributes and namespace declarations.
+
+        ``attributes`` may be a mapping or an ordered iterable of
+        ``(name, value)`` pairs — the tree core's native form.
+        """
         self._close_start_tag()
         qname = tag if isinstance(tag, QName) else QName.parse(tag)
         self._scope.push()
@@ -60,7 +66,8 @@ class StreamingWriter:
         name = self._render_name(qname, declarations, is_attribute=False)
         rendered_attrs: list[tuple[str, str]] = []
         if attributes:
-            for attr, value in attributes.items():
+            pairs = attributes.items() if hasattr(attributes, "items") else attributes
+            for attr, value in pairs:
                 attr_qname = attr if isinstance(attr, QName) else QName.parse(attr)
                 rendered_attrs.append(
                     (self._render_name(attr_qname, declarations, is_attribute=True), value)
@@ -116,7 +123,12 @@ class StreamingWriter:
             self._parts.append(f"</{name}>")
         self._scope.pop()
 
-    def element(self, tag: str | QName, text: str = "", attributes: dict[str, str] | None = None) -> None:
+    def element(
+        self,
+        tag: str | QName,
+        text: str = "",
+        attributes: "dict[str, str] | Iterable[tuple[str, str]] | None" = None,
+    ) -> None:
         """Convenience: a leaf element with optional text content."""
         self.start(tag, attributes)
         self.characters(text)
@@ -199,7 +211,7 @@ def serialize_bytes(element: Element, *, declaration: bool = True) -> bytes:
 
 
 def _write_element(writer: StreamingWriter, element: Element) -> None:
-    writer.start(element.tag, element.attributes, element.nsmap)
+    writer.start(element.tag, element.items(), element.nsmap)
     for child in element.children:
         if isinstance(child, str):
             writer.characters(child)

@@ -63,10 +63,16 @@ class TestGoldenMessages:
         envelope = Envelope()
         envelope.add_body(build_parallel_method(entries))
         text = envelope.to_string()
-        assert '<spi:Parallel_Method xmlns:spi="urn:spi:soap-passing-interface">' in text
+        # The wrapper hoists each method namespace (m0, m1, ...) so the
+        # packed entries carry no per-entry xmlns declarations.
+        assert (
+            '<spi:Parallel_Method xmlns:spi="urn:spi:soap-passing-interface"'
+            ' xmlns:m0="urn:w">'
+        ) in text
         assert text.count("GetWeather") == 4  # 2 open + 2 close tags
-        assert 'requestID="r0"' in text
-        assert 'requestID="r1"' in text
+        assert '<m0:GetWeather requestID="r0">' in text
+        assert '<m0:GetWeather requestID="r1">' in text
+        assert text.count('xmlns:m0="urn:w"') == 1
         # Parallel_Method is the only direct Body child
         body_inner = text.split("<SOAP-ENV:Body>")[1].split("</SOAP-ENV:Body>")[0]
         assert body_inner.startswith("<spi:Parallel_Method")

@@ -1,0 +1,66 @@
+"""JSONL span export: every finished span becomes one JSON line."""
+
+import io
+import json
+
+from repro.obs import Observability
+from repro.obs.trace import Tracer
+
+
+class TestJsonlSink:
+    def test_finished_spans_are_written_as_json_lines(self):
+        sink = io.StringIO()
+        tracer = Tracer(export_sink=sink)
+        with tracer.span("soap.parse", "abc123", detail="100B"):
+            pass
+        tracer.record_span("execute", "abc123", 1.0, 1.5, detail="echo")
+
+        lines = sink.getvalue().strip().split("\n")
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["name"] == "soap.parse"
+        assert first["trace_id"] == "abc123"
+        assert first["detail"] == "100B"
+        assert first["duration_s"] >= 0
+        assert second["name"] == "execute"
+        assert second["duration_s"] == 0.5
+
+    def test_sink_lines_match_span_ring(self):
+        sink = io.StringIO()
+        tracer = Tracer(export_sink=sink)
+        for index in range(5):
+            with tracer.span(f"phase{index}", "t1"):
+                pass
+        exported = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert [e["name"] for e in exported] == [s.name for s in tracer.spans()]
+
+    def test_no_sink_means_no_export(self):
+        tracer = Tracer()
+        with tracer.span("x", "t"):
+            pass
+        assert tracer.export_sink is None  # and nothing crashed
+
+    def test_broken_sink_is_detached_not_fatal(self):
+        class Broken:
+            def write(self, data):
+                raise OSError("disk full")
+
+        tracer = Tracer(export_sink=Broken())
+        with tracer.span("x", "t"):
+            pass  # must not raise
+        assert tracer.export_sink is None
+        with tracer.span("y", "t"):
+            pass  # still records into the ring
+        assert [s.name for s in tracer.spans()] == ["x", "y"]
+
+    def test_observability_plumbs_span_sink(self):
+        sink = io.StringIO()
+        obs = Observability(span_sink=sink)
+        with obs.tracer.span("client.call", "t9"):
+            pass
+        record = json.loads(sink.getvalue())
+        assert record["name"] == "client.call"
+        # the registry feed still works alongside the sink
+        assert obs.registry.snapshot()["histograms"][
+            "span.client.call.seconds"
+        ]["total"] == 1

@@ -1,0 +1,126 @@
+"""Property-based tests for the PR-3 API redesign invariants.
+
+Two contracts the redesign must not break:
+
+* the tuple-backed attribute storage is a pure representation change —
+  a tree built through any attribute-writing path (constructor dict,
+  repeated ``set``, ``replace_attributes`` with a mapping or an
+  iterable) serializes to byte-identical XML;
+* namespace hoisting on ``Parallel_Method`` changes the wire bytes but
+  not the value — the unmodified deserializer recovers exactly the
+  entries that went in.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packformat import build_parallel_method, unpack_parallel_method
+from repro.soap.constants import REQUEST_ID_ATTR
+from repro.soap.envelope import Envelope
+from repro.soap.serializer import serialize_rpc_request
+from repro.xmlcore.tree import Element
+from repro.xmlcore.writer import serialize
+
+ncnames = st.text(alphabet=string.ascii_letters, min_size=1, max_size=8)
+
+attr_values = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",),
+        blacklist_characters="".join(
+            chr(c) for c in range(0x20) if c not in (0x9, 0xA, 0xD)
+        ) + "￾￿",
+    ),
+    max_size=30,
+)
+
+attr_sets = st.dictionaries(ncnames, attr_values, max_size=5)
+
+
+@settings(max_examples=60)
+@given(ncnames, attr_sets, attr_values)
+def test_attribute_paths_serialize_byte_identically(tag, attrs, text):
+    via_ctor = Element(tag, attrs)
+    via_set = Element(tag)
+    for name, value in attrs.items():
+        via_set.set(name, value)
+    via_mapping = Element(tag)
+    via_mapping.replace_attributes(attrs)
+    via_pairs = Element(tag)
+    via_pairs.replace_attributes((name, value) for name, value in attrs.items())
+    for element in (via_ctor, via_set, via_mapping, via_pairs):
+        if text:
+            element.append(text)
+    baseline = serialize(via_ctor)
+    assert serialize(via_set) == baseline
+    assert serialize(via_mapping) == baseline
+    assert serialize(via_pairs) == baseline
+
+
+@settings(max_examples=60)
+@given(ncnames, attr_sets, attr_values)
+def test_set_overwrite_keeps_single_occurrence(tag, attrs, value):
+    element = Element(tag, attrs)
+    for name in attrs:
+        element.set(name, value)
+    assert dict(element.items()) == {name: value for name in attrs}
+    text = serialize(element)
+    for name in attrs:
+        assert text.count(f' {name}="') == 1
+
+
+service_uris = st.lists(
+    st.sampled_from(["urn:svc:a", "urn:svc:b", "urn:svc:c"]),
+    min_size=1,
+    max_size=12,
+)
+
+payload_text = st.text(
+    alphabet=string.printable.replace("\x0b", "").replace("\x0c", ""),
+    max_size=40,
+)
+
+
+@settings(max_examples=50)
+@given(service_uris, st.data())
+def test_hoisted_pack_is_value_equal_after_round_trip(uris, data):
+    """Hoisting moves xmlns declarations onto the wrapper; the stock
+    deserializer must still recover every entry unchanged — same
+    operation namespaces, same payloads, same request ids."""
+    payloads = [data.draw(payload_text) for _ in uris]
+    entries = [
+        serialize_rpc_request(uri, "Echo", {"payload": value})
+        for uri, value in zip(uris, payloads)
+    ]
+    originals = [entry.copy() for entry in entries]
+    wrapper = build_parallel_method(entries)
+    envelope = Envelope()
+    envelope.add_body(wrapper)
+    reparsed = Envelope.parse(envelope.to_bytes())
+    unpacked = unpack_parallel_method(reparsed.first_body_entry())
+    assert len(unpacked) == len(entries)
+    for index, (original, uri, value, entry) in enumerate(
+        zip(originals, uris, payloads, unpacked)
+    ):
+        assert entry.qname.uri == uri
+        assert entry.qname.local == "Echo"
+        assert entry.get(REQUEST_ID_ATTR) == f"r{index}"
+        assert entry.require("payload").text == value
+        # ignoring the assigned id, the entry is structurally the
+        # original serializer output
+        entry.pop_attribute(REQUEST_ID_ATTR)
+        assert entry.structurally_equal(original)
+
+
+@settings(max_examples=50)
+@given(service_uris)
+def test_hoisting_declares_each_namespace_once(uris):
+    entries = [
+        serialize_rpc_request(uri, "Echo", {"payload": "x"}) for uri in uris
+    ]
+    envelope = Envelope()
+    envelope.add_body(build_parallel_method(entries))
+    text = envelope.to_bytes().decode("utf-8")
+    for uri in set(uris):
+        assert text.count(f'"{uri}"') == 1
