@@ -11,7 +11,7 @@ import time
 
 import pytest
 
-from repro.bench.workloads import echo_testbed
+from repro.bench.workloads import BENCH_POLICY, echo_testbed
 from repro.client.invoker import Call
 from repro.core.batch import PackedInvoker
 
@@ -23,7 +23,7 @@ def packed_delayed_point(bed):
     calls = Call.many("delayedEcho", [{"payload": "x", "delay_ms": DELAY_MS}] * M)
     proxy = bed.make_proxy()
     try:
-        return PackedInvoker(proxy).invoke_all(calls, timeout=300)
+        return PackedInvoker(proxy).invoke_all(calls, BENCH_POLICY)
     finally:
         proxy.close()
 

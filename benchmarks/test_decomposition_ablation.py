@@ -18,7 +18,7 @@ import time
 
 import pytest
 
-from repro.bench.workloads import echo_calls, echo_testbed, make_invoker
+from repro.bench.workloads import BENCH_POLICY, echo_calls, echo_testbed, make_invoker
 
 M = 32
 PAYLOAD = 100
@@ -39,7 +39,7 @@ def bed_for(approach, beds):
 def run_once(bed, approach):
     proxy = bed.make_proxy()
     try:
-        make_invoker(approach, proxy).invoke_all(echo_calls(M, PAYLOAD), timeout=300)
+        make_invoker(approach, proxy).invoke_all(echo_calls(M, PAYLOAD), BENCH_POLICY)
     finally:
         proxy.close()
 

@@ -13,7 +13,7 @@ import time
 import pytest
 
 from repro.apps.echo import make_echo_service
-from repro.bench.workloads import build_transport
+from repro.bench.workloads import BENCH_POLICY, build_transport
 from repro.client.invoker import Call
 from repro.core.batch import PackedInvoker
 from repro.core.dispatcher import spi_server_handlers
@@ -49,7 +49,7 @@ def packed_point(transport, address):
     )
     calls = Call.many("delayedEcho", [{"payload": "x", "delay_ms": DELAY_MS}] * M)
     try:
-        return PackedInvoker(proxy).invoke_all(calls, timeout=300)
+        return PackedInvoker(proxy).invoke_all(calls, BENCH_POLICY)
     finally:
         proxy.close()
 

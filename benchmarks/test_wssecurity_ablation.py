@@ -15,6 +15,7 @@ import time
 import pytest
 
 from repro.bench.workloads import (
+    BENCH_POLICY,
     echo_calls,
     echo_testbed,
     make_invoker,
@@ -34,7 +35,7 @@ def spi_bed():
 def run_once(bed, approach, wss):
     proxy = secured_proxy(bed) if wss else bed.make_proxy()
     try:
-        make_invoker(approach, proxy).invoke_all(echo_calls(M, PAYLOAD), timeout=300)
+        make_invoker(approach, proxy).invoke_all(echo_calls(M, PAYLOAD), BENCH_POLICY)
     finally:
         proxy.close()
 

@@ -14,6 +14,7 @@ import time
 
 from repro.bench.workloads import (
     BENCH_CREDENTIALS,
+    BENCH_POLICY,
     echo_calls,
     echo_testbed,
     make_invoker,
@@ -50,7 +51,7 @@ def main() -> None:
                     proxy = secured_proxy(bed) if wss else bed.make_proxy()
                     try:
                         make_invoker(approach, proxy).invoke_all(
-                            echo_calls(M, PAYLOAD), timeout=300
+                            echo_calls(M, PAYLOAD), BENCH_POLICY
                         )
                     finally:
                         proxy.close()

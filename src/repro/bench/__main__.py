@@ -12,7 +12,7 @@ Usage::
     python -m repro.bench all [--fast]
     python -m repro.bench xml [--smoke] [--record LABEL]
     python -m repro.bench e2e [--smoke] [--record LABEL] [--check-overhead PCT]
-                              [--check-regression PCT]
+                              [--check-regression PCT] [--shed-smoke]
 
 Profiles: lan (paper's 100 Mbit Ethernet emulation, default), wan,
 loopback (bare TCP), inproc (no sockets).
@@ -87,6 +87,12 @@ def main(argv: list[str] | None = None) -> int:
         "slower than the newest committed BENCH_e2e.json entry",
     )
     parser.add_argument(
+        "--shed-smoke",
+        action="store_true",
+        help="e2e experiment: overload a tiny staged deployment and exit 1 "
+        "unless it sheds with Server.Busy faults and a one-way HTTP 503",
+    )
+    parser.add_argument(
         "--phase-report",
         metavar="PATH",
         nargs="?",
@@ -156,6 +162,8 @@ def _run_xml(args) -> int:
 def _run_e2e(args) -> int:
     from repro.bench import e2e
 
+    if args.shed_smoke:
+        return _run_shed_smoke(e2e)
     results = e2e.run_e2e_bench(smoke=args.smoke)
     # gate against the committed baseline BEFORE --record appends the
     # current run (which would otherwise become its own baseline)
@@ -208,6 +216,31 @@ def _run_e2e(args) -> int:
                 f"'{regression['baseline_label']}' (limit {args.check_regression:+.2f}%)"
             )
     return 0
+
+
+def _run_shed_smoke(e2e) -> int:
+    outcome = e2e.run_shed_smoke()
+    print(
+        f"shed smoke: pack of {outcome['pack_size']} -> "
+        f"{outcome['served']} served, {outcome['shed']} shed with Server.Busy; "
+        f"one-way probe under saturation -> HTTP {outcome['oneway_status']}; "
+        f"counters: resilience.shed={outcome['shed_counter']} "
+        f"stage.application.rejected={outcome['rejected_counter']}"
+    )
+    failures = []
+    if outcome["shed"] == 0:
+        failures.append("overloaded pack shed no entries")
+    if outcome["served"] == 0:
+        failures.append("no sibling entry survived the overload")
+    if outcome["oneway_status"] != 503:
+        failures.append(
+            f"saturated one-way probe returned {outcome['oneway_status']}, not 503"
+        )
+    if outcome["shed_counter"] == 0 or outcome["rejected_counter"] == 0:
+        failures.append("shed counters did not move")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

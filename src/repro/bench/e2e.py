@@ -36,6 +36,9 @@ from pathlib import Path
 
 from repro.bench.workloads import echo_calls, echo_testbed, make_invoker
 from repro.obs import Observability, phase_breakdown, render_spans
+from repro.resilience.policy import CallPolicy
+
+_BENCH_POLICY = CallPolicy(timeout=120)
 
 BENCH_JSON = "BENCH_e2e.json"
 OVERHEAD_GATE_CASE = "fig7"
@@ -81,10 +84,10 @@ def _time_round_trips(
         proxy = testbed.make_proxy()
         invoker = make_invoker("our-approach", proxy)
         calls = echo_calls(shape.m, shape.payload_bytes)
-        invoker.invoke_all(calls, timeout=120)  # warmup
+        invoker.invoke_all(calls, _BENCH_POLICY)  # warmup
         for _ in range(repeats):
             start = time.perf_counter()
-            invoker.invoke_all(calls, timeout=120)
+            invoker.invoke_all(calls, _BENCH_POLICY)
             samples.append(time.perf_counter() - start)
         proxy.close()
     return samples
@@ -279,4 +282,88 @@ def check_regression(
         "baseline_ms": None,
         "baseline_label": None,
         "delta_pct": 0.0,
+    }
+
+
+# -- shed smoke -----------------------------------------------------------
+
+
+def run_shed_smoke(
+    *, pack_size: int = 16, app_workers: int = 1, app_queue_limit: int = 2
+) -> dict:
+    """Overload a deliberately tiny staged deployment and prove it
+    degrades the way the resilience layer promises:
+
+    * a packed burst larger than worker+queue capacity sheds the excess
+      entries with per-entry retryable ``Server.Busy`` faults while the
+      accepted siblings still answer (partial success, HTTP 200);
+    * a one-way request arriving while the stage is saturated is shed as
+      a whole message: HTTP 503 with a ``Server.Busy`` fault body;
+    * both paths are visible in the metrics registry
+      (``resilience.shed`` / ``stage.application.rejected``).
+
+    Returns the observed counts; :mod:`repro.bench.__main__` turns a
+    run with no sheds or a non-503 probe into a CI failure.
+    """
+    from repro.core.batch import PackBatch
+    from repro.core.oneway import mark_one_way
+    from repro.errors import SoapFaultError
+    from repro.http.connection import HttpConnection
+    from repro.http.message import Headers, HttpRequest
+    from repro.soap.serializer import build_request_envelope
+    from repro.apps.echo import ECHO_NS
+
+    obs = Observability()
+    with echo_testbed(
+        profile="inproc",
+        app_workers=app_workers,
+        app_queue_limit=app_queue_limit,
+        observability=obs,
+    ) as bed:
+        proxy = bed.make_proxy()
+
+        # 1. packed burst beyond capacity: expect partial success
+        batch = PackBatch(proxy)
+        futures = [
+            batch.call("delayedEcho", payload=f"s{i}", delay_ms=40)
+            for i in range(pack_size)
+        ]
+        batch.flush()
+        errors = [f.exception(timeout=30) for f in futures]
+        shed = sum(
+            1
+            for e in errors
+            if isinstance(e, SoapFaultError) and e.faultcode == "Server.Busy"
+        )
+        served = sum(1 for e in errors if e is None)
+
+        # 2. saturate again with casts, then probe with a one-way call
+        for wave in ("a", "b"):
+            prime = PackBatch(proxy)
+            for i in range(2):
+                prime.cast("delayedEcho", payload=f"{wave}{i}", delay_ms=400)
+            prime.flush()
+            time.sleep(0.1)
+        envelope = build_request_envelope(ECHO_NS, "echo", {"payload": "probe"})
+        mark_one_way(envelope.body_entries[0])
+        with HttpConnection(bed.transport, bed.address) as conn:
+            response = conn.request(
+                HttpRequest(
+                    "POST",
+                    proxy.path,
+                    Headers({"Host": "bench", "SOAPAction": '"echo"'}),
+                    envelope.to_bytes(),
+                )
+            )
+        proxy.close()
+
+    return {
+        "pack_size": pack_size,
+        "served": served,
+        "shed": shed,
+        "oneway_status": response.status,
+        "shed_counter": obs.registry.counter("resilience.shed").value,
+        "rejected_counter": obs.registry.counter(
+            "stage.application.rejected"
+        ).value,
     }

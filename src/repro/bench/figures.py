@@ -13,6 +13,7 @@ from repro.bench.harness import Measurement, measure
 from repro.bench.report import FigureResult, ScalarResult
 from repro.bench.workloads import (
     APPROACHES,
+    BENCH_POLICY,
     build_transport,
     echo_calls,
     echo_testbed,
@@ -158,7 +159,7 @@ def wssecurity_ablation(
                     proxy = secured_proxy(bed) if wss else bed.make_proxy()
                     try:
                         make_invoker(approach, proxy).invoke_all(
-                            echo_calls(m, payload), timeout=300
+                            echo_calls(m, payload), BENCH_POLICY
                         )
                     finally:
                         proxy.close()
@@ -194,7 +195,7 @@ def arch_ablation(
             def once():
                 proxy = bed.make_proxy()
                 try:
-                    PackedInvoker(proxy).invoke_all(calls, timeout=300)
+                    PackedInvoker(proxy).invoke_all(calls, BENCH_POLICY)
                 finally:
                     proxy.close()
 

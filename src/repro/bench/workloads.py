@@ -28,6 +28,7 @@ from repro.core.batch import PackedInvoker
 from repro.core.dispatcher import spi_server_handlers
 from repro.diagnostics import PackMetricsHandler
 from repro.errors import ReproError
+from repro.resilience.policy import CallPolicy
 from repro.obs.trace import Observability, Tracer
 from repro.server.common_arch import CommonSoapServer
 from repro.server.handlers import HandlerChain
@@ -103,6 +104,7 @@ def echo_testbed(
     architecture: str = "staged",
     spi: bool = True,
     app_workers: int = 32,
+    app_queue_limit: int | None = None,
     observability: Observability | None = None,
 ) -> Iterator[Testbed]:
     """Deploy the Echo service and yield a ready Testbed.
@@ -111,6 +113,9 @@ def echo_testbed(
     (spans, /metrics, /healthz) and installs a
     :class:`~repro.diagnostics.PackMetricsHandler` feeding its registry,
     so pack-degree and execute-latency histograms show up in /metrics.
+
+    ``app_queue_limit`` (staged only): bound on the application stage's
+    backlog; entries beyond it shed with ``Server.Busy``.
     """
     transport = build_transport(profile)
     address = "echo-bench" if profile == "inproc" else ("127.0.0.1", 0)
@@ -134,6 +139,7 @@ def echo_testbed(
             address=address,
             chain=chain,
             app_workers=app_workers,
+            app_queue_limit=app_queue_limit,
             observability=observability,
         )
     else:
@@ -146,16 +152,23 @@ def echo_testbed(
         server.stop()
 
 
-def make_invoker(approach: str, proxy: ServiceProxy) -> Invoker:
+#: Bench-wide default: generous per-attempt bound, no retries, so a hung
+#: run fails loudly instead of hanging CI.
+BENCH_POLICY = CallPolicy(timeout=300)
+
+
+def make_invoker(
+    approach: str, proxy: ServiceProxy, *, policy: CallPolicy | None = None
+) -> Invoker:
     """Instantiate one of the §4.1 client strategies."""
     if approach == "no-optimization":
-        return SerialInvoker(proxy)
+        return SerialInvoker(proxy, policy=policy)
     if approach == "serial-keepalive":
-        return KeepAliveSerialInvoker(proxy)
+        return KeepAliveSerialInvoker(proxy, policy=policy)
     if approach == "multiple-threads":
-        return ThreadedInvoker(proxy)
+        return ThreadedInvoker(proxy, policy=policy)
     if approach == "our-approach":
-        return PackedInvoker(proxy)
+        return PackedInvoker(proxy, policy=policy)
     raise ReproError(f"unknown approach '{approach}'")
 
 
@@ -176,7 +189,7 @@ def run_point(testbed: Testbed, approach: str, m: int, n: int) -> list:
     proxy = testbed.make_proxy(reuse_connections=False)
     invoker = make_invoker(approach, proxy)
     try:
-        return invoker.invoke_all(echo_calls(m, n), timeout=300)
+        return invoker.invoke_all(echo_calls(m, n), BENCH_POLICY)
     finally:
         proxy.close()
 

@@ -14,11 +14,16 @@ is SPI itself: :class:`repro.core.batch.PackedInvoker`.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.client.futures import InvocationFuture
 from repro.client.proxy import ServiceProxy
+from repro.resilience.policy import CallPolicy
+
+# Sentinel distinguishing "timeout not passed" from an explicit None.
+_UNSET = object()
 
 
 @dataclass(frozen=True, slots=True)
@@ -34,17 +39,49 @@ class Call:
 
 
 class Invoker:
-    """Strategy interface: run a batch of calls, return futures."""
+    """Strategy interface: run a batch of calls, return futures.
+
+    Every strategy consumes one :class:`~repro.resilience.CallPolicy`:
+    the ``policy`` argument if given, else the invoker's own (set at
+    construction), else the proxy's default.
+    """
 
     name = "invoker"
+    policy: CallPolicy | None = None
 
-    def submit_all(self, calls: list[Call]) -> list[InvocationFuture]:
+    def submit_all(
+        self, calls: list[Call], policy: CallPolicy | None = None
+    ) -> list[InvocationFuture]:
         """Run all calls; returns one future per call, in order."""
         raise NotImplementedError
 
-    def invoke_all(self, calls: list[Call], timeout: float | None = None) -> list[Any]:
-        """Run all calls and return their results, in call order."""
-        return [future.result(timeout) for future in self.submit_all(calls)]
+    def invoke_all(
+        self,
+        calls: list[Call],
+        policy: CallPolicy | None = None,
+        *,
+        timeout: Any = _UNSET,
+    ) -> list[Any]:
+        """Run all calls and return their results, in call order.
+
+        ``timeout=`` is the pre-policy spelling; it maps onto
+        ``CallPolicy(timeout=...)`` and will go away.
+        """
+        if timeout is not _UNSET:
+            warnings.warn(
+                "Invoker.invoke_all(timeout=...) is deprecated; pass "
+                "policy=CallPolicy(timeout=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if policy is None and timeout is not None:
+                policy = CallPolicy.from_legacy_timeout(timeout)
+        effective = policy if policy is not None else self.policy
+        wait = effective.timeout if effective is not None else None
+        return [future.result(wait) for future in self.submit_all(calls, policy)]
+
+    def _effective_policy(self, policy: CallPolicy | None) -> CallPolicy | None:
+        return policy if policy is not None else self.policy
 
 
 class SerialInvoker(Invoker):
@@ -52,16 +89,24 @@ class SerialInvoker(Invoker):
 
     name = "serial"
 
-    def __init__(self, proxy: ServiceProxy) -> None:
+    def __init__(self, proxy: ServiceProxy, *, policy: CallPolicy | None = None) -> None:
         self.proxy = proxy
+        self.policy = policy
 
-    def submit_all(self, calls: list[Call]) -> list[InvocationFuture]:
+    def submit_all(
+        self, calls: list[Call], policy: CallPolicy | None = None
+    ) -> list[InvocationFuture]:
         """One blocking request/response exchange per call."""
+        effective = self._effective_policy(policy)
         futures = []
         for call in calls:
             future = InvocationFuture(call.operation)
             try:
-                future.resolve(self.proxy.call(call.operation, **dict(call.params)))
+                future.resolve(
+                    self.proxy.call_with_policy(
+                        call.operation, effective, **dict(call.params)
+                    )
+                )
             except BaseException as exc:
                 future.fail(exc)
             futures.append(future)
@@ -81,9 +126,10 @@ class KeepAliveSerialInvoker(Invoker):
 
     name = "serial-keepalive"
 
-    def __init__(self, proxy: ServiceProxy) -> None:
+    def __init__(self, proxy: ServiceProxy, *, policy: CallPolicy | None = None) -> None:
         from repro.client.proxy import ServiceProxy as _Proxy
 
+        self.policy = policy
         if proxy.reuse_connections:
             self.proxy = proxy
             self._owned = False
@@ -94,17 +140,25 @@ class KeepAliveSerialInvoker(Invoker):
                 namespace=proxy.namespace,
                 service_name=proxy.service_name,
                 reuse_connections=True,
+                policy=proxy.policy,
             )
             self._owned = True
 
-    def submit_all(self, calls: list[Call]) -> list[InvocationFuture]:
+    def submit_all(
+        self, calls: list[Call], policy: CallPolicy | None = None
+    ) -> list[InvocationFuture]:
         """Serial exchanges over one pooled connection."""
+        effective = self._effective_policy(policy)
         futures = []
         try:
             for call in calls:
                 future = InvocationFuture(call.operation)
                 try:
-                    future.resolve(self.proxy.call(call.operation, **dict(call.params)))
+                    future.resolve(
+                        self.proxy.call_with_policy(
+                            call.operation, effective, **dict(call.params)
+                        )
+                    )
                 except BaseException as exc:
                     future.fail(exc)
                 futures.append(future)
@@ -124,18 +178,30 @@ class ThreadedInvoker(Invoker):
 
     name = "threaded"
 
-    def __init__(self, proxy: ServiceProxy, *, max_threads: int | None = None) -> None:
+    def __init__(
+        self,
+        proxy: ServiceProxy,
+        *,
+        max_threads: int | None = None,
+        policy: CallPolicy | None = None,
+    ) -> None:
         self.proxy = proxy
         self.max_threads = max_threads
+        self.policy = policy
 
-    def submit_all(self, calls: list[Call]) -> list[InvocationFuture]:
+    def submit_all(
+        self, calls: list[Call], policy: CallPolicy | None = None
+    ) -> list[InvocationFuture]:
         """One client thread (and connection) per call."""
+        effective = self._effective_policy(policy)
         futures = [InvocationFuture(call.operation) for call in calls]
         limit = threading.Semaphore(self.max_threads) if self.max_threads else None
 
         def worker(call: Call, future: InvocationFuture) -> None:
             try:
-                result = self.proxy.call(call.operation, **dict(call.params))
+                result = self.proxy.call_with_policy(
+                    call.operation, effective, **dict(call.params)
+                )
             except BaseException as exc:
                 future.fail(exc)
             else:

@@ -7,7 +7,7 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.soap.wssecurity import Credentials
 
-from repro.errors import InvocationError
+from repro.errors import HttpError, InvocationError, ReproError
 from repro.http.connection import ConnectionPool, HttpConnection
 from repro.http.message import Headers, HttpRequest
 from repro.obs.trace import (
@@ -18,9 +18,18 @@ from repro.obs.trace import (
     Tracer,
     new_trace_id,
 )
-from repro.soap.constants import SOAP_ACTION_HEADER, SOAP_CONTENT_TYPE
+from repro.resilience.deadline import attach_deadline
+from repro.resilience.policy import (
+    CallPolicy,
+    DEFAULT_POLICY,
+    Deadline,
+    RetryState,
+    execute_with_policy,
+)
+from repro.soap.constants import FAULT_TAG, SOAP_ACTION_HEADER, SOAP_CONTENT_TYPE
 from repro.soap.deserializer import parse_response_document
 from repro.soap.envelope import Envelope
+from repro.soap.fault import SoapFault
 from repro.soap.serializer import build_request_envelope
 from repro.transport.base import Address, Transport
 from repro.wsdl.model import WsdlService
@@ -56,6 +65,7 @@ class ServiceProxy:
         extra_headers: list[Element] | None = None,
         credentials: "Credentials | None" = None,
         tracer: Tracer | None = None,
+        policy: CallPolicy | None = None,
     ) -> None:
         """``credentials``: when given, every outgoing envelope is signed
         with a WS-Security UsernameToken over its (possibly packed)
@@ -67,7 +77,12 @@ class ServiceProxy:
         a ``client.call`` span, and propagates the id both as an
         ``X-Repro-Trace-Id`` HTTP header and a mustUnderstand=false SOAP
         header entry (so it survives SPI packing and any transport that
-        strips custom HTTP headers)."""
+        strips custom HTTP headers).
+
+        ``policy``: the default :class:`~repro.resilience.CallPolicy`
+        for every exchange through this proxy — timeout/deadline
+        propagation, retry budget and backoff.  Defaults to the
+        seed-equivalent single-attempt policy."""
         self.transport = transport
         self.address = address
         self.namespace = namespace
@@ -78,10 +93,12 @@ class ServiceProxy:
         self.extra_headers = list(extra_headers or [])
         self.credentials = credentials
         self.tracer = tracer
+        self.policy = policy if policy is not None else DEFAULT_POLICY
         self.last_trace_id: str | None = None
         self._pool = ConnectionPool(transport) if reuse_connections else None
         self.calls = 0
         self.connections_opened = 0
+        self.retries = 0
 
     # -- construction helpers ------------------------------------------------
 
@@ -107,27 +124,60 @@ class ServiceProxy:
     # -- invocation --------------------------------------------------------------
 
     def call(self, operation: str, /, **params: Any) -> Any:
-        """Invoke ``operation`` synchronously and return its result."""
+        """Invoke ``operation`` synchronously and return its result,
+        under the proxy's default :class:`CallPolicy`."""
+        return self.call_with_policy(operation, None, **params)
+
+    def call_with_policy(
+        self, operation: str, policy: CallPolicy | None, /, **params: Any
+    ) -> Any:
+        """Like :meth:`call` but under an explicit per-call policy
+        (``None`` falls back to the proxy default).  Positional-only so
+        operations may legitimately take a ``policy`` parameter."""
         self._check_interface(operation, params)
         envelope = build_request_envelope(
             self.namespace, operation, params, headers=[h.copy() for h in self.extra_headers]
         )
-        response_body = self.exchange_raw(envelope, operation)
+        response_body = self.exchange_raw(envelope, operation, policy=policy)
         self.calls += 1
         # Pull-parse the response: skip straight to the body entry
         # without materializing headers this client never reads.
         return parse_response_document(response_body).value
 
-    def exchange(self, envelope: Envelope, action: str = "") -> Envelope:
+    def exchange(
+        self,
+        envelope: Envelope,
+        action: str = "",
+        *,
+        policy: CallPolicy | None = None,
+    ) -> Envelope:
         """Send a raw request envelope, return the raw response envelope.
 
         This is the hook the SPI packed client shares: it builds its own
         Parallel_Method envelope and still reuses the proxy's HTTP path.
         """
-        return Envelope.parse(self.exchange_raw(envelope, action), server=True)
+        return Envelope.parse(self.exchange_raw(envelope, action, policy=policy), server=True)
 
-    def exchange_raw(self, envelope: Envelope, action: str = "") -> bytes:
-        """Like :meth:`exchange` but returns the undecoded response body."""
+    def exchange_raw(
+        self,
+        envelope: Envelope,
+        action: str = "",
+        *,
+        policy: CallPolicy | None = None,
+    ) -> bytes:
+        """Like :meth:`exchange` but returns the undecoded response body.
+
+        All resilience behaviour lives here, so every client entry point
+        (``call``, the invokers, the pack path) gets it uniformly:
+
+        * the whole-call deadline is started and, when the policy says
+          so, propagated as a ``<res:Deadline>`` SOAP header refreshed
+          on every attempt;
+        * 503/504 responses are decoded into their retryable
+          :class:`~repro.errors.SoapFaultError` and — like transport
+          drops — retried with backoff while budget remains.
+        """
+        policy = policy if policy is not None else self.policy
         header_fields = {
             "Content-Type": SOAP_CONTENT_TYPE,
             SOAP_ACTION_HEADER: f'"{self.namespace}#{action}"',
@@ -147,17 +197,59 @@ class ServiceProxy:
             from repro.soap.wssecurity import attach_security_header
 
             attach_security_header(envelope, self.credentials)
-        request = HttpRequest("POST", self.path, Headers(header_fields), envelope.to_bytes())
+
+        def attempt(deadline: Deadline) -> bytes:
+            budget = policy.attempt_budget(deadline)
+            if budget is not None and policy.propagate_deadline:
+                # refreshed per attempt: each retry re-tells the server
+                # how much budget is actually left
+                attach_deadline(envelope, budget)
+            request = HttpRequest(
+                "POST", self.path, Headers(header_fields), envelope.to_bytes()
+            )
+            response = self._send_request(request)
+            if response.status in (503, 504):
+                # shed/timed-out server: surface the fault as its
+                # exception so the retry loop can classify it
+                raise self._decode_fault(response)
+            if response.status not in (200, 500):
+                # 500 carries a SOAP Fault the caller's parse surfaces
+                # properly; anything else is an HTTP-level failure.
+                response.raise_for_status()
+            return response.body
+
+        state = RetryState()
+
+        def run() -> bytes:
+            try:
+                return execute_with_policy(
+                    attempt, policy, on_retry=self._on_retry, state=state
+                )
+            finally:
+                self.retries += state.retries
+
         if trace_id is not None:
             with self.tracer.span("client.call", trace_id, detail=action or "exchange"):
-                response = self._send_request(request)
-        else:
-            response = self._send_request(request)
-        if response.status not in (200, 500):
-            # 500 carries a SOAP Fault we surface properly below;
-            # anything else is an HTTP-level failure.
-            response.raise_for_status()
-        return response.body
+                return run()
+        return run()
+
+    def _on_retry(self, retry_index: int, error: BaseException, delay: float) -> None:
+        if self.tracer is not None:
+            self.tracer.registry.counter("client.retries").inc()
+
+    def _decode_fault(self, response) -> Exception:
+        """The SoapFaultError carried by a 503/504 body (or an HttpError
+        when the body is not a parseable fault envelope)."""
+        try:
+            envelope = Envelope.parse(response.body, server=True)
+            entries = envelope.body_entries
+            if entries and entries[0].tag == FAULT_TAG:
+                return SoapFault.from_element(entries[0]).to_exception()
+        except ReproError:
+            pass
+        return HttpError(
+            f"server returned HTTP {response.status}", status=response.status
+        )
 
     def _send_request(self, request: HttpRequest):
         if self._pool is not None:

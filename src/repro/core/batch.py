@@ -21,6 +21,7 @@ from repro.client.proxy import ServiceProxy
 from repro.core.assembler import ClientAssembler
 from repro.core.dispatcher import ClientDispatcher
 from repro.errors import PackError
+from repro.resilience.policy import CallPolicy
 
 
 class PackBatch:
@@ -35,8 +36,9 @@ class PackBatch:
         print(f1.result(), f2.result())
     """
 
-    def __init__(self, proxy: ServiceProxy) -> None:
+    def __init__(self, proxy: ServiceProxy, *, policy: CallPolicy | None = None) -> None:
         self._proxy = proxy
+        self._policy = policy  # None -> the proxy's default at flush time
         self._assembler = ClientAssembler(proxy.namespace)
         self._dispatcher = ClientDispatcher()
         self._flushed = False
@@ -81,7 +83,11 @@ class PackBatch:
             envelope = self._assembler.assemble(
                 headers=[h.copy() for h in self._proxy.extra_headers]
             )
-            response = self._proxy.exchange(envelope, action="Parallel_Method")
+            # one policy covers the whole pack: one deadline header, one
+            # retry budget for the single packed exchange
+            response = self._proxy.exchange(
+                envelope, action="Parallel_Method", policy=self._policy
+            )
         except BaseException as exc:
             # assembly or transport failure: no future may dangle
             for future in futures:
@@ -113,12 +119,15 @@ class PackedInvoker(Invoker):
 
     name = "packed"
 
-    def __init__(self, proxy: ServiceProxy) -> None:
+    def __init__(self, proxy: ServiceProxy, *, policy: CallPolicy | None = None) -> None:
         self.proxy = proxy
+        self.policy = policy
 
-    def submit_all(self, calls: list[Call]) -> list[InvocationFuture]:
+    def submit_all(
+        self, calls: list[Call], policy: CallPolicy | None = None
+    ) -> list[InvocationFuture]:
         """Queue every call into one batch and flush it."""
-        batch = PackBatch(self.proxy)
+        batch = PackBatch(self.proxy, policy=self._effective_policy(policy))
         futures = [batch.call(c.operation, **dict(c.params)) for c in calls]
         batch.flush()
         return futures

@@ -23,6 +23,7 @@ from repro.client.proxy import ServiceProxy
 from repro.core.autopack import AutoPacker
 from repro.core.batch import PackBatch
 from repro.core.remote_exec import ExecutionPlan, RemoteExecutor
+from repro.resilience.policy import CallPolicy
 from repro.transport.base import Address, Transport
 
 
@@ -34,13 +35,17 @@ class SpiClient:
 
     # classic single-call RPC (what SPI improves on, kept for symmetry)
     def call(self, operation: str, /, **params: Any) -> Any:
-        """Classic one-message RPC call."""
+        """Classic one-message RPC call (under the proxy's policy)."""
         return self.proxy.call(operation, **params)
 
     # the pack interface (the paper's contribution)
-    def pack(self) -> PackBatch:
-        """A new PackBatch: M calls -> one SOAP message."""
-        return PackBatch(self.proxy)
+    def pack(self, *, policy: CallPolicy | None = None) -> PackBatch:
+        """A new PackBatch: M calls -> one SOAP message.
+
+        ``policy`` covers the whole pack (one deadline, one retry
+        budget); defaults to the proxy's policy.
+        """
+        return PackBatch(self.proxy, policy=policy)
 
     # one-way messaging (fire-and-forget; resolves on server *accept*)
     def cast(self, operation: str, /, **params: Any) -> None:
@@ -48,7 +53,9 @@ class SpiClient:
         batch = PackBatch(self.proxy)
         future = batch.cast(operation, **params)
         batch.flush()
-        future.result(timeout=60)
+        # the accept-wait is bounded by the proxy policy's per-attempt
+        # budget when one is set (pre-policy behaviour: 60s)
+        future.result(timeout=self.proxy.policy.timeout or 60)
 
     # automatic packing (the paper's future work)
     def auto(self, *, max_batch: int = 16, max_delay: float = 0.002) -> AutoPacker:
@@ -82,13 +89,15 @@ def connect(
     namespace: str,
     service_name: str = "Service",
     reuse_connections: bool = True,
+    policy: CallPolicy | None = None,
     **proxy_kwargs: Any,
 ) -> SpiClient:
     """Open an SPI connection to a service.
 
     Defaults to pooled keep-alive connections: SPI clients talk to one
     endpoint repeatedly and the pack interface's whole point is fewer
-    connections.
+    connections.  ``policy`` becomes the connection's default
+    :class:`~repro.resilience.CallPolicy`.
     """
     proxy = ServiceProxy(
         transport,
@@ -96,6 +105,7 @@ def connect(
         namespace=namespace,
         service_name=service_name,
         reuse_connections=reuse_connections,
+        policy=policy,
         **proxy_kwargs,
     )
     return SpiClient(proxy)

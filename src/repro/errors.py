@@ -4,9 +4,42 @@ Each layer raises its own subclass so callers can catch at the right
 granularity: ``XmlError`` for malformed XML, ``SoapFaultError`` for
 protocol-level SOAP faults, ``HttpError`` for transport framing problems,
 and so on.  Everything derives from :class:`ReproError`.
+
+This module also owns the *faultcode taxonomy* — which SOAP 1.1 fault
+codes this stack emits and which of them a client may safely retry.
+It lives here (and not in ``repro.soap``) because both sides need it
+below the SOAP layer: the server's shed/deadline machinery mints the
+codes and the client's :class:`~repro.resilience.CallPolicy` consults
+:func:`is_retryable_faultcode` before spending retry budget.
 """
 
 from __future__ import annotations
+
+import warnings
+
+# Dot-separated SOAP 1.1 subcodes of the standard ``Server`` code.
+# ``Server.Timeout``: the request's propagated deadline expired before
+# (or while) the entry executed — the work was *not* done.
+# ``Server.Busy``: the server shed the request at a bounded queue —
+# the work was not even attempted.  Both are safe to retry because the
+# server guarantees the operation did not run to completion.
+FAULTCODE_SERVER_TIMEOUT = "Server.Timeout"
+FAULTCODE_SERVER_BUSY = "Server.Busy"
+
+RETRYABLE_FAULTCODES: frozenset[str] = frozenset(
+    {FAULTCODE_SERVER_TIMEOUT, FAULTCODE_SERVER_BUSY}
+)
+
+
+def is_retryable_faultcode(faultcode: str) -> bool:
+    """True when a faultcode promises the operation did not execute.
+
+    Accepts both local (``Server.Busy``) and prefixed
+    (``SOAP-ENV:Server.Busy``) spellings, as faults cross the wire with
+    an envelope-namespace prefix.
+    """
+    _, _, local = faultcode.rpartition(":")
+    return local in RETRYABLE_FAULTCODES
 
 
 class ReproError(Exception):
@@ -37,13 +70,52 @@ class SoapError(ReproError):
 
 
 class SoapFaultError(SoapError):
-    """A SOAP <Fault> returned by the peer, surfaced as an exception."""
+    """A SOAP <Fault> surfaced as an exception — the canonical fault
+    model's exception half.
 
-    def __init__(self, faultcode: str, faultstring: str, detail: str | None = None):
+    :meth:`as_fault` / :class:`repro.soap.fault.SoapFault.to_exception`
+    round-trip every field (code, string, actor, detail), so a fault can
+    cross layer boundaries as an element, an exception, or back without
+    losing information.
+    """
+
+    def __init__(
+        self,
+        faultcode: str,
+        faultstring: str,
+        detail: str | None = None,
+        *,
+        faultactor: str | None = None,
+    ):
         self.faultcode = faultcode
         self.faultstring = faultstring
         self.detail = detail
+        self.faultactor = faultactor
         super().__init__(f"{faultcode}: {faultstring}")
+
+    def is_retryable(self) -> bool:
+        """True when the faultcode guarantees the operation did not run
+        (``Server.Busy``, ``Server.Timeout``), so a retry cannot double-
+        execute it."""
+        return is_retryable_faultcode(self.faultcode)
+
+    def as_fault(self):
+        """This error as the element-side model
+        (:class:`repro.soap.fault.SoapFault`)."""
+        from repro.soap.fault import SoapFault
+
+        return SoapFault(self.faultcode, self.faultstring, self.faultactor, self.detail)
+
+
+class ServerBusyError(SoapError):
+    """Server-side overload signal: a bounded stage/pool queue was full
+    and the request was shed.  Mapped to a ``Server.Busy`` fault and
+    HTTP 503 at the endpoint."""
+
+
+class DeadlineExpiredError(SoapError):
+    """A propagated request deadline expired before the work ran.
+    Mapped to a ``Server.Timeout`` fault."""
 
 
 class SerializationError(SoapError):
@@ -70,6 +142,10 @@ class ServiceError(ReproError):
     """Service registration or dispatch problem on the server."""
 
 
+class PoolSaturatedError(ServiceError):
+    """A bounded thread-pool/stage queue refused a task (shed point)."""
+
+
 class InvocationError(ReproError):
     """Client-side invocation failure that is not a SOAP fault."""
 
@@ -81,3 +157,21 @@ class PackError(ReproError):
 
 class SecurityError(SoapError):
     """WS-Security header verification failure."""
+
+
+def __getattr__(name: str):
+    # Pre-unification, the element-side fault model was only importable
+    # as repro.soap.fault.SoapFault while the exception lived here; some
+    # callers guessed ``repro.errors.SoapFault``.  Keep that spelling
+    # working as a deprecated alias of the canonical model.
+    if name == "SoapFault":
+        warnings.warn(
+            "repro.errors.SoapFault is deprecated; import SoapFault from "
+            "repro.soap.fault (element model) or catch SoapFaultError",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.soap.fault import SoapFault
+
+        return SoapFault
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -15,10 +15,11 @@ from typing import Iterator
 
 from repro.http.server import HttpServer
 from repro.obs.trace import Observability, span as obs_span
-from repro.server.container import ServiceContainer
+from repro.server.container import ServiceContainer, entry_fault
 from repro.server.endpoint import SoapEndpoint
-from repro.server.handlers import HandlerChain
+from repro.server.handlers import HandlerChain, MessageContext
 from repro.server.service import ServiceDefinition
+from repro.soap.fault import timeout_fault
 from repro.transport.base import Address, Transport
 from repro.transport.tcp import TcpTransport
 from repro.xmlcore.tree import Element
@@ -53,14 +54,32 @@ class CommonSoapServer:
             observability=observability,
         )
 
-    def _execute(self, entries: list[Element]) -> list[Element]:
+    def _execute(
+        self, entries: list[Element], context: MessageContext
+    ) -> list[Element]:
         from repro.core.oneway import accepted_response, is_one_way
 
         # protocol thread == application thread: sequential, in place.
         # One-way entries still execute here (Figure 1 has no other
         # thread to give them to); only their results are discarded.
+        deadline = context.deadline
         results = []
         for entry in entries:
+            if deadline is not None and deadline.expired():
+                # The client's budget is gone; running the entry would
+                # only produce an answer nobody is waiting for.  Fault
+                # the slot (retryable: the work never ran) and keep any
+                # sibling results already computed — partial success.
+                results.append(
+                    entry_fault(
+                        entry,
+                        timeout_fault(
+                            f"deadline expired before '{entry.local_name}' ran"
+                        ),
+                    )
+                )
+                self._count_deadline_expired()
+                continue
             with obs_span("execute", detail=entry.local_name):
                 if is_one_way(entry):
                     self.container.execute_entry(entry)
@@ -68,6 +87,10 @@ class CommonSoapServer:
                 else:
                     results.append(self.container.execute_entry(entry))
         return results
+
+    def _count_deadline_expired(self) -> None:
+        if self.observability is not None:
+            self.observability.registry.counter("resilience.deadline_expired").inc()
 
     # -- lifecycle -------------------------------------------------------
 

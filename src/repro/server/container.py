@@ -22,6 +22,20 @@ from repro.server.service import ServiceDefinition
 from repro.xmlcore.tree import Element
 
 
+def entry_fault(entry: Element, fault: SoapFault) -> Element:
+    """``fault`` rendered as the response slot for ``entry``.
+
+    Copies the SPI ``requestID`` so the client dispatcher can correlate
+    the per-entry fault — the mechanism behind partial-success packs
+    (one bad/late entry faults its own slot, siblings still answer).
+    """
+    element = fault.to_element()
+    request_id = entry.get(REQUEST_ID_ATTR)
+    if request_id is not None:
+        element.set(REQUEST_ID_ATTR, request_id)
+    return element
+
+
 @dataclass(slots=True)
 class ContainerStats:
     entries_executed: int = 0

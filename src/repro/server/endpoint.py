@@ -19,7 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
-from repro.errors import ReproError
+from repro.errors import PoolSaturatedError, ReproError, ServerBusyError
 from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.obs.registry import DEFAULT_BOUNDS
 from repro.obs.trace import (
@@ -30,21 +30,34 @@ from repro.obs.trace import (
     current_trace_id,
     span as obs_span,
 )
+from repro.resilience.deadline import DEADLINE_HEADER_TAG, extract_deadline
 from repro.soap.constants import (
     FAULT_CLIENT,
     FAULT_MUST_UNDERSTAND,
+    FAULT_SERVER_BUSY,
+    FAULT_SERVER_TIMEOUT,
     FAULT_TAG,
     SOAP_CONTENT_TYPE,
 )
 from repro.soap.envelope import Envelope
-from repro.soap.fault import SoapFault
+from repro.soap.fault import SoapFault, fault_code_of
 from repro.soap.multiref import has_multirefs, resolve_multirefs
 from repro.server.container import ServiceContainer
 from repro.server.handlers import HandlerChain, MessageContext
 from repro.wsdl.generator import wsdl_for_service
 from repro.xmlcore.tree import Element
 
-Executor = Callable[[list[Element]], list[Element]]
+# The executor receives the (possibly unpacked) request entries plus the
+# message context, whose ``deadline`` it must honour per entry.
+Executor = Callable[[list[Element], MessageContext], list[Element]]
+
+# HTTP status for a whole-message fault, by local faultcode.  Busy maps
+# to 503 (shed, retry later) and Timeout to 504 (deadline expired);
+# everything else keeps the SOAP 1.1 default of 500.
+FAULTCODE_HTTP_STATUS = {
+    FAULT_SERVER_BUSY: 503,
+    FAULT_SERVER_TIMEOUT: 504,
+}
 
 
 @dataclass(slots=True)
@@ -69,7 +82,9 @@ class EndpointStats:
 
 
 class SupportsExecute(Protocol):  # pragma: no cover - typing aid
-    def __call__(self, entries: list[Element]) -> list[Element]: ...
+    def __call__(
+        self, entries: list[Element], context: MessageContext
+    ) -> list[Element]: ...
 
 
 class SoapEndpoint:
@@ -156,6 +171,10 @@ class SoapEndpoint:
             self._adopt_soap_trace(envelope)
 
         context = MessageContext.for_envelope(envelope)
+        # Deadline propagation: the header is mustUnderstand=false, so
+        # understanding it here is an upgrade, not a requirement.
+        context.deadline = extract_deadline(envelope)
+        context.understood_headers.add(DEADLINE_HEADER_TAG)
         try:
             self.chain.run_request(context)
         except ReproError as exc:
@@ -175,7 +194,17 @@ class SoapEndpoint:
             )
             return self._fault_response(fault, status=500)
 
-        context.response_entries = self._executor(context.request_entries)
+        try:
+            context.response_entries = self._executor(context.request_entries, context)
+        except (ServerBusyError, PoolSaturatedError) as exc:
+            # whole-message shed: the architecture could not take even
+            # part of this request (e.g. a saturated application stage)
+            self.stats.envelope_faults += 1
+            if self._obs is not None:
+                self._obs.registry.counter("resilience.shed").inc()
+            return self._fault_response(
+                SoapFault(FAULT_SERVER_BUSY, str(exc)), status=503
+            )
         self.chain.run_response(context)
 
         start = time.perf_counter()
@@ -193,8 +222,11 @@ class SoapEndpoint:
             and len(context.response_entries) == 1
             and context.response_entries[0].tag == FAULT_TAG
         ):
-            status = 500
+            code = fault_code_of(context.response_entries[0]) or ""
+            status = FAULTCODE_HTTP_STATUS.get(code, 500)
             self.stats.envelope_faults += 1
+            if self._obs is not None and status == 503:
+                self._obs.registry.counter("resilience.shed").inc()
         return HttpResponse(
             status, Headers({"Content-Type": SOAP_CONTENT_TYPE}), body
         )

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.resilience.policy import Deadline
 from repro.soap.envelope import Envelope
 from repro.xmlcore.tree import Element
 
@@ -27,6 +28,10 @@ class MessageContext:
     ``response_entries`` holds one response element per request entry,
     in order; response handlers may rewrite that list too (the SPI pack
     handler folds M responses back into one ``Parallel_Method``).
+
+    ``deadline`` is the request's propagated execution deadline (from
+    the client's ``<res:Deadline>`` header), rebased onto this server's
+    clock — None when the client sent no budget.
     """
 
     request_envelope: Envelope
@@ -36,6 +41,7 @@ class MessageContext:
     understood_headers: set[str] = field(default_factory=set)
     properties: dict[str, Any] = field(default_factory=dict)
     packed: bool = False
+    deadline: Deadline | None = None
 
     @classmethod
     def for_envelope(cls, envelope: Envelope) -> "MessageContext":

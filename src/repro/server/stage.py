@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Any, Callable
 
+from repro.errors import PoolSaturatedError
 from repro.obs.registry import LATENCY_BOUNDS_S, Histogram, MetricsRegistry
 from repro.server.threadpool import TaskFuture, ThreadPool
 
@@ -66,17 +67,32 @@ class StageStats:
 
 
 class Stage:
-    """One event-driven stage: submit work, get a TaskFuture back."""
+    """One event-driven stage: submit work, get a TaskFuture back.
+
+    ``max_queue`` bounds the stage's backlog (the SEDA load-shedding
+    knob): a submit against a full queue raises
+    :class:`~repro.errors.PoolSaturatedError`, counted in the
+    ``stage.<name>.rejected`` registry counter so sheds are visible
+    under ``/metrics``.
+    """
 
     def __init__(
-        self, name: str, workers: int, *, registry: MetricsRegistry | None = None
+        self,
+        name: str,
+        workers: int,
+        *,
+        registry: MetricsRegistry | None = None,
+        max_queue: int | None = None,
     ) -> None:
         self.name = name
-        self._pool = ThreadPool(workers, name=f"stage-{name}")
+        self._pool = ThreadPool(workers, name=f"stage-{name}", max_queue=max_queue)
         histogram = (
             registry.histogram(f"stage.{name}.service_time_s", LATENCY_BOUNDS_S)
             if registry is not None
             else None
+        )
+        self._rejected_counter = (
+            registry.counter(f"stage.{name}.rejected") if registry is not None else None
         )
         self.stats = StageStats(histogram)
 
@@ -84,11 +100,28 @@ class Stage:
     def workers(self) -> int:
         return self._pool.workers
 
+    @property
+    def max_queue(self) -> int | None:
+        return self._pool.max_queue
+
+    def queue_depth(self) -> int:
+        """Events waiting for a worker right now (approximate)."""
+        return self._pool.queue_depth()
+
     def submit(
         self, handler: Callable[..., Any], /, *args: Any, kind: str = "event", **kwargs: Any
     ) -> TaskFuture:
-        """Queue one event; returns its completion future."""
-        return self._pool.submit(self._timed, handler, kind, args, kwargs)
+        """Queue one event; returns its completion future.
+
+        Raises :class:`~repro.errors.PoolSaturatedError` when the stage
+        queue is at its bound.
+        """
+        try:
+            return self._pool.submit(self._timed, handler, kind, args, kwargs)
+        except PoolSaturatedError:
+            if self._rejected_counter is not None:
+                self._rejected_counter.inc()
+            raise
 
     def pool_stats(self) -> dict[str, int]:
         """The backing thread pool's counters."""

@@ -23,16 +23,17 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator
 
-from repro.errors import ServiceError
+from repro.errors import PoolSaturatedError
 from repro.http.server import HttpServer
 from repro.obs import trace as obs_trace
 from repro.obs.trace import Observability
-from repro.server.container import ServiceContainer
+from repro.server.container import ServiceContainer, entry_fault
 from repro.server.endpoint import SoapEndpoint
-from repro.server.handlers import HandlerChain
+from repro.server.handlers import HandlerChain, MessageContext
 from repro.server.service import ServiceDefinition
 from repro.server.stage import Stage
 from repro.server.threadpool import CompletionLatch
+from repro.soap.fault import SoapFault, busy_fault, timeout_fault
 from repro.transport.base import Address, Transport
 from repro.transport.tcp import TcpTransport
 from repro.xmlcore.tree import Element
@@ -54,15 +55,20 @@ class StagedSoapServer:
         address: Address = ("127.0.0.1", 0),
         chain: HandlerChain | None = None,
         app_workers: int = DEFAULT_APP_WORKERS,
+        app_queue_limit: int | None = None,
         chunk_responses_over: int | None = None,
         observability: Observability | None = None,
     ) -> None:
         self.observability = observability
         self.container = ServiceContainer(services)
+        # app_queue_limit bounds the application stage's backlog: once
+        # that many entries wait for a worker, further entries shed with
+        # a Server.Busy fault instead of queueing unboundedly.
         self.app_stage = Stage(
             "application",
             app_workers,
             registry=observability.registry if observability is not None else None,
+            max_queue=app_queue_limit,
         )
         self.endpoint = SoapEndpoint(
             self.container, self._execute, chain=chain, observability=observability
@@ -76,26 +82,48 @@ class StagedSoapServer:
             observability=observability,
         )
 
-    def _execute(self, entries: list[Element]) -> list[Element]:
+    def _execute(
+        self, entries: list[Element], context: MessageContext
+    ) -> list[Element]:
         from repro.core.oneway import accepted_response, is_one_way
 
         if not entries:
             return []
-        waited = [(i, e) for i, e in enumerate(entries) if not is_one_way(e)]
+        deadline = context.deadline
         results: list[Element | None] = [None] * len(entries)
+        waited: list[tuple[int, Element]] = []
         # The protocol thread's trace context does not follow work onto
         # the stage workers' threads; capture it here and attach each
         # per-entry execute span explicitly.
         ctx = obs_trace.current()
 
-        # One-way entries: acknowledge now, execute on the application
-        # stage after the response leaves (fire-and-forget).
+        # Triage pass: expired entries fault immediately (retryable —
+        # the work never ran), one-way entries are acknowledged now and
+        # executed fire-and-forget, everything else waits for a worker.
+        # Each fault claims only its own slot: siblings still answer
+        # (partial-success packs).
         for index, entry in enumerate(entries):
-            if is_one_way(entry):
-                results[index] = accepted_response(entry)
-                self.app_stage.submit(
-                    self._execute_traced, ctx, entry, kind="one-way-execution"
+            if deadline is not None and deadline.expired():
+                results[index] = entry_fault(
+                    entry,
+                    timeout_fault(
+                        f"deadline expired before '{entry.local_name}' ran"
+                    ),
                 )
+                self._count("resilience.deadline_expired")
+            elif is_one_way(entry):
+                results[index] = accepted_response(entry)
+                try:
+                    self.app_stage.submit(
+                        self._execute_traced, ctx, entry, kind="one-way-execution"
+                    )
+                except PoolSaturatedError as exc:
+                    # the ack is already committed; record the shed in
+                    # place of the silently-dropped execution
+                    results[index] = entry_fault(entry, busy_fault(str(exc)))
+                    self._count("resilience.shed")
+            else:
+                waited.append((index, entry))
 
         if len(waited) == 1:
             # Nothing to overlap: keep a single waited request on the
@@ -110,19 +138,44 @@ class StagedSoapServer:
             def run(index: int, entry: Element) -> None:
                 try:
                     results[index] = self._execute_traced(ctx, entry)
+                except BaseException as exc:  # fault the slot, not the pack
+                    results[index] = entry_fault(entry, SoapFault.from_exception(exc))
                 finally:
                     latch.count_down()
 
             for index, entry in waited:
-                self.app_stage.submit(run, index, entry, kind="service-execution")
+                try:
+                    self.app_stage.submit(run, index, entry, kind="service-execution")
+                except PoolSaturatedError as exc:
+                    # stage saturated mid-pack: shed this entry alone
+                    results[index] = entry_fault(entry, busy_fault(str(exc)))
+                    self._count("resilience.shed")
+                    latch.count_down()
 
-            # the protocol thread "goes to sleep" here
-            if not latch.wait(timeout=EXECUTION_TIMEOUT):
-                raise ServiceError(
-                    f"application stage did not finish {len(waited)} entries "
-                    f"within {EXECUTION_TIMEOUT}s"
-                )
+            # the protocol thread "goes to sleep" here; its patience is
+            # the client's remaining budget, capped by the local bound
+            wait_s = EXECUTION_TIMEOUT
+            if deadline is not None:
+                wait_s = min(wait_s, max(deadline.remaining(), 0.001))
+            if not latch.wait(timeout=wait_s):
+                # Workers may still be running; answer for them with a
+                # retryable timeout fault per unfinished slot rather
+                # than failing the entire message.
+                for index, entry in waited:
+                    if results[index] is None:
+                        results[index] = entry_fault(
+                            entry,
+                            timeout_fault(
+                                f"'{entry.local_name}' did not finish "
+                                f"within {wait_s:.3f}s"
+                            ),
+                        )
+                        self._count("resilience.deadline_expired")
         return [entry for entry in results if entry is not None]
+
+    def _count(self, name: str) -> None:
+        if self.observability is not None:
+            self.observability.registry.counter(name).inc()
 
     def _execute_traced(self, ctx, entry: Element) -> Element:
         with obs_trace.span_in(ctx, "execute", detail=entry.local_name):

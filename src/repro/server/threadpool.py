@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import queue
 import threading
+from concurrent.futures import CancelledError
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import ServiceError
+from repro.errors import PoolSaturatedError, ServiceError
 
 
 class TaskFuture:
@@ -79,6 +80,8 @@ class PoolStats:
     submitted: int = 0
     completed: int = 0
     failed: int = 0
+    rejected: int = 0
+    cancelled: int = 0
     max_queue_depth: int = 0
     max_concurrency: int = 0
 
@@ -88,6 +91,8 @@ class PoolStats:
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
             "max_queue_depth": self.max_queue_depth,
             "max_concurrency": self.max_concurrency,
         }
@@ -97,12 +102,25 @@ _SHUTDOWN = object()
 
 
 class ThreadPool:
-    """Fixed-size worker pool fed by one queue (event-driven model [5])."""
+    """Fixed-size worker pool fed by one queue (event-driven model [5]).
 
-    def __init__(self, workers: int, *, name: str = "pool") -> None:
+    ``max_queue`` bounds the backlog: a submit that would push the
+    queue past the bound is rejected with :class:`PoolSaturatedError`
+    instead of queueing unboundedly — the SEDA-style explicit shed
+    point ("too many concurrent threads will degrade throughput
+    rapidly", §3.3, applies just as much to unbounded queues under
+    overload).  ``None`` keeps the seed's unbounded behaviour.
+    """
+
+    def __init__(
+        self, workers: int, *, name: str = "pool", max_queue: int | None = None
+    ) -> None:
         if workers < 1:
             raise ServiceError("thread pool needs at least one worker")
+        if max_queue is not None and max_queue < 1:
+            raise ServiceError("max_queue must be >= 1 (or None for unbounded)")
         self.name = name
+        self.max_queue = max_queue
         self._queue: queue.Queue = queue.Queue()
         self._threads: list[threading.Thread] = []
         self._shutdown = False
@@ -120,11 +138,29 @@ class ThreadPool:
     def workers(self) -> int:
         return len(self._threads)
 
+    def queue_depth(self) -> int:
+        """Tasks waiting for a worker right now (approximate)."""
+        return self._queue.qsize()
+
     def submit(self, func: Callable[..., Any], /, *args: Any, **kwargs: Any) -> TaskFuture:
-        """Queue ``func(*args, **kwargs)``; returns its future."""
+        """Queue ``func(*args, **kwargs)``; returns its future.
+
+        Raises :class:`PoolSaturatedError` when the backlog is at
+        ``max_queue`` — the caller decides how to shed (the SOAP stack
+        maps it to a ``Server.Busy`` fault + HTTP 503).
+        """
         with self._lock:
             if self._shutdown:
                 raise ServiceError(f"pool '{self.name}' is shut down")
+            if (
+                self.max_queue is not None
+                and self._queue.qsize() >= self.max_queue
+            ):
+                self.stats.rejected += 1
+                raise PoolSaturatedError(
+                    f"pool '{self.name}' queue is full "
+                    f"({self.max_queue} tasks waiting)"
+                )
             self.stats.submitted += 1
         future = TaskFuture()
         self._queue.put((future, func, args, kwargs))
@@ -141,11 +177,33 @@ class ThreadPool:
         return [future.result(timeout) for future in futures]
 
     def shutdown(self, *, join_timeout: float = 5.0) -> None:
-        """Drain-and-join every worker; idempotent."""
+        """Cancel queued tasks, then join every worker; idempotent.
+
+        Tasks that never reached a worker fail their futures with
+        :class:`CancelledError` — without this, a ``result()`` caller
+        whose task was still queued at shutdown would block forever.
+        Tasks already running are allowed to finish.
+        """
         with self._lock:
             if self._shutdown:
                 return
             self._shutdown = True
+        # Drain queued-but-unstarted tasks.  Workers may race us for
+        # items; whichever side wins, every future completes exactly
+        # once (run by a worker, or cancelled here).
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:  # pragma: no cover - concurrent shutdown
+                continue
+            future = item[0]
+            future.set_exception(
+                CancelledError(f"pool '{self.name}' shut down before task started")
+            )
+            with self._lock:
+                self.stats.cancelled += 1
         for _ in self._threads:
             self._queue.put(_SHUTDOWN)
         for thread in self._threads:

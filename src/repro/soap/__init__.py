@@ -25,7 +25,13 @@ from repro.soap.deserializer import (
 from repro.soap.diffdeser import DifferentialDeserializer
 from repro.soap.diffser import DifferentialSerializer, ParameterizedMessageCache
 from repro.soap.envelope import Envelope
-from repro.soap.fault import ClientFaultCause, SoapFault
+from repro.soap.fault import (
+    ClientFaultCause,
+    SoapFault,
+    busy_fault,
+    fault_code_of,
+    timeout_fault,
+)
 from repro.soap.message import MessageStats, SoapMessage
 from repro.soap.serializer import (
     build_fault_envelope,
@@ -63,6 +69,9 @@ __all__ = [
     "SoapMessage",
     "attach_security_header",
     "build_fault_envelope",
+    "busy_fault",
+    "fault_code_of",
+    "timeout_fault",
     "build_request_envelope",
     "build_response_envelope",
     "decode_value",

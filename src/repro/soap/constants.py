@@ -54,3 +54,10 @@ FAULT_VERSION_MISMATCH = "VersionMismatch"
 FAULT_MUST_UNDERSTAND = "MustUnderstand"
 FAULT_CLIENT = "Client"
 FAULT_SERVER = "Server"
+
+# Resilience subcodes of Server (canonical taxonomy in repro.errors,
+# alongside is_retryable_faultcode; re-exported here as wire constants).
+from repro.errors import (  # noqa: E402
+    FAULTCODE_SERVER_BUSY as FAULT_SERVER_BUSY,
+    FAULTCODE_SERVER_TIMEOUT as FAULT_SERVER_TIMEOUT,
+)

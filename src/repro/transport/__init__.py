@@ -1,4 +1,5 @@
-"""Byte transports: in-process, loopback TCP, and shaped (netem) TCP."""
+"""Byte transports: in-process, loopback TCP, shaped (netem) TCP, and
+the chaos fault-injection wrapper."""
 
 from repro.transport.base import (
     Address,
@@ -8,6 +9,7 @@ from repro.transport.base import (
     ListenerClosed,
     Transport,
 )
+from repro.transport.chaos import ChaosStats, ChaosTransport
 from repro.transport.inproc import InProcTransport
 from repro.transport.netprofile import (
     NULL_PROFILE,
@@ -23,6 +25,8 @@ __all__ = [
     "Address",
     "Channel",
     "ChannelClosed",
+    "ChaosStats",
+    "ChaosTransport",
     "InProcTransport",
     "LinkScheduler",
     "Listener",

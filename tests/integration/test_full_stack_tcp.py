@@ -17,6 +17,7 @@ from repro.core.dispatcher import spi_server_handlers
 from repro.server.handlers import HandlerChain
 from repro.server.staged_arch import StagedSoapServer
 from repro.transport.tcp import TcpTransport
+from repro.resilience.policy import CallPolicy
 
 
 @pytest.fixture(scope="module")
@@ -67,7 +68,7 @@ class TestOverRealSockets:
         for invoker_cls in (SerialInvoker, ThreadedInvoker, PackedInvoker):
             proxy = make_proxy(tcp_env)
             try:
-                assert invoker_cls(proxy).invoke_all(calls, timeout=30) == expected
+                assert invoker_cls(proxy).invoke_all(calls, CallPolicy(timeout=30)) == expected
             finally:
                 proxy.close()
 

@@ -5,6 +5,7 @@ from repro.http.connection import HttpConnection
 from repro.http.message import Headers, HttpRequest
 from repro.obs import MetricsRegistry, Observability
 from repro.obs.prometheus import CONTENT_TYPE, render_prometheus, sanitize_name
+from repro.resilience.policy import CallPolicy
 
 
 class TestSanitizeName:
@@ -72,7 +73,7 @@ class TestAdminRoute:
         with echo_testbed(profile="inproc", observability=obs) as bed:
             proxy = bed.make_proxy()
             invoker = make_invoker("our-approach", proxy)
-            invoker.invoke_all(echo_calls(4, 10), timeout=60)
+            invoker.invoke_all(echo_calls(4, 10), CallPolicy(timeout=60))
             proxy.close()
             with HttpConnection(bed.transport, bed.address) as conn:
                 response = conn.request(

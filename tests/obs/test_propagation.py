@@ -12,12 +12,13 @@ from repro.obs import Observability, render_timeline
 from repro.obs.trace import TRACE_HEADER_TAG, TRACE_ID_ATTR
 from repro.soap.envelope import Envelope
 from repro.xmlcore.tree import Element
+from repro.resilience.policy import CallPolicy
 
 
 def packed_round_trip(testbed, m=32, payload=10):
     proxy = testbed.make_proxy()
     invoker = make_invoker("our-approach", proxy)
-    results = invoker.invoke_all(echo_calls(m, payload), timeout=60)
+    results = invoker.invoke_all(echo_calls(m, payload), CallPolicy(timeout=60))
     proxy.close()
     return proxy, results
 

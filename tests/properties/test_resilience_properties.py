@@ -1,0 +1,123 @@
+"""Partial-success packs as a property (ISSUE satellite 4).
+
+The invariant: a pack of N entries with K injected failures yields
+exactly N response slots — K per-entry faults, N-K results — with
+order/identity preserved, on BOTH server architectures.  A single bad
+entry must never poison its siblings or collapse the whole message
+into one envelope-level fault.
+"""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.client.proxy import ServiceProxy
+from repro.core.batch import PackBatch
+from repro.core.dispatcher import spi_server_handlers
+from repro.errors import SoapFaultError
+from repro.server.common_arch import CommonSoapServer
+from repro.server.handlers import HandlerChain
+from repro.server.service import service_from_functions
+from repro.server.staged_arch import StagedSoapServer
+from repro.transport.inproc import InProcTransport
+
+FLAKY_NS = "urn:repro:flaky"
+
+
+def flaky_echo(payload: str = "", explode: int = 0) -> str:
+    """Echo, unless the caller asks this slot to fail."""
+    if int(explode):
+        raise RuntimeError(f"injected failure for '{payload}'")
+    return payload
+
+
+def make_flaky_service():
+    return service_from_functions("FlakyService", FLAKY_NS, {"flakyEcho": flaky_echo})
+
+
+def _start(arch_cls):
+    transport = InProcTransport()
+    server = arch_cls(
+        [make_flaky_service()],
+        transport=transport,
+        address=f"flaky-{arch_cls.architecture}",
+        chain=HandlerChain(spi_server_handlers()),
+    )
+    address = server.start()
+    proxy = ServiceProxy(
+        transport,
+        address,
+        namespace=FLAKY_NS,
+        service_name="FlakyService",
+        reuse_connections=True,
+    )
+    return server, proxy
+
+
+@pytest.fixture(scope="module", params=[CommonSoapServer, StagedSoapServer])
+def flaky_proxy(request):
+    server, proxy = _start(request.param)
+    yield proxy
+    proxy.close()
+    server.stop()
+
+
+# Each pack entry is (payload, should_fail); at most one pack per example.
+pack_plans = st.lists(
+    st.tuples(
+        st.text(alphabet=string.ascii_letters + string.digits + " ", max_size=20),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(plan=pack_plans)
+def test_pack_with_failures_yields_exactly_n_slots(flaky_proxy, plan):
+    batch = PackBatch(flaky_proxy)
+    futures = [
+        batch.call("flakyEcho", payload=payload, explode=int(should_fail))
+        for payload, should_fail in plan
+    ]
+    batch.flush()
+
+    # exactly N slots, every one settled — nothing hangs, nothing is lost
+    assert len(futures) == len(plan)
+    assert all(f.done() for f in futures)
+
+    for future, (payload, should_fail) in zip(futures, plan):
+        if should_fail:
+            error = future.exception(timeout=5)
+            assert isinstance(error, SoapFaultError)
+            # a service exception is the server's fault, and it names
+            # this entry's payload — proof the fault is per-entry
+            assert error.faultcode.endswith("Server")
+            assert payload in error.faultstring
+            assert not error.is_retryable()
+        else:
+            # siblings of a failing entry still answer, in order
+            assert future.result(timeout=5) == payload
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(plan=pack_plans)
+def test_fault_count_matches_injected_failures(flaky_proxy, plan):
+    batch = PackBatch(flaky_proxy)
+    futures = [
+        batch.call("flakyEcho", payload=p, explode=int(fail)) for p, fail in plan
+    ]
+    batch.flush()
+    faults = sum(1 for f in futures if f.exception(timeout=5) is not None)
+    assert faults == sum(1 for _, fail in plan if fail)

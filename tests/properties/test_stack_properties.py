@@ -19,6 +19,7 @@ from repro.core.dispatcher import spi_server_handlers
 from repro.server.handlers import HandlerChain
 from repro.server.staged_arch import StagedSoapServer
 from repro.transport.inproc import InProcTransport
+from repro.resilience.policy import CallPolicy
 
 payload_lists = st.lists(
     st.text(
@@ -53,9 +54,9 @@ def stack():
 @given(payloads=payload_lists)
 def test_strategies_observationally_equivalent(stack, payloads):
     calls = Call.many("echo", [{"payload": p} for p in payloads])
-    serial = SerialInvoker(stack).invoke_all(calls, timeout=60)
-    threaded = ThreadedInvoker(stack).invoke_all(calls, timeout=60)
-    packed = PackedInvoker(stack).invoke_all(calls, timeout=60)
+    serial = SerialInvoker(stack).invoke_all(calls, CallPolicy(timeout=60))
+    threaded = ThreadedInvoker(stack).invoke_all(calls, CallPolicy(timeout=60))
+    packed = PackedInvoker(stack).invoke_all(calls, CallPolicy(timeout=60))
     assert serial == payloads
     assert threaded == payloads
     assert packed == payloads

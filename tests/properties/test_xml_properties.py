@@ -24,6 +24,11 @@ xml_text = st.text(
 
 ncnames = st.text(alphabet=string.ascii_letters, min_size=1, max_size=10)
 
+# Attribute names: like ncnames, but never the literal ``xmlns`` — per
+# XML Namespaces that spelling is a namespace *declaration*, not an
+# attribute, so it legitimately does not round-trip as attribute data.
+attr_names = ncnames.filter(lambda name: name != "xmlns")
+
 
 @given(xml_text)
 def test_escape_text_round_trip(value):
@@ -51,7 +56,7 @@ def _element_trees():
         st.builds(
             _leaf,
             ncnames,
-            st.dictionaries(ncnames, xml_text, max_size=3),
+            st.dictionaries(attr_names, xml_text, max_size=3),
             xml_text,
         ),
         lambda children: st.builds(_branch, ncnames, st.lists(children, max_size=4)),

@@ -92,7 +92,7 @@ class TestEndpoint:
     @pytest.fixture
     def endpoint(self, container):
         return SoapEndpoint(
-            container, lambda entries: [container.execute_entry(e) for e in entries]
+            container, lambda entries, context: [container.execute_entry(e) for e in entries]
         )
 
     def test_successful_call(self, endpoint):
@@ -154,7 +154,7 @@ class TestServicesIndex:
     @pytest.fixture
     def endpoint(self, container):
         return SoapEndpoint(
-            container, lambda entries: [container.execute_entry(e) for e in entries]
+            container, lambda entries, context: [container.execute_entry(e) for e in entries]
         )
 
     def test_index_lists_services_and_operations(self, endpoint):

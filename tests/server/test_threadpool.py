@@ -2,10 +2,11 @@
 
 import threading
 import time
+from concurrent.futures import CancelledError
 
 import pytest
 
-from repro.errors import ServiceError
+from repro.errors import PoolSaturatedError, ServiceError
 from repro.server.threadpool import CompletionLatch, TaskFuture, ThreadPool
 
 
@@ -109,6 +110,63 @@ class TestThreadPool:
                 pool.submit(lambda: None).result(timeout=5)
         assert pool.stats.submitted == 5
         assert pool.stats.completed == 5
+
+
+class TestShutdownCancelsQueuedTasks:
+    def test_queued_tasks_fail_with_cancelled_error(self):
+        release = threading.Event()
+        pool = ThreadPool(1)
+        blocker = pool.submit(release.wait, 5)
+        queued = [pool.submit(lambda: "never ran") for _ in range(4)]
+        # let the single worker pick up the blocker before shutting down,
+        # and release it only after shutdown has drained the queue
+        time.sleep(0.05)
+        threading.Timer(0.2, release.set).start()
+        pool.shutdown()
+        assert blocker.result(timeout=5) is True
+        for future in queued:
+            assert future.done()
+            with pytest.raises(CancelledError, match="shut down before"):
+                future.result(timeout=0)
+        assert pool.stats.cancelled >= 1
+
+    def test_result_on_cancelled_future_does_not_hang(self):
+        release = threading.Event()
+        pool = ThreadPool(1)
+        pool.submit(release.wait, 5)
+        queued = pool.submit(lambda: 1)
+        time.sleep(0.05)
+        threading.Timer(0.2, release.set).start()
+        pool.shutdown()
+        start = time.monotonic()
+        with pytest.raises(CancelledError):
+            queued.result()  # no timeout: must not block forever
+        assert time.monotonic() - start < 2.0
+
+
+class TestBoundedQueue:
+    def test_submit_beyond_max_queue_is_rejected(self):
+        release = threading.Event()
+        with ThreadPool(1, max_queue=2) as pool:
+            pool.submit(release.wait, 5)
+            time.sleep(0.05)  # blocker reaches the worker; queue empties
+            accepted = [pool.submit(lambda: None) for _ in range(2)]
+            with pytest.raises(PoolSaturatedError, match="queue is full"):
+                pool.submit(lambda: None)
+            assert pool.stats.rejected == 1
+            release.set()
+            for future in accepted:
+                future.result(timeout=5)
+
+    def test_unbounded_by_default(self):
+        with ThreadPool(1) as pool:
+            assert pool.max_queue is None
+            futures = [pool.submit(lambda: 1) for _ in range(64)]
+            assert all(f.result(timeout=5) == 1 for f in futures)
+
+    def test_bad_max_queue_raises(self):
+        with pytest.raises(ServiceError):
+            ThreadPool(1, max_queue=0)
 
 
 class TestCompletionLatch:
