@@ -1,0 +1,62 @@
+"""Static analysis for the repro codebase, from scratch on :mod:`ast`.
+
+The reproduction grew real concurrency (bounded thread pools and
+stages), a determinism contract (injected clock/rng/sleep) and two
+rounds of API migration — invariants that were enforced only by
+convention.  This package checks them (Gordon & Pucella's argument for
+typing a SOAP security abstraction, applied as linting):
+
+* :mod:`repro.analysis.engine` — rule engine, visitor dispatch,
+  inline ``# repro: disable=<rule-id>`` suppression;
+* :mod:`repro.analysis.rules` — the repo-specific lint pack
+  (deprecated APIs, wall-clock durations, direct sleep/random,
+  ``__slots__`` on hot-path records, unbounded queues, bare/swallowing
+  excepts);
+* :mod:`repro.analysis.locks` — the lock-discipline analyzer: per-class
+  dataflow over ``self`` attributes mutated inside vs. outside
+  ``with self._lock`` blocks, plus lock-order inversion detection;
+* :mod:`repro.analysis.baseline` — the committed-baseline gate: frozen
+  pre-existing findings with reason strings, any *new* finding fails;
+* :mod:`repro.analysis.cli` — ``python -m repro.analysis check ...``.
+"""
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    BaselineResult,
+    compare,
+    entries_from_findings,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.cli import default_rules, main
+from repro.analysis.engine import Rule, check_paths, check_source
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.locks import (
+    ClassLockReport,
+    LockDiscipline,
+    analyze_module,
+    format_lock_report,
+)
+from repro.analysis.rules import HOT_PATH_CLASSES, lint_rules
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineResult",
+    "ClassLockReport",
+    "Finding",
+    "HOT_PATH_CLASSES",
+    "LockDiscipline",
+    "Rule",
+    "analyze_module",
+    "check_paths",
+    "check_source",
+    "compare",
+    "default_rules",
+    "entries_from_findings",
+    "format_lock_report",
+    "lint_rules",
+    "load_baseline",
+    "main",
+    "save_baseline",
+    "sort_findings",
+]

@@ -1,0 +1,202 @@
+"""``python -m repro.analysis`` — the checker's command line.
+
+Commands:
+
+* ``check <paths> [--baseline FILE] [--format text|json]`` — run every
+  rule, compare against the baseline, exit 1 on any *new* finding.
+* ``baseline <paths> [-o FILE]`` — regenerate the baseline from the
+  current findings, preserving reason strings for surviving entries.
+* ``report-locks <paths>`` — the lock-discipline analyzer's per-class
+  view: which locks each class uses, which attributes they guard, and
+  every observed nesting order.
+* ``rules`` — list rule ids, severities and rationales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    compare,
+    entries_from_findings,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.engine import check_paths, iter_python_files
+from repro.analysis.findings import Finding
+from repro.analysis.locks import LockDiscipline, analyze_module, format_lock_report
+from repro.analysis.rules import lint_rules
+
+
+def default_rules():
+    """The full rule set: lint pack + lock discipline."""
+    return [*lint_rules(), LockDiscipline()]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-driven project linter and concurrency-safety analyzer",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="run all rules, gate on new findings")
+    check.add_argument("paths", nargs="+", help="files or directories to analyze")
+    check.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file of frozen findings (e.g. {DEFAULT_BASELINE_NAME})",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="output_format"
+    )
+    check.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print findings frozen by the baseline",
+    )
+    check.add_argument(
+        "--hints", action="store_true", help="print fix hints under each finding"
+    )
+
+    baseline = commands.add_parser(
+        "baseline", help="regenerate the baseline from current findings"
+    )
+    baseline.add_argument("paths", nargs="+")
+    baseline.add_argument(
+        "-o", "--output", default=DEFAULT_BASELINE_NAME, help="baseline file to write"
+    )
+
+    locks = commands.add_parser(
+        "report-locks", help="per-class lock/attribute report"
+    )
+    locks.add_argument("paths", nargs="+")
+
+    commands.add_parser("rules", help="list every rule with its rationale")
+    return parser
+
+
+def _render_text(
+    findings: list[Finding], *, hints: bool, stream=None
+) -> None:
+    out = stream or sys.stdout
+    for finding in findings:
+        print(finding.format(hints=hints), file=out)
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    findings = check_paths(args.paths, default_rules())
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"error: baseline file {baseline_path} not found", file=sys.stderr)
+            return 2
+        try:
+            entries = load_baseline(baseline_path)
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"error: unreadable baseline: {exc}", file=sys.stderr)
+            return 2
+        result = compare(findings, entries)
+    else:
+        result = compare(findings, [])
+
+    if args.output_format == "json":
+        document = {
+            "new": [f.as_dict() for f in result.new],
+            "baselined": [f.as_dict() for f in result.baselined],
+            "stale_baseline_entries": [e.as_dict() for e in result.stale],
+            "ok": result.ok,
+        }
+        print(json.dumps(document, indent=2))
+        return 0 if result.ok else 1
+
+    if args.show_baselined and result.baselined:
+        print(f"-- {len(result.baselined)} baselined finding(s) (frozen):")
+        _render_text(result.baselined, hints=False)
+    if result.stale:
+        print(
+            f"-- {len(result.stale)} stale baseline entr(y/ies) no longer match; "
+            "regenerate with 'python -m repro.analysis baseline'"
+        )
+        for entry in result.stale:
+            print(f"   {entry.path}: {entry.rule}: {entry.message}")
+    if result.new:
+        print(f"-- {len(result.new)} NEW finding(s):")
+        _render_text(result.new, hints=args.hints)
+        print(
+            "\nfix the finding, silence it inline with "
+            "'# repro: disable=<rule-id>', or (for accepted debt) add a "
+            "baseline entry with a reason"
+        )
+        return 1
+    suffix = f", {len(result.baselined)} frozen by baseline" if args.baseline else ""
+    print(f"analysis clean: no new findings{suffix}")
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    findings = check_paths(args.paths, default_rules())
+    output = Path(args.output)
+    previous = []
+    if output.exists():
+        try:
+            previous = load_baseline(output)
+        except (ValueError, KeyError, json.JSONDecodeError):
+            previous = []
+    entries = entries_from_findings(findings, previous=previous)
+    save_baseline(entries, output)
+    kept = sum(1 for entry in entries if entry.reason)
+    print(
+        f"wrote {output} with {len(entries)} entr(y/ies) "
+        f"({kept} carrying reasons); fill in 'reason' for each accepted finding"
+    )
+    return 0
+
+
+def _cmd_report_locks(args: argparse.Namespace) -> int:
+    import ast
+
+    root = Path.cwd()
+    reports = []
+    for file_path in iter_python_files(args.paths, root=root):
+        try:
+            relative = file_path.relative_to(root).as_posix()
+        except ValueError:
+            relative = file_path.as_posix()
+        try:
+            tree = ast.parse(file_path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError, UnicodeDecodeError):
+            continue
+        reports.extend(
+            report for report in analyze_module(tree, relative) if report.locks
+        )
+    print(format_lock_report(reports))
+    print(f"\n{len(reports)} lock-using class(es) analyzed")
+    return 0
+
+
+def _cmd_rules(_: argparse.Namespace) -> int:
+    for rule in default_rules():
+        print(f"{rule.id} [{rule.severity}]")
+        print(f"    {rule.rationale}")
+        if rule.exempt_parts:
+            print(f"    exempt path parts: {', '.join(sorted(rule.exempt_parts))}")
+        if rule.only_parts:
+            print(f"    only path parts: {', '.join(sorted(rule.only_parts))}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.analysis``."""
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "check": _cmd_check,
+        "baseline": _cmd_baseline,
+        "report-locks": _cmd_report_locks,
+        "rules": _cmd_rules,
+    }[args.command]
+    return handler(args)

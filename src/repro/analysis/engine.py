@@ -1,0 +1,210 @@
+"""Rule engine: file walking, AST dispatch, inline suppression.
+
+The engine is deliberately small: a :class:`Rule` declares which AST
+node types it wants (``node_types``) or overrides :meth:`Rule.check_module`
+for whole-module analyses (the lock-discipline pass), and the engine
+walks each file's tree once per interested rule, filtering findings
+through inline suppression comments.
+
+Scoping.  Rules carry two path filters, both matched against the
+*repo-relative posix path* of the file under analysis:
+
+* ``exempt_parts`` — any path segment in this set skips the rule
+  (``no-direct-sleep-random`` exempts ``resilience``/``transport``,
+  the modules that *are* the injected seams, and ``tests``);
+* ``only_parts`` — when non-empty, at least one segment must match
+  (``no-swallowed-fault`` only patrols server dispatch paths).
+
+Suppression.  A finding is dropped when its line carries
+``# repro: disable=<rule-id>`` (comma-separated ids, or ``all``), or
+when one of the first lines of the file carries
+``# repro: disable-file=<rule-id>``.  Suppressions are deliberate,
+reviewable markers — prefer them over baseline entries for violations
+that are *by design* (e.g. a demo service whose contract is to sleep).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding, sort_findings
+
+# Directories never walked implicitly: fixture corpora are intentional
+# violations exercised by tests, caches are not source.
+EXCLUDED_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".hypothesis", "fixtures", "results"}
+)
+
+_DISABLE_RE = re.compile(r"#\s*repro:\s*disable=([A-Za-z0-9_,\-]+)")
+_DISABLE_FILE_RE = re.compile(r"#\s*repro:\s*disable-file=([A-Za-z0-9_,\-]+)")
+_FILE_PRAGMA_LINES = 10  # disable-file pragmas must sit near the top
+
+
+class ModuleContext:
+    """Everything a rule may need about the file under analysis."""
+
+    __slots__ = ("path", "tree", "lines", "_line_disables", "_file_disables")
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.tree = tree
+        self.lines = source.splitlines()
+        self._line_disables: dict[int, frozenset[str]] = {}
+        for number, line in enumerate(self.lines, start=1):
+            match = _DISABLE_RE.search(line)
+            if match:
+                self._line_disables[number] = frozenset(
+                    part.strip() for part in match.group(1).split(",")
+                )
+        file_disables: set[str] = set()
+        for line in self.lines[:_FILE_PRAGMA_LINES]:
+            match = _DISABLE_FILE_RE.search(line)
+            if match:
+                file_disables.update(
+                    part.strip() for part in match.group(1).split(",")
+                )
+        self._file_disables = frozenset(file_disables)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when an inline or file pragma silences ``rule_id`` here."""
+        if rule_id in self._file_disables or "all" in self._file_disables:
+            return True
+        disabled = self._line_disables.get(line)
+        return disabled is not None and (rule_id in disabled or "all" in disabled)
+
+
+class Rule:
+    """Base class for every analysis rule."""
+
+    id: str = ""
+    severity: str = "warning"
+    fix_hint: str = ""
+    #: short human description, rendered by ``python -m repro.analysis rules``
+    rationale: str = ""
+    node_types: tuple[type, ...] = ()
+    exempt_parts: frozenset[str] = frozenset()
+    only_parts: frozenset[str] = frozenset()
+
+    def applies_to(self, path: str) -> bool:
+        """Path-level scoping; ``path`` is repo-relative posix."""
+        parts = set(Path(path).parts)
+        if parts & self.exempt_parts:
+            return False
+        if self.only_parts and not (parts & self.only_parts):
+            return False
+        return True
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Default dispatch: walk the tree, visit declared node types."""
+        if not self.node_types:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, self.node_types):
+                yield from self.visit(node, ctx)
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one matched node (rule-specific)."""
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: ModuleContext, line: int, message: str, *, fix_hint: str | None = None
+    ) -> Finding:
+        """Construct a finding bound to this rule."""
+        return Finding(
+            rule_id=self.id,
+            severity=self.severity,
+            path=ctx.path,
+            line=line,
+            message=message,
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_python_files(paths: Iterable[str | Path], *, root: Path) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, excluded dirs pruned.
+
+    Explicitly named files are always yielded — that is how tests point
+    the engine at fixture-corpus files that the implicit walk skips.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            relative = candidate.relative_to(path)
+            if any(part in EXCLUDED_DIR_NAMES for part in relative.parts[:-1]):
+                continue
+            yield candidate
+
+
+def check_source(
+    source: str, *, path: str, rules: list[Rule]
+) -> list[Finding]:
+    """Run ``rules`` over one in-memory module (the test-corpus entry)."""
+    tree = ast.parse(source, filename=path)
+    ctx = ModuleContext(path, source, tree)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for finding in rule.check_module(ctx):
+            if not ctx.is_suppressed(finding.rule_id, finding.line):
+                findings.append(finding)
+    return sort_findings(findings)
+
+
+def check_paths(
+    paths: Iterable[str | Path],
+    rules: list[Rule],
+    *,
+    root: Path | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    ``root`` anchors repo-relative finding paths (defaults to the
+    current working directory); files outside ``root`` keep their
+    absolute path.
+    """
+    anchor = Path.cwd() if root is None else Path(root)
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths, root=anchor):
+        try:
+            relative = file_path.relative_to(anchor).as_posix()
+        except ValueError:
+            relative = file_path.as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        try:
+            findings.extend(check_source(source, path=relative, rules=rules))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule_id="syntax-error",
+                    severity="error",
+                    path=relative,
+                    line=exc.lineno or 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    return sort_findings(findings)

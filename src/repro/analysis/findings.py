@@ -1,0 +1,62 @@
+"""The finding model shared by every analysis rule.
+
+A :class:`Finding` is one diagnosed violation: which rule fired, how
+severe it is, where (repo-relative ``path:line``), a human message, and
+a fix hint.  Findings are value objects — two findings with the same
+rule, path and message are *the same violation* as far as the baseline
+is concerned, no matter how the line number drifted between commits.
+That is what makes a committed baseline stable across unrelated edits:
+the :attr:`Finding.fingerprint` deliberately excludes the line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+_SEVERITY_ORDER = {SEVERITY_ERROR: 0, SEVERITY_WARNING: 1}
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one site."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    fix_hint: str = ""
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Baseline identity: (rule, path, message) — line-independent."""
+        return (self.rule_id, self.path, self.message)
+
+    def format(self, *, hints: bool = False) -> str:
+        """One ``path:line: [severity] rule: message`` report line."""
+        text = f"{self.path}:{self.line}: [{self.severity}] {self.rule_id}: {self.message}"
+        if hints and self.fix_hint:
+            text += f"\n    hint: {self.fix_hint}"
+        return text
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (the ``--format json`` shape)."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable report order: path, line, severity, rule."""
+    return sorted(
+        findings,
+        key=lambda f: (f.path, f.line, _SEVERITY_ORDER.get(f.severity, 9), f.rule_id),
+    )

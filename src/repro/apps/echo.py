@@ -42,7 +42,7 @@ def make_echo_service() -> ServiceDefinition:
     def delayedEcho(payload: str, delay_ms: int) -> str:
         """Echo after sleeping ``delay_ms`` — a stand-in for real
         service work when measuring server-side concurrency."""
-        time.sleep(delay_ms / 1000.0)
+        time.sleep(delay_ms / 1000.0)  # repro: disable=no-direct-sleep-random — the simulated latency IS the operation
         return payload
 
     return service_from_functions(

@@ -59,7 +59,10 @@ class JobStore:
         self._lock = threading.Lock()
         self._counter = itertools.count(1)
         self._work_units = work_units
-        self._pool = ThreadPool(workers, name="grid-exec")
+        # Bounded backlog: a grid that accepts unbounded jobs converts
+        # overload into unbounded memory; past the bound submitters see
+        # PoolSaturatedError -> Server.Busy like every other shed point.
+        self._pool = ThreadPool(workers, name="grid-exec", max_queue=256)
 
     def submit(self, command: str, priority: int) -> str:
         """Queue a job for execution; returns its id."""
@@ -249,7 +252,7 @@ class GridMonitor:
                 return sample.statuses, messages
             if time.monotonic() > deadline:
                 raise TimeoutError(f"jobs not done within {timeout}s")
-            time.sleep(interval)
+            time.sleep(interval)  # repro: disable=no-direct-sleep-random — client-side poll pacing is this helper's contract
 
     def fetch_results(self, job_ids: list[str]) -> list[dict[str, Any]]:
         """Fetch every job's result; packed, this is one SOAP message."""

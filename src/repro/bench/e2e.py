@@ -343,7 +343,7 @@ def run_shed_smoke(
             for i in range(2):
                 prime.cast("delayedEcho", payload=f"{wave}{i}", delay_ms=400)
             prime.flush()
-            time.sleep(0.1)
+            time.sleep(0.1)  # repro: disable=no-direct-sleep-random — bench driver lets the saturated stage drain
         envelope = build_request_envelope(ECHO_NS, "echo", {"payload": "probe"})
         mark_one_way(envelope.body_entries[0])
         with HttpConnection(bed.transport, bed.address) as conn:

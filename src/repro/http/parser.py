@@ -24,6 +24,8 @@ class ConnectionClosedCleanly(HttpError):
 class ChannelReader:
     """Buffered reader over a :class:`Channel`."""
 
+    __slots__ = ("_channel", "_buffer")
+
     def __init__(self, channel: Channel) -> None:
         self._channel = channel
         self._buffer = bytearray()

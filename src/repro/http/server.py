@@ -79,7 +79,8 @@ class HttpServer:
         """
         self._app = app
         self._obs = observability
-        self._started_at = time.time()
+        # Monotonic anchor: /healthz uptime is an interval measurement.
+        self._started_at = time.monotonic()
         self._transport = transport
         self._bind_address = address
         self._server_header = server_header
@@ -287,7 +288,7 @@ class HttpServer:
         with self._counter_lock:
             return {
                 "status": "ok",
-                "uptime_s": round(time.time() - self._started_at, 3),
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
                 "connections_accepted": self.connections_accepted,
                 "current_connections": self._current_connections,
                 "max_concurrent_connections": self.max_concurrent_connections,

@@ -258,12 +258,13 @@ class Observability:
         self.tracer = Tracer(
             self.registry, capacity=span_capacity, export_sink=span_sink
         )
-        self.started_at = time.time()
+        # Monotonic anchor: uptime is an interval, and wall clocks jump.
+        self.started_at = time.monotonic()
 
     def metrics_snapshot(self) -> dict:
         """The ``/metrics`` JSON document."""
         return {
-            "uptime_s": round(time.time() - self.started_at, 3),
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
             "spans_recorded": len(self.tracer),
             "traces": len(self.tracer.trace_ids()),
             **self.registry.snapshot(),

@@ -81,14 +81,18 @@ class ServiceContainer:
 
     def service_for(self, namespace: str) -> ServiceDefinition:
         """The service deployed at ``namespace``; raises if absent."""
-        try:
-            return self._services[namespace]
-        except KeyError:
-            raise ServiceError(f"no service deployed at namespace '{namespace}'") from None
+        with self._lock:
+            try:
+                return self._services[namespace]
+            except KeyError:
+                raise ServiceError(
+                    f"no service deployed at namespace '{namespace}'"
+                ) from None
 
     def services(self) -> list[ServiceDefinition]:
         """Every deployed service, in deployment order."""
-        return list(self._services.values())
+        with self._lock:
+            return list(self._services.values())
 
     @property
     def matcher(self) -> OperationMatcher:

@@ -36,6 +36,8 @@ from repro.xmlcore.tree import Element
 class XmlCursor:
     """Pull-reader over one document; see the module docstring."""
 
+    __slots__ = ("_tokens", "_scope", "_entered")
+
     def __init__(self, source: str | bytes) -> None:
         if isinstance(source, bytes):
             source = decode_document(source)

@@ -165,6 +165,8 @@ class PIToken(Token):
 class Lexer:
     """Single-pass tokenizer over a complete document string."""
 
+    __slots__ = ("_src", "_pos")
+
     def __init__(self, source: str) -> None:
         self._src = source
         self._pos = 0

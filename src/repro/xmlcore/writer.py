@@ -30,6 +30,16 @@ class StreamingWriter:
     intermediate tree, mirroring the streaming serializers in gSOAP.
     """
 
+    __slots__ = (
+        "_parts",
+        "_scope",
+        "_open",
+        "_counter",
+        "_tag_open",
+        "_name_memo",
+        "_memo_version",
+    )
+
     def __init__(self, *, declaration: bool = False) -> None:
         self._parts: list[str] = []
         self._scope = NamespaceScope()

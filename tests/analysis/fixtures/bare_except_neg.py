@@ -1,0 +1,10 @@
+"""Negative fixture: concrete exception types, BaseException when meant."""
+
+
+def run(step):
+    try:
+        step()
+    except ValueError:
+        return None
+    except BaseException:
+        raise

@@ -1,0 +1,86 @@
+"""Lock-discipline fixture: one intentional race per detector.
+
+``SeededRace`` mixes guarded and unguarded access to ``_items``;
+``Inverted`` takes its two locks in both orders; ``SelfDeadlock``
+re-acquires a non-reentrant lock through a helper; ``Disciplined`` and
+``CallerHeld`` are the clean counterexamples.
+"""
+
+import threading
+
+
+class SeededRace:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def put(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def drop_all(self):
+        self._items = []  # unguarded write: the seeded race
+
+    def peek(self):
+        return self._items  # unguarded read of a guarded attribute
+
+
+class Inverted:
+    def __init__(self):
+        self._table_lock = threading.Lock()
+        self._io_lock = threading.Lock()
+        self._table = {}
+
+    def a_then_b(self, key, value):
+        with self._table_lock:
+            with self._io_lock:
+                self._table[key] = value
+
+    def b_then_a(self, key):
+        with self._io_lock:
+            with self._table_lock:
+                return self._table.pop(key, None)
+
+
+class SelfDeadlock:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def outer(self):
+        with self._lock:
+            self.inner()
+
+    def inner(self):
+        with self._lock:
+            self._count += 1
+
+
+class Disciplined:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []
+
+    def put(self, item):
+        with self._lock:
+            self._items.append(item)
+
+    def drain(self):
+        with self._lock:
+            items, self._items = self._items, []
+        return items
+
+
+class CallerHeld:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = []
+
+    def take(self):
+        with self._lock:
+            return self._drain_locked()
+
+    def _drain_locked(self):
+        items = self._pending
+        self._pending = []
+        return items

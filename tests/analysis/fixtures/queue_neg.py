@@ -1,0 +1,9 @@
+"""Negative fixture: bounded construction and explicit forwarding."""
+
+
+def build(ThreadPool, Stage, handler, **kwargs):
+    pool = ThreadPool(4, name="bounded", max_queue=128)
+    stage = Stage("parse", handler, workers=2, max_queue=64)
+    explicit_unbounded = ThreadPool(4, max_queue=None)  # a recorded decision
+    forwarded = ThreadPool(4, **kwargs)  # the caller may carry the bound
+    return pool, stage, explicit_unbounded, forwarded

@@ -1,0 +1,7 @@
+"""Positive fixture: pools and stages built with no backlog bound."""
+
+
+def build(ThreadPool, Stage, handler):
+    pool = ThreadPool(4, name="unbounded")
+    stage = Stage("parse", handler, workers=2)
+    return pool, stage

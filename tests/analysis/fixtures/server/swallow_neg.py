@@ -1,0 +1,18 @@
+"""Negative fixture: broad catches that answer with a Fault slot."""
+
+
+def dispatch(entries, invoke, fault_from):
+    results = []
+    for entry in entries:
+        try:
+            results.append(invoke(entry))
+        except Exception as exc:
+            results.append(fault_from(exc))
+    return results
+
+
+def narrow(entry, invoke):
+    try:
+        return invoke(entry)
+    except KeyError:
+        pass  # narrow catches may drop: the taxonomy stays visible

@@ -1,0 +1,6 @@
+"""Negative fixture: delay and randomness arrive through injected seams."""
+
+
+def jittered_backoff(base, *, sleep, rng):
+    sleep(base)
+    return base * (1.0 + rng())

@@ -1,0 +1,11 @@
+"""Positive fixture: direct sleeps and module-level randomness."""
+
+import random
+import time
+from random import choice  # flagged import
+from time import sleep  # flagged import
+
+
+def jittered_backoff(base):
+    time.sleep(base)
+    return base * random.uniform(1.0, 2.0)

@@ -1,0 +1,30 @@
+"""Negative fixture: every accepted way to slot a hot-path class."""
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+
+class Span:
+    __slots__ = ("name", "events")
+
+    def __init__(self, name):
+        self.name = name
+        self.events = []
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    name: str
+    offset: float
+
+
+class StartTag(NamedTuple):
+    name: str
+    line: int
+
+
+class NotRegistered:
+    """Classes outside HOT_PATH_CLASSES may use a plain __dict__."""
+
+    def __init__(self):
+        self.anything = True

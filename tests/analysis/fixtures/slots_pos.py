@@ -1,0 +1,7 @@
+"""Positive fixture: a registered hot-path class without __slots__."""
+
+
+class Span:
+    def __init__(self, name):
+        self.name = name
+        self.events = []

@@ -1,0 +1,20 @@
+"""Suppression fixture: every violation here carries a pragma.
+# repro: disable-file=no-wallclock-duration
+"""
+
+import time
+
+
+def stamp():
+    return time.time()  # silenced by the file pragma above
+
+
+def pace(interval):
+    time.sleep(interval)  # repro: disable=no-direct-sleep-random — fixture
+
+
+def run(step):
+    try:
+        step()
+    except:  # repro: disable=all
+        return None

@@ -1,0 +1,15 @@
+"""Negative fixture: monotonic interval measurement."""
+
+import time
+
+
+def measure(work):
+    start = time.monotonic()
+    work()
+    return time.monotonic() - start
+
+
+def precise(work):
+    start = time.perf_counter()
+    work()
+    return time.perf_counter() - start

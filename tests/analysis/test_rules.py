@@ -1,0 +1,109 @@
+"""Golden-finding tests: one positive and one negative fixture per rule.
+
+The corpus lives in ``fixtures/`` (excluded from implicit directory
+walks); tests hand the engine explicit file paths with ``root`` set to
+the corpus directory, so fixture paths carry no ``tests`` segment and
+rules that exempt ``tests`` still apply.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_paths, default_rules, lint_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def corpus_findings(name: str, rules=None):
+    """Run the engine over one fixture file, anchored at the corpus."""
+    return check_paths(
+        [FIXTURES / name], rules if rules is not None else lint_rules(), root=FIXTURES
+    )
+
+
+class TestPositiveFixtures:
+    def test_no_deprecated_api(self):
+        findings = corpus_findings("deprecated_pos.py")
+        assert {f.rule_id for f in findings} == {"no-deprecated-api"}
+        messages = "\n".join(f.message for f in findings)
+        assert len(findings) == 8
+        assert "repro.errors.SoapFault" in messages
+        assert "SoapFaultException" in messages
+        assert "repro.xmlcore.parser.parse" in messages
+        assert "Envelope.from_string_pull" in messages
+        assert "invoke_all(timeout=...)" in messages
+        assert all(f.severity == "error" for f in findings)
+
+    def test_no_wallclock_duration(self):
+        findings = corpus_findings("wallclock_pos.py")
+        assert {f.rule_id for f in findings} == {"no-wallclock-duration"}
+        assert len(findings) == 3  # one import + two time.time() calls
+
+    def test_no_direct_sleep_random(self):
+        findings = corpus_findings("sleep_pos.py")
+        assert {f.rule_id for f in findings} == {"no-direct-sleep-random"}
+        messages = "\n".join(f.message for f in findings)
+        assert "time.sleep" in messages
+        assert "random.uniform" in messages
+        assert len(findings) == 4  # two imports + sleep + uniform
+
+    def test_require_slots(self):
+        findings = corpus_findings("slots_pos.py")
+        assert [f.rule_id for f in findings] == ["require-slots"]
+        assert "Span" in findings[0].message
+
+    def test_no_unbounded_queue(self):
+        findings = corpus_findings("queue_pos.py")
+        assert {f.rule_id for f in findings} == {"no-unbounded-queue"}
+        assert {f.message.split("(")[0] for f in findings} == {"ThreadPool", "Stage"}
+
+    def test_no_bare_except(self):
+        findings = corpus_findings("bare_except_pos.py")
+        assert [f.rule_id for f in findings] == ["no-bare-except"]
+
+    def test_no_swallowed_fault(self):
+        findings = corpus_findings("server/swallow_pos.py")
+        assert {f.rule_id for f in findings} == {"no-swallowed-fault"}
+        assert len(findings) == 2  # pass body + docstring-only body
+        assert all(f.path == "server/swallow_pos.py" for f in findings)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "deprecated_neg.py",
+        "wallclock_neg.py",
+        "sleep_neg.py",
+        "slots_neg.py",
+        "queue_neg.py",
+        "bare_except_neg.py",
+        "server/swallow_neg.py",
+    ],
+)
+def test_negative_fixture_is_clean(name):
+    assert corpus_findings(name) == []
+
+
+class TestScoping:
+    def test_swallowed_fault_only_patrols_dispatch_paths(self):
+        # The same source outside a server/http/core path is not flagged.
+        source = (FIXTURES / "server" / "swallow_pos.py").read_text()
+        from repro.analysis import check_source
+        from repro.analysis.rules import NoSwallowedFault
+
+        assert check_source(source, path="apps/helper.py", rules=[NoSwallowedFault()]) == []
+        assert check_source(source, path="server/x.py", rules=[NoSwallowedFault()]) != []
+
+    def test_sleep_rule_exempts_the_injected_seams(self):
+        source = (FIXTURES / "sleep_pos.py").read_text()
+        from repro.analysis import check_source
+        from repro.analysis.rules import NoDirectSleepRandom
+
+        rule = [NoDirectSleepRandom()]
+        assert check_source(source, path="resilience/policy.py", rules=rule) == []
+        assert check_source(source, path="transport/chaos.py", rules=rule) == []
+        assert check_source(source, path="apps/echo.py", rules=rule) != []
+
+    def test_suppression_pragmas_silence_everything(self):
+        assert corpus_findings("suppressed.py", rules=default_rules()) == []

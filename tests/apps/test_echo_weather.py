@@ -87,7 +87,7 @@ class TestFigure4:
     def test_figure4_document_is_valid_soap(self):
         document = figure4_document()
         assert "Parallel_Method" in document
-        reparsed = Envelope.from_string(document)
+        reparsed = Envelope.parse(document, server=True)
         assert len(unpack_parallel_method(reparsed.first_body_entry())) == 2
 
     def test_figure4_executes_against_weather_server(self):

@@ -107,7 +107,7 @@ class TestServerDispatcher:
         wrapper = build_parallel_method(
             [serialize_rpc_request(NS, "echo", {"payload": "a"})]
         )
-        del wrapper.element_children()[0].attributes[REQUEST_ID_ATTR]
+        wrapper.element_children()[0].pop_attribute(REQUEST_ID_ATTR)
         context = plain_context(wrapper)
         with pytest.raises(PackError):
             ServerDispatcher().invoke_request(context)

@@ -6,7 +6,7 @@ from repro.core import packformat
 from repro.errors import PackError
 from repro.soap.constants import PARALLEL_METHOD, REQUEST_ID_ATTR, SPI_NS
 from repro.soap.serializer import serialize_rpc_request
-from repro.xmlcore.parser import parse
+from repro.xmlcore import parse
 from repro.xmlcore.writer import serialize
 
 WEATHER_NS = "urn:svc:weather"
@@ -86,7 +86,7 @@ class TestUnpack:
 
     def test_missing_request_id_raises(self):
         wrapper = packformat.build_parallel_method(weather_requests())
-        del wrapper.element_children()[1].attributes[REQUEST_ID_ATTR]
+        wrapper.element_children()[1].pop_attribute(REQUEST_ID_ATTR)
         with pytest.raises(PackError, match="no requestID"):
             packformat.unpack_parallel_method(wrapper)
 

@@ -33,7 +33,7 @@ def test_pack_unpack_preserves_order_and_content(values):
     wrapper = build_parallel_method(entries)
     envelope = Envelope()
     envelope.add_body(wrapper)
-    reparsed = Envelope.from_string(envelope.to_bytes())
+    reparsed = Envelope.parse(envelope.to_bytes(), server=True)
     unpacked = unpack_parallel_method(reparsed.first_body_entry())
     assert len(unpacked) == len(values)
     assert [e.require("payload").text for e in unpacked] == values
@@ -67,7 +67,7 @@ def test_dispatcher_correlates_any_response_permutation(values, rng):
     rng.shuffle(responses)
     envelope = Envelope()
     envelope.add_body(build_parallel_method(responses, assign_ids=False))
-    wire = Envelope.from_string(envelope.to_bytes())
+    wire = Envelope.parse(envelope.to_bytes(), server=True)
     ClientDispatcher().dispatch(wire, futures)
     for future, expected in zip(futures, values):
         assert future.result(timeout=0) == expected

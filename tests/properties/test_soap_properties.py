@@ -47,7 +47,7 @@ values = st.recursive(
 @given(st.dictionaries(param_names, values, max_size=5))
 def test_request_round_trip(params):
     env = build_request_envelope(NS, "op", params)
-    parsed = Envelope.from_string(env.to_bytes())
+    parsed = Envelope.parse(env.to_bytes(), server=True)
     req = parse_rpc_request(parsed.first_body_entry())
     assert req.operation == "op"
     assert req.namespace == NS
@@ -58,7 +58,7 @@ def test_request_round_trip(params):
 @given(values)
 def test_response_round_trip(result):
     env = build_response_envelope(NS, "op", result)
-    parsed = Envelope.from_string(env.to_bytes())
+    parsed = Envelope.parse(env.to_bytes(), server=True)
     resp = parse_rpc_response(parsed.first_body_entry())
     assert _normalize(resp.value) == _normalize(result)
 
@@ -71,7 +71,7 @@ def test_diffser_hits_decode_identically(cities):
     ser = DifferentialSerializer()
     for city in cities:
         data = ser.serialize_request(NS, "GetWeather", {"city": city})
-        env = Envelope.from_string(data)
+        env = Envelope.parse(data, server=True)
         req = parse_rpc_request(env.first_body_entry())
         assert req.params == {"city": city}
     assert ser.stats.hits == len(cities) - 1
@@ -100,7 +100,7 @@ def test_diffdeser_hits_equal_full_parse(cities):
     for city in cities:
         raw = build_request_envelope(NS, "GetWeather", {"city": city}).to_bytes()
         fast = dd.deserialize(raw)
-        cold = parse_rpc_request(Envelope.from_string(raw).first_body_entry())
+        cold = parse_rpc_request(Envelope.parse(raw, server=True).first_body_entry())
         assert fast.params == cold.params
         assert fast.operation == cold.operation
         assert fast.namespace == cold.namespace

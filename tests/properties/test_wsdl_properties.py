@@ -58,7 +58,7 @@ def test_wsdl_round_trip(service):
 @settings(max_examples=50)
 @given(services())
 def test_wsdl_document_is_wellformed_xml(service):
-    from repro.xmlcore.parser import parse
+    from repro.xmlcore import parse
 
     document = generate_wsdl_document(WsdlDocumentModel(service))
     root = parse(document)

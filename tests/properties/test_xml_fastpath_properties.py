@@ -19,7 +19,7 @@ import pytest
 from repro.soap.constants import SOAP_ENV_NS
 from repro.soap.envelope import Envelope, iter_body_entries
 from repro.xmlcore.escape import escape_attribute, escape_text, unescape
-from repro.xmlcore.parser import parse
+from repro.xmlcore import parse
 from repro.xmlcore.tree import Element
 from repro.xmlcore.writer import serialize
 
@@ -102,7 +102,7 @@ def test_pull_matches_tree_parse(seed):
     document = envelope.to_string()
 
     pulled = list(iter_body_entries(document))
-    full = Envelope.from_string(document).body_entries
+    full = Envelope.parse(document, server=True).body_entries
     assert len(pulled) == len(full)
     for a, b in zip(pulled, full):
         assert a.structurally_equal(b)

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.xmlcore.escape import escape_attribute, escape_text, unescape
-from repro.xmlcore.parser import parse
+from repro.xmlcore import parse
 from repro.xmlcore.tree import Element
 from repro.xmlcore.trie import LinearTagMatcher, TagTrie
 from repro.xmlcore.writer import serialize

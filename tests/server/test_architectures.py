@@ -62,7 +62,7 @@ class TestBothArchitectures:
             transport, address, build_request_envelope(NS, "echo", {"payload": "hi"})
         )
         assert response.status == 200
-        env = Envelope.from_string(response.body)
+        env = Envelope.parse(response.body, server=True)
         assert parse_response_envelope(env).value == "hi"
 
     def test_multi_entry_body_executes_all(self, server):
@@ -72,7 +72,7 @@ class TestBothArchitectures:
             envelope.add_body(serialize_rpc_request(NS, "echo", {"payload": f"m{i}"}))
         response = call(transport, address, envelope)
         assert response.status == 200
-        env = Envelope.from_string(response.body)
+        env = Envelope.parse(response.body, server=True)
         values = [e.require("return").text for e in env.body_entries]
         assert values == ["m0", "m1", "m2", "m3"]
 
@@ -87,7 +87,7 @@ class TestBothArchitectures:
                 address,
                 build_request_envelope(NS, "echo", {"payload": f"c{i}"}),
             )
-            env = Envelope.from_string(response.body)
+            env = Envelope.parse(response.body, server=True)
             with lock:
                 results[i] = parse_response_envelope(env).value
 
@@ -159,7 +159,7 @@ class TestStagedConcurrency:
             envelope.add_body(serialize_rpc_request(NS, "echo", {"payload": "good"}))
             envelope.add_body(serialize_rpc_request(NS, "doesNotExist", {}))
             response = call(transport, address, envelope)
-        env = Envelope.from_string(response.body)
+        env = Envelope.parse(response.body, server=True)
         assert len(env.body_entries) == 2
         tags = [e.local_name for e in env.body_entries]
         assert tags == ["echoResponse", "Fault"]

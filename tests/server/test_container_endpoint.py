@@ -98,7 +98,7 @@ class TestEndpoint:
     def test_successful_call(self, endpoint):
         response = soap_post(endpoint, build_request_envelope(NS, "add", {"a": 3, "b": 4}))
         assert response.status == 200
-        env = Envelope.from_string(response.body)
+        env = Envelope.parse(response.body, server=True)
         assert parse_rpc_response(env.first_body_entry()).value == 7
 
     def test_service_fault_is_http_500(self, endpoint):

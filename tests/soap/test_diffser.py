@@ -10,7 +10,7 @@ NS = "urn:svc:weather"
 
 
 def decode(data: bytes):
-    env = Envelope.from_string(data)
+    env = Envelope.parse(data, server=True)
     return parse_rpc_request(env.first_body_entry())
 
 

@@ -13,7 +13,7 @@ from repro.soap.constants import (
 )
 from repro.soap.envelope import Envelope
 from repro.soap.fault import ClientFaultCause, SoapFault, is_fault_body
-from repro.xmlcore.parser import parse
+from repro.xmlcore import parse
 from repro.xmlcore.tree import Element
 
 
@@ -26,12 +26,12 @@ def make_envelope():
 class TestEnvelopeBuild:
     def test_minimal_round_trip(self):
         env = make_envelope()
-        parsed = Envelope.from_string(env.to_string())
+        parsed = Envelope.parse(env.to_string(), server=True)
         assert parsed.first_body_entry().tag == "{urn:svc}echo"
 
     def test_bytes_round_trip(self):
         env = make_envelope()
-        parsed = Envelope.from_string(env.to_bytes())
+        parsed = Envelope.parse(env.to_bytes(), server=True)
         assert parsed.first_body_entry().tag == "{urn:svc}echo"
 
     def test_no_header_element_when_empty(self):
@@ -54,7 +54,7 @@ class TestEnvelopeBuild:
         env = Envelope()
         env.add_body(Element("{urn:svc}a"))
         env.add_body(Element("{urn:svc}b"))
-        parsed = Envelope.from_string(env.to_string())
+        parsed = Envelope.parse(env.to_string(), server=True)
         assert len(parsed.body_entries) == 2
 
     def test_declaration_present(self):
@@ -68,7 +68,7 @@ class TestEnvelopeParse:
             f"<e:Header><t xmlns='urn:h'>v</t></e:Header>"
             f"<e:Body><op xmlns='urn:s'/></e:Body></e:Envelope>"
         )
-        env = Envelope.from_string(doc)
+        env = Envelope.parse(doc, server=True)
         assert len(env.header_entries) == 1
         assert env.find_header("{urn:h}t") is not None
         assert env.find_header("t") is not None
@@ -76,17 +76,17 @@ class TestEnvelopeParse:
 
     def test_wrong_root_raises(self):
         with pytest.raises(SoapError):
-            Envelope.from_string("<notsoap/>")
+            Envelope.parse("<notsoap/>", server=True)
 
     def test_wrong_envelope_namespace_raises(self):
         doc = '<Envelope xmlns="http://www.w3.org/2003/05/soap-envelope"><Body><x/></Body></Envelope>'
         with pytest.raises(SoapError, match="namespace"):
-            Envelope.from_string(doc)
+            Envelope.parse(doc, server=True)
 
     def test_missing_body_raises(self):
         doc = f'<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/"></e:Envelope>'
         with pytest.raises(SoapError, match="no Body"):
-            Envelope.from_string(doc)
+            Envelope.parse(doc, server=True)
 
     def test_empty_body_raises(self):
         doc = (
@@ -94,7 +94,7 @@ class TestEnvelopeParse:
             f"<e:Body></e:Body></e:Envelope>"
         )
         with pytest.raises(SoapError, match="empty"):
-            Envelope.from_string(doc)
+            Envelope.parse(doc, server=True)
 
     def test_trailing_elements_raise(self):
         doc = (
@@ -102,13 +102,13 @@ class TestEnvelopeParse:
             f"<e:Body><x/></e:Body><e:Extra/></e:Envelope>"
         )
         with pytest.raises(SoapError, match="after SOAP Body"):
-            Envelope.from_string(doc)
+            Envelope.parse(doc, server=True)
 
     def test_unprocessed_must_understand(self):
         env = make_envelope()
         env.add_header(Element("{urn:h}a"), must_understand=True)
         env.add_header(Element("{urn:h}b"))
-        parsed = Envelope.from_string(env.to_string())
+        parsed = Envelope.parse(env.to_string(), server=True)
         missed = parsed.unprocessed_must_understand(understood=set())
         assert [e.tag for e in missed] == ["{urn:h}a"]
         assert parsed.unprocessed_must_understand({"{urn:h}a"}) == []
@@ -167,7 +167,7 @@ def parse_fault(fault: SoapFault):
     """Round fault through a serialized envelope to exercise the wire form."""
     env = Envelope()
     env.add_body(fault.to_element())
-    parsed = Envelope.from_string(env.to_string())
+    parsed = Envelope.parse(env.to_string(), server=True)
     return parsed.first_body_entry()
 
 

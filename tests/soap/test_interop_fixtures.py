@@ -13,7 +13,7 @@ import pytest
 from repro.soap.deserializer import parse_rpc_request, parse_rpc_response
 from repro.soap.envelope import Envelope
 from repro.soap.xsdtypes import decode_value, encode_value
-from repro.xmlcore.parser import parse
+from repro.xmlcore import parse
 
 AXIS_STYLE = """<?xml version="1.0" encoding="UTF-8"?>
 <soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/"
@@ -55,7 +55,7 @@ DOTNET_STYLE = """<?xml version="1.0" encoding="utf-8"?>
 
 class TestForeignToolkitMessages:
     def test_axis_pretty_printed_request(self):
-        env = Envelope.from_string(AXIS_STYLE)
+        env = Envelope.parse(AXIS_STYLE, server=True)
         # pretty-printing puts whitespace text nodes inside Body; the
         # entry itself must still parse
         entries = [e for e in env.body_entries]
@@ -66,13 +66,13 @@ class TestForeignToolkitMessages:
         assert request.params == {"city": "Beijing", "country": "China"}
 
     def test_gsoap_compact_response(self):
-        env = Envelope.from_string(GSOAP_STYLE)
+        env = Envelope.parse(GSOAP_STYLE, server=True)
         response = parse_rpc_response(env.first_body_entry())
         assert response.operation == "GetWeather"
         assert response.value == "sunny"
 
     def test_dotnet_default_namespace_and_foreign_xsi_prefix(self):
-        env = Envelope.from_string(DOTNET_STYLE)
+        env = Envelope.parse(DOTNET_STYLE, server=True)
         request = parse_rpc_request(env.first_body_entry())
         assert request.namespace == "urn:weather"
         # the 'i:' prefix resolves to the standard XSI namespace, so the
@@ -81,7 +81,7 @@ class TestForeignToolkitMessages:
 
     def test_utf16_document(self):
         data = ("\ufeff" + AXIS_STYLE).encode("utf-16-le")
-        env = Envelope.from_string(data)
+        env = Envelope.parse(data, server=True)
         request = parse_rpc_request(env.first_body_entry())
         assert request.params["city"] == "Beijing"
 
@@ -90,7 +90,7 @@ class TestForeignToolkitMessages:
             '<e:Envelope xmlns:e="http://schemas.xmlsoap.org/soap/envelope/">\n'
             "  <e:Body>\n    <op xmlns='urn:x'/>\n  </e:Body>\n</e:Envelope>"
         )
-        env = Envelope.from_string(doc)
+        env = Envelope.parse(doc, server=True)
         assert len(env.body_entries) == 1
 
 

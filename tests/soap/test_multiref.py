@@ -6,7 +6,7 @@ from repro.errors import SoapError
 from repro.soap.deserializer import parse_rpc_request
 from repro.soap.envelope import Envelope
 from repro.soap.multiref import has_multirefs, resolve_multirefs
-from repro.xmlcore.parser import parse
+from repro.xmlcore import parse
 
 AXIS_MULTIREF = """<?xml version="1.0" encoding="UTF-8"?>
 <soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/"
@@ -22,7 +22,7 @@ AXIS_MULTIREF = """<?xml version="1.0" encoding="UTF-8"?>
 
 
 def entries_of(document: str):
-    return Envelope.from_string(document).body_entries
+    return Envelope.parse(document, server=True).body_entries
 
 
 class TestDetection:
@@ -133,5 +133,5 @@ class TestEndToEnd:
             with HttpConnection(transport, address) as connection:
                 response = connection.request(request)
         assert response.status == 200
-        result = parse_response_envelope(Envelope.from_string(response.body))
+        result = parse_response_envelope(Envelope.parse(response.body, server=True))
         assert result.value == "shared value"

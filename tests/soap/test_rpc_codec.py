@@ -26,7 +26,7 @@ NS = "urn:svc:echo"
 
 def wire(envelope: Envelope) -> Envelope:
     """Round an envelope through bytes to exercise the full codec path."""
-    return Envelope.from_string(envelope.to_bytes())
+    return Envelope.parse(envelope.to_bytes(), server=True)
 
 
 class TestRequestCodec:

@@ -27,7 +27,7 @@ def secrets_db(username):
 def signed_envelope(params=None, now=NOW):
     env = build_request_envelope(NS, "echo", params or {"payload": "hi"})
     attach_security_header(env, CREDS, now=now)
-    return Envelope.from_string(env.to_bytes())
+    return Envelope.parse(env.to_bytes(), server=True)
 
 
 class TestSignVerify:
@@ -150,7 +150,7 @@ class TestCertificateProfile:
     def test_certificate_header_still_verifies(self):
         env = build_request_envelope(NS, "echo", {"p": "x"})
         attach_security_header(env, CREDS, now=NOW, include_certificate=True)
-        wire = Envelope.from_string(env.to_bytes())
+        wire = Envelope.parse(env.to_bytes(), server=True)
         assert verify_security_header(wire, secrets_db, now=NOW) == "alice"
 
     def test_signature_survives_wire(self):
@@ -158,7 +158,7 @@ class TestCertificateProfile:
 
         env = build_request_envelope(NS, "echo", {"p": "x"})
         attach_security_header(env, CREDS, now=NOW, include_certificate=True)
-        wire = Envelope.from_string(env.to_bytes())
+        wire = Envelope.parse(env.to_bytes(), server=True)
         security = wire.find_header(SECURITY_TAG)
         signature = security.find("Signature")
         assert signature is not None

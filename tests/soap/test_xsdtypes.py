@@ -13,7 +13,7 @@ from repro.soap.xsdtypes import (
     python_type_to_xsd,
     xsd_type_for,
 )
-from repro.xmlcore.parser import parse
+from repro.xmlcore import parse
 from repro.xmlcore.writer import serialize
 
 

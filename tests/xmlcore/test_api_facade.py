@@ -60,7 +60,7 @@ class TestDeprecatedAliases:
     def test_parser_parse_still_works_and_warns(self):
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            tree = parser.parse(DOC)
+            tree = parser.parse(DOC)  # repro: disable=no-deprecated-api — the alias under test
         assert tree.structurally_equal(xmlcore.parse(DOC))
         assert len(caught) == 1
         assert caught[0].category is DeprecationWarning
@@ -98,5 +98,5 @@ class TestDeprecatedAliases:
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("default")
             for _ in range(5):
-                parser.parse(DOC)  # one call site, five calls
+                parser.parse(DOC)  # one call site, five calls  # repro: disable=no-deprecated-api
         assert len(caught) == 1

@@ -6,7 +6,7 @@ from repro.errors import SoapError, XmlWellFormednessError
 from repro.soap.constants import SOAP_ENV_NS
 from repro.soap.envelope import Envelope, iter_body_entries
 from repro.xmlcore.cursor import XmlCursor
-from repro.xmlcore.parser import parse
+from repro.xmlcore import parse
 from repro.xmlcore.writer import serialize
 
 ENV = (
@@ -82,7 +82,7 @@ class TestIterBodyEntries:
 
     def test_matches_tree_parse(self):
         pulled = list(iter_body_entries(ENV))
-        full = Envelope.from_string(ENV).body_entries
+        full = Envelope.parse(ENV, server=True).body_entries
         assert len(pulled) == len(full)
         for a, b in zip(pulled, full):
             assert a.structurally_equal(b)
@@ -91,7 +91,7 @@ class TestIterBodyEntries:
         # Token-level skipping means header contents are never expanded.
         document = ENV.replace("<h:token xmlns:h=\"urn:h\">", "<h:token>")
         with pytest.raises(Exception):
-            Envelope.from_string(document)
+            Envelope.parse(document, server=True)
         assert [e.local_name for e in iter_body_entries(document)] == ["echo", "echo"]
 
     def test_wrong_namespace(self):
@@ -121,8 +121,8 @@ class TestIterBodyEntries:
         with pytest.raises(SoapError, match="after SOAP Body"):
             list(iter_body_entries(document))
 
-    def test_from_string_pull(self):
-        envelope = Envelope.from_string_pull(ENV)
+    def test_parse_default_skips_headers(self):
+        envelope = Envelope.parse(ENV)
         assert envelope.header_entries == []
         assert len(envelope.body_entries) == 2
         # round-trips through the writer like a tree-parsed envelope

@@ -3,7 +3,8 @@
 import pytest
 
 from repro.errors import XmlNamespaceError, XmlWellFormednessError
-from repro.xmlcore.parser import decode_document, parse
+from repro.xmlcore import parse
+from repro.xmlcore.treebuilder import decode_document
 
 
 class TestBasicParsing:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import XmlError
-from repro.xmlcore.parser import parse
+from repro.xmlcore import parse
 from repro.xmlcore.pretty import find_path, find_path_text, pretty_print
 from repro.xmlcore.tree import Element
 

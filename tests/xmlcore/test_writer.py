@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import XmlNamespaceError
-from repro.xmlcore.parser import parse
+from repro.xmlcore import parse
 from repro.xmlcore.tree import Element
 from repro.xmlcore.writer import StreamingWriter, serialize, serialize_bytes
 
