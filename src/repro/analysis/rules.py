@@ -357,6 +357,110 @@ class NoUnboundedQueue(Rule):
         )
 
 
+# -- no-unbounded-cache -------------------------------------------------
+
+#: Self-attribute names that look like a memo/cache store.
+_CACHE_NAME_MARKERS = ("cache", "memo", "template", "intern")
+
+#: Identifier fragments that signal the class registers a bound
+#: (capacity knob, eviction, or scope-version clearing).
+_BOUND_MARKERS = ("max", "bound", "capacity", "limit", "evict", "lru", "popitem")
+
+
+def _dict_valued(value: ast.expr) -> bool:
+    if isinstance(value, ast.Dict):
+        return True
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        return name is not None and name.rsplit(".", 1)[-1] in (
+            "dict",
+            "OrderedDict",
+            "defaultdict",
+        )
+    return False
+
+
+def _class_mentions_bound(node: ast.ClassDef) -> bool:
+    for descendant in ast.walk(node):
+        name: str | None = None
+        if isinstance(descendant, ast.Name):
+            name = descendant.id
+        elif isinstance(descendant, ast.Attribute):
+            name = descendant.attr
+        elif isinstance(descendant, ast.arg):
+            name = descendant.arg
+        elif isinstance(descendant, ast.keyword):
+            name = descendant.arg
+        if name and any(marker in name.lower() for marker in _BOUND_MARKERS):
+            return True
+    return False
+
+
+class NoUnboundedCache(Rule):
+    """A dict-backed cache/memo attribute in a class with no bound.
+
+    PR-6 put caches on both hot paths (serialization templates,
+    client responses); every one of them is a bounded LRU because an
+    unbounded memo keyed by request-derived data is a memory leak an
+    adversarial peer can drive.  Any class that assigns a dict to a
+    ``self.*cache*``/``*memo*``/``*template*``/``*intern*`` attribute
+    must mention a bound somewhere in its body (a ``max_*``/
+    ``*_limit``/``capacity`` knob, an ``evict``/``lru``/``popitem``
+    mechanism) — or explain itself with an inline disable.
+    """
+
+    id = "no-unbounded-cache"
+    severity = SEVERITY_WARNING
+    fix_hint = (
+        "give the cache a capacity knob plus eviction (bounded LRU), or mark "
+        "a deliberately version-cleared memo with "
+        "'# repro: disable=no-unbounded-cache'"
+    )
+    rationale = (
+        "a dict-backed memo keyed by request-derived data grows without "
+        "limit under adversarial input; every production cache in this "
+        "codebase names its bound"
+    )
+    node_types = (ast.ClassDef,)
+    exempt_parts = frozenset({"tests"})
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag cache-named dict attributes in classes without a bound."""
+        assert isinstance(node, ast.ClassDef)
+        suspects: list[tuple[int, str]] = []
+        for descendant in ast.walk(node):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(descendant, ast.Assign):
+                targets = descendant.targets
+                value = descendant.value
+            elif isinstance(descendant, ast.AnnAssign) and descendant.value is not None:
+                targets = [descendant.target]
+                value = descendant.value
+            if value is None or not _dict_valued(value):
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and any(
+                        marker in target.attr.lower()
+                        for marker in _CACHE_NAME_MARKERS
+                    )
+                ):
+                    suspects.append((descendant.lineno, target.attr))
+        if not suspects or _class_mentions_bound(node):
+            return
+        for lineno, attr in suspects:
+            yield self.finding(
+                ctx,
+                lineno,
+                f"{node.name}.{attr} is a dict-backed cache with no "
+                "registered bound",
+            )
+
+
 # -- no-bare-except / no-swallowed-fault --------------------------------
 
 
@@ -454,6 +558,7 @@ def lint_rules() -> list[Rule]:
         NoDirectSleepRandom(),
         RequireSlots(),
         NoUnboundedQueue(),
+        NoUnboundedCache(),
         NoBareExcept(),
         NoSwallowedFault(),
     ]

@@ -31,9 +31,11 @@ from repro.apps.weather import make_weather_service
 from repro.core.dispatcher import spi_server_handlers
 from repro.core.remote_exec import make_plan_runner_service
 from repro.diagnostics import PackMetricsHandler
+from repro.http.compression import CompressionPolicy
 from repro.obs import Observability
 from repro.server.handlers import HandlerChain
 from repro.server.staged_arch import StagedSoapServer
+from repro.soap.sercache import ResponseTemplateCache
 from repro.transport.tcp import TcpTransport
 
 
@@ -43,12 +45,19 @@ def build_server(
     *,
     app_workers: int = 16,
     observability: Observability | None = None,
+    serialization_cache: bool = False,
+    compression: bool = False,
 ) -> tuple[StagedSoapServer, PackMetricsHandler]:
     """Assemble the full demo container with SPI + metrics handlers.
 
     With an :class:`Observability`, the server records per-phase spans
     and serves ``GET /metrics`` and ``GET /healthz``; the pack metrics
     feed its registry so everything lands in one snapshot.
+
+    ``serialization_cache`` enables the response-template cache (its
+    hit/miss counters land in the registry); ``compression`` enables
+    negotiated gzip/deflate response coding for clients that send
+    ``Accept-Encoding``.
     """
     services = [
         make_echo_service(),
@@ -62,6 +71,7 @@ def build_server(
         observability.registry if observability is not None else None
     )
     chain = HandlerChain([metrics, *spi_server_handlers()])
+    registry = observability.registry if observability is not None else None
     server = StagedSoapServer(
         services,
         transport=TcpTransport(),
@@ -69,6 +79,10 @@ def build_server(
         chain=chain,
         app_workers=app_workers,
         observability=observability,
+        serialization_cache=(
+            ResponseTemplateCache(registry=registry) if serialization_cache else None
+        ),
+        compression=CompressionPolicy() if compression else None,
     )
     server.container.deploy(make_plan_runner_service(server.container))
     return server, metrics
@@ -88,11 +102,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable observability (no spans, no /metrics or /healthz routes)",
     )
+    parser.add_argument(
+        "--sercache",
+        action="store_true",
+        help="enable the response serialization template cache",
+    )
+    parser.add_argument(
+        "--compress",
+        action="store_true",
+        help="negotiate gzip/deflate response coding via Accept-Encoding",
+    )
     args = parser.parse_args(argv)
 
     observability = None if args.no_obs else Observability()
     server, metrics = build_server(
-        args.host, args.port, app_workers=args.workers, observability=observability
+        args.host,
+        args.port,
+        app_workers=args.workers,
+        observability=observability,
+        serialization_cache=args.sercache,
+        compression=args.compress,
     )
     address = server.start()
     print(f"SPI demo server listening on {address[0]}:{address[1]}")

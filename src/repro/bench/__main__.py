@@ -165,6 +165,9 @@ def _run_e2e(args) -> int:
     if args.shed_smoke:
         return _run_shed_smoke(e2e)
     results = e2e.run_e2e_bench(smoke=args.smoke)
+    # cache-warm latency and bytes-on-wire rails ride on fig7; they
+    # must land before gating so the bytes gate sees the current run
+    e2e.add_cache_rails(results, smoke=args.smoke)
     # gate against the committed baseline BEFORE --record appends the
     # current run (which would otherwise become its own baseline)
     regression = (
@@ -199,22 +202,27 @@ def _run_e2e(args) -> int:
         print(f"overhead gate OK: {gate} {pct:.2f}% <= {args.check_overhead:.2f}%")
     if regression is not None:
         gate = e2e.OVERHEAD_GATE_CASE
+        limit = args.check_regression
         if regression["baseline_ms"] is None:
             print(f"regression gate: no committed baseline for {gate}, passing")
-        elif not regression["ok"]:
-            print(
-                f"FAIL: {gate} obs-off p50 {regression['current_ms']:.3f} ms is "
-                f"{regression['delta_pct']:+.2f}% vs baseline "
-                f"'{regression['baseline_label']}' {regression['baseline_ms']:.3f} ms "
-                f"(limit {args.check_regression:+.2f}%)"
-            )
-            return 1
         else:
+            latency_verdict = "OK" if regression["delta_pct"] <= limit else "FAIL"
             print(
-                f"regression gate OK: {gate} {regression['current_ms']:.3f} ms, "
-                f"{regression['delta_pct']:+.2f}% vs baseline "
-                f"'{regression['baseline_label']}' (limit {args.check_regression:+.2f}%)"
+                f"regression gate {latency_verdict}: {gate} obs-off p50 "
+                f"{regression['current_ms']:.3f} ms, {regression['delta_pct']:+.2f}% "
+                f"vs baseline '{regression['baseline_label']}' "
+                f"{regression['baseline_ms']:.3f} ms (limit {limit:+.2f}%)"
             )
+            if regression["bytes_baseline"] is not None:
+                bytes_verdict = "OK" if regression["bytes_delta_pct"] <= limit else "FAIL"
+                print(
+                    f"bytes gate {bytes_verdict}: {gate} "
+                    f"{regression['bytes_current']}B/trip coded, "
+                    f"{regression['bytes_delta_pct']:+.2f}% vs baseline "
+                    f"{regression['bytes_baseline']}B (limit {limit:+.2f}%)"
+                )
+            if not regression["ok"]:
+                return 1
     return 0
 
 

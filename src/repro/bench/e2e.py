@@ -35,8 +35,11 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.bench.workloads import echo_calls, echo_testbed, make_invoker
+from repro.client.cache import CachePolicy, ResponseCache
+from repro.http.compression import CompressionPolicy
 from repro.obs import Observability, phase_breakdown, render_spans
 from repro.resilience.policy import CallPolicy
+from repro.soap.sercache import ResponseTemplateCache
 
 _BENCH_POLICY = CallPolicy(timeout=120)
 
@@ -137,6 +140,93 @@ def _last_trace_id(obs: Observability) -> str | None:
     return ids[-1] if ids else None
 
 
+# -- PR-6 rails: cache-warm latency and bytes on wire ---------------------
+
+WIRE_GATE_CASE = "fig7"
+
+
+def _warm_p50_ms(shape: E2eShape, *, repeats: int) -> float:
+    """Median round trip with the PR-6 caches on, measured warm.
+
+    Server: response-template cache.  Client: parameterized response
+    cache, which the packed invoker keys per whole batch — so after the
+    warmup every identical pack answers from the client cache without
+    touching the wire.  This is the cache-*warm* rail; ``off_p50_ms``
+    stays the cache-free baseline.
+    """
+    samples: list[float] = []
+    with echo_testbed(
+        profile="inproc",
+        architecture="staged",
+        serialization_cache=ResponseTemplateCache(),
+    ) as testbed:
+        cache = ResponseCache(CachePolicy(ttl=None))
+        proxy = testbed.make_proxy(response_cache=cache)
+        invoker = make_invoker("our-approach", proxy)
+        calls = echo_calls(shape.m, shape.payload_bytes)
+        invoker.invoke_all(calls, _BENCH_POLICY)  # warmup fills both caches
+        for _ in range(repeats):
+            start = time.perf_counter()
+            invoker.invoke_all(calls, _BENCH_POLICY)
+            samples.append(time.perf_counter() - start)
+        proxy.close()
+    return statistics.median(samples) * 1e3
+
+
+def _wire_bytes(shape: E2eShape, *, compressed: bool, repeats: int) -> float:
+    """Bytes on the shaped LAN link per packed round trip.
+
+    Sums uplink+downlink bytes over ``repeats`` round trips (measured
+    as a delta after a warmup trip, so connection setup noise and the
+    warmup's bytes are excluded from the average).
+    """
+    compression = CompressionPolicy() if compressed else None
+    with echo_testbed(
+        profile="lan", architecture="staged", compression=compression
+    ) as testbed:
+        proxy = testbed.make_proxy(
+            accept_encoding="gzip, deflate" if compressed else None,
+            request_compression=compression,
+        )
+        invoker = make_invoker("our-approach", proxy)
+        calls = echo_calls(shape.m, shape.payload_bytes)
+        invoker.invoke_all(calls, _BENCH_POLICY)  # warmup
+        before = testbed.transport.wire_stats()
+        for _ in range(repeats):
+            invoker.invoke_all(calls, _BENCH_POLICY)
+        after = testbed.transport.wire_stats()
+        proxy.close()
+    total = sum(
+        after[link]["bytes"] - before[link]["bytes"]
+        for link in ("uplink", "downlink")
+    )
+    return total / repeats
+
+
+def add_cache_rails(
+    results: dict[str, dict], *, smoke: bool = False, case: str = WIRE_GATE_CASE
+) -> dict[str, dict]:
+    """Augment ``case``'s row with the PR-6 rails (mutates + returns).
+
+    * ``warm_p50_ms`` — median packed round trip with template +
+      response caches enabled, after warmup (in-process transport).
+    * ``wire_bytes_off`` / ``wire_bytes_on`` — mean bytes on the shaped
+      LAN per packed round trip, content-coding negotiated off/on.
+    * ``wire_saved_pct`` — ``100 * (1 - on/off)``.
+    """
+    shape = next(s for s in SHAPES if s.name == case)
+    repeats = max(2, shape.repeats // 4) if smoke else shape.repeats
+    wire_repeats = 2 if smoke else 4
+    row = results[case]
+    row["warm_p50_ms"] = round(_warm_p50_ms(shape, repeats=repeats), 4)
+    off = _wire_bytes(shape, compressed=False, repeats=wire_repeats)
+    on = _wire_bytes(shape, compressed=True, repeats=wire_repeats)
+    row["wire_bytes_off"] = round(off)
+    row["wire_bytes_on"] = round(on)
+    row["wire_saved_pct"] = round((1.0 - on / off) * 100.0, 2) if off else 0.0
+    return results
+
+
 # -- reporting ------------------------------------------------------------
 
 
@@ -153,6 +243,12 @@ def render_table(results: dict[str, dict]) -> str:
             f"{row['off_p50_ms']:>12.3f} {row['on_p50_ms']:>12.3f} "
             f"{row['overhead_pct']:>11.2f}"
         )
+        if "warm_p50_ms" in row:
+            lines.append(
+                f"{'':>8} caches warm p50 {row['warm_p50_ms']:.3f} ms; "
+                f"wire/trip {row['wire_bytes_off']}B -> {row['wire_bytes_on']}B "
+                f"coded ({row['wire_saved_pct']:.1f}% saved)"
+            )
     return "\n".join(lines)
 
 
@@ -215,6 +311,10 @@ def load_trajectory(path: str | Path = BENCH_JSON) -> dict:
             "off_p50_ms": "median wall ms per packed round trip, obs off",
             "on_p50_ms": "median wall ms per packed round trip, obs on",
             "overhead_pct": "100 * (on/off - 1)",
+            "warm_p50_ms": "median wall ms per packed round trip, caches warm",
+            "wire_bytes_off": "mean bytes on the shaped LAN per round trip, no coding",
+            "wire_bytes_on": "same with gzip/deflate negotiated",
+            "wire_saved_pct": "100 * (1 - on/off)",
         },
         "entries": [],
     }
@@ -260,8 +360,15 @@ def check_regression(
     The baseline is the newest trajectory entry carrying the case (so
     a freshly-recorded entry for the current run should be appended
     *after* gating).  Returns ``{ok, current_ms, baseline_ms,
-    baseline_label, delta_pct}``; with no committed baseline the gate
-    passes vacuously (``baseline_ms`` is None).
+    baseline_label, delta_pct, bytes_current, bytes_baseline,
+    bytes_delta_pct}``; with no committed baseline the gate passes
+    vacuously (``baseline_ms`` is None).
+
+    When both the baseline entry and the current results carry
+    ``wire_bytes_on`` (the PR-6 rail), bytes-on-wire is gated by the
+    same ``limit_pct`` — a compression or packing regression fails CI
+    even if latency holds.  Either side lacking the rail leaves the
+    bytes gate vacuous.
     """
     current = results[case]["off_p50_ms"]
     for entry in reversed(load_trajectory(path)["entries"]):
@@ -269,19 +376,36 @@ def check_regression(
         if row and "off_p50_ms" in row:
             baseline = row["off_p50_ms"]
             delta_pct = round((current / baseline - 1.0) * 100.0, 2)
-            return {
+            outcome = {
                 "ok": delta_pct <= limit_pct,
                 "current_ms": current,
                 "baseline_ms": baseline,
                 "baseline_label": entry.get("label", "?"),
                 "delta_pct": delta_pct,
+                "bytes_current": None,
+                "bytes_baseline": None,
+                "bytes_delta_pct": None,
             }
+            bytes_current = results[case].get("wire_bytes_on")
+            bytes_baseline = row.get("wire_bytes_on")
+            if bytes_current and bytes_baseline:
+                bytes_delta = round(
+                    (bytes_current / bytes_baseline - 1.0) * 100.0, 2
+                )
+                outcome["bytes_current"] = bytes_current
+                outcome["bytes_baseline"] = bytes_baseline
+                outcome["bytes_delta_pct"] = bytes_delta
+                outcome["ok"] = outcome["ok"] and bytes_delta <= limit_pct
+            return outcome
     return {
         "ok": True,
         "current_ms": current,
         "baseline_ms": None,
         "baseline_label": None,
         "delta_pct": 0.0,
+        "bytes_current": None,
+        "bytes_baseline": None,
+        "bytes_delta_pct": None,
     }
 
 

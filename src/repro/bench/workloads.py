@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.apps.echo import ECHO_NS, ECHO_SERVICE, make_echo_payload, make_echo_service
+from repro.client.cache import ResponseCache
 from repro.client.invoker import (
     Call,
     Invoker,
@@ -28,7 +29,9 @@ from repro.core.batch import PackedInvoker
 from repro.core.dispatcher import spi_server_handlers
 from repro.diagnostics import PackMetricsHandler
 from repro.errors import ReproError
+from repro.http.compression import CompressionPolicy
 from repro.resilience.policy import CallPolicy
+from repro.soap.sercache import ResponseTemplateCache
 from repro.obs.trace import Observability, Tracer
 from repro.server.common_arch import CommonSoapServer
 from repro.server.handlers import HandlerChain
@@ -78,12 +81,19 @@ class Testbed:
         *,
         reuse_connections: bool = False,
         tracer: Tracer | None = None,
+        response_cache: ResponseCache | None = None,
+        accept_encoding: str | None = None,
+        request_compression: CompressionPolicy | None = None,
     ) -> ServiceProxy:
         """A fresh client proxy for this deployment.
 
         When the testbed carries an :class:`Observability` and no
         explicit ``tracer`` is given, the proxy shares the testbed's
         tracer so client and server spans land in the same trace.
+        The PR-6 knobs pass straight through: ``response_cache``
+        (client-side parameterized response cache), ``accept_encoding``
+        (offer response compression), ``request_compression`` (compress
+        request bodies).
         """
         if tracer is None and self.observability is not None:
             tracer = self.observability.tracer
@@ -94,6 +104,9 @@ class Testbed:
             service_name=ECHO_SERVICE,
             reuse_connections=reuse_connections,
             tracer=tracer,
+            response_cache=response_cache,
+            accept_encoding=accept_encoding,
+            request_compression=request_compression,
         )
 
 
@@ -106,6 +119,8 @@ def echo_testbed(
     app_workers: int = 32,
     app_queue_limit: int | None = None,
     observability: Observability | None = None,
+    serialization_cache: ResponseTemplateCache | None = None,
+    compression: CompressionPolicy | None = None,
 ) -> Iterator[Testbed]:
     """Deploy the Echo service and yield a ready Testbed.
 
@@ -116,6 +131,10 @@ def echo_testbed(
 
     ``app_queue_limit`` (staged only): bound on the application stage's
     backlog; entries beyond it shed with ``Server.Busy``.
+
+    ``serialization_cache`` / ``compression``: the PR-6 server knobs —
+    a response-template cache for the serializer hot path, and a
+    negotiated content-coding policy for response bodies.
     """
     transport = build_transport(profile)
     address = "echo-bench" if profile == "inproc" else ("127.0.0.1", 0)
@@ -131,6 +150,8 @@ def echo_testbed(
             address=address,
             chain=chain,
             observability=observability,
+            serialization_cache=serialization_cache,
+            compression=compression,
         )
     elif architecture == "staged":
         server = StagedSoapServer(
@@ -141,6 +162,8 @@ def echo_testbed(
             app_workers=app_workers,
             app_queue_limit=app_queue_limit,
             observability=observability,
+            serialization_cache=serialization_cache,
+            compression=compression,
         )
     else:
         raise ReproError(f"unknown architecture '{architecture}'")

@@ -1,5 +1,11 @@
-"""Client side: dynamic proxies, invocation strategies, futures."""
+"""Client side: dynamic proxies, invocation strategies, futures, caching."""
 
+from repro.client.cache import (
+    CachePolicy,
+    ClientCacheStats,
+    ResponseCache,
+    response_cache_key,
+)
 from repro.client.futures import InvocationFuture, wait_all
 from repro.client.invoker import (
     Call,
@@ -11,12 +17,16 @@ from repro.client.invoker import (
 from repro.client.proxy import ServiceProxy
 
 __all__ = [
+    "CachePolicy",
     "Call",
+    "ClientCacheStats",
     "InvocationFuture",
     "Invoker",
     "KeepAliveSerialInvoker",
+    "ResponseCache",
     "SerialInvoker",
     "ServiceProxy",
     "ThreadedInvoker",
+    "response_cache_key",
     "wait_all",
 ]

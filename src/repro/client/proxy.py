@@ -7,7 +7,9 @@ from typing import TYPE_CHECKING, Any
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.soap.wssecurity import Credentials
 
+from repro.client.cache import ResponseCache, response_cache_key
 from repro.errors import HttpError, InvocationError, ReproError
+from repro.http.compression import CompressionPolicy, compress
 from repro.http.connection import ConnectionPool, HttpConnection
 from repro.http.message import Headers, HttpRequest
 from repro.obs.trace import (
@@ -35,6 +37,18 @@ from repro.transport.base import Address, Transport
 from repro.wsdl.model import WsdlService
 from repro.wsdl.parser import parse_wsdl
 from repro.xmlcore.tree import Element
+
+
+def _body_is_cacheable(body: bytes) -> bool:
+    """Conservative fault screen for the response cache.
+
+    Any body that might carry a SOAP Fault — a 500 single-entry fault,
+    or a per-entry fault inside a packed response — must not be stored
+    as a known-good answer.  Probing for the substring is deliberately
+    over-broad: a payload that merely *mentions* "Fault" costs one
+    skipped insertion, never a wrong cache hit.
+    """
+    return b"Fault" not in body
 
 
 class ServiceProxy:
@@ -66,6 +80,9 @@ class ServiceProxy:
         credentials: "Credentials | None" = None,
         tracer: Tracer | None = None,
         policy: CallPolicy | None = None,
+        response_cache: ResponseCache | None = None,
+        accept_encoding: str | None = None,
+        request_compression: CompressionPolicy | None = None,
     ) -> None:
         """``credentials``: when given, every outgoing envelope is signed
         with a WS-Security UsernameToken over its (possibly packed)
@@ -82,7 +99,25 @@ class ServiceProxy:
         ``policy``: the default :class:`~repro.resilience.CallPolicy`
         for every exchange through this proxy — timeout/deadline
         propagation, retry budget and backoff.  Defaults to the
-        seed-equivalent single-attempt policy."""
+        seed-equivalent single-attempt policy.
+
+        ``response_cache``: when given, calls whose operation the
+        cache's :class:`~repro.client.cache.CachePolicy` admits are
+        answered from cache without touching the transport; misses go
+        through the full resilience path and (fault-free) bodies are
+        stored.  The consult wraps *outside* the retry loop, so a retry
+        can never observe — or produce — a cached body as a fresh
+        success.
+
+        ``accept_encoding``: advertised on every request (e.g.
+        ``"gzip, deflate"`` or
+        :attr:`CompressionPolicy.accept_header`); compressed responses
+        are decoded transparently inside the HTTP parser.
+
+        ``request_compression``: when given, request bodies at least
+        ``min_size`` bytes long are content-coded with the policy's
+        first coding (no negotiation upstream of the first response —
+        enable it only against servers known to decode)."""
         self.transport = transport
         self.address = address
         self.namespace = namespace
@@ -94,6 +129,9 @@ class ServiceProxy:
         self.credentials = credentials
         self.tracer = tracer
         self.policy = policy if policy is not None else DEFAULT_POLICY
+        self.response_cache = response_cache
+        self.accept_encoding = accept_encoding
+        self.request_compression = request_compression
         self.last_trace_id: str | None = None
         self._pool = ConnectionPool(transport) if reuse_connections else None
         self.calls = 0
@@ -135,10 +173,16 @@ class ServiceProxy:
         (``None`` falls back to the proxy default).  Positional-only so
         operations may legitimately take a ``policy`` parameter."""
         self._check_interface(operation, params)
+        cache = self.response_cache
+        cache_key = None
+        if cache is not None and cache.policy.is_cacheable(operation):
+            cache_key = response_cache_key(self.namespace, operation, params)
         envelope = build_request_envelope(
             self.namespace, operation, params, headers=[h.copy() for h in self.extra_headers]
         )
-        response_body = self.exchange_raw(envelope, operation, policy=policy)
+        response_body = self.exchange_raw(
+            envelope, operation, policy=policy, cache_key=cache_key
+        )
         self.calls += 1
         # Pull-parse the response: skip straight to the body entry
         # without materializing headers this client never reads.
@@ -150,13 +194,20 @@ class ServiceProxy:
         action: str = "",
         *,
         policy: CallPolicy | None = None,
+        cache_key: tuple | None = None,
     ) -> Envelope:
         """Send a raw request envelope, return the raw response envelope.
 
         This is the hook the SPI packed client shares: it builds its own
         Parallel_Method envelope and still reuses the proxy's HTTP path.
+        ``cache_key``: callers that know their envelope's semantic
+        identity (e.g. the pack assembler) pass it to join the
+        response cache; ``None`` bypasses caching.
         """
-        return Envelope.parse(self.exchange_raw(envelope, action, policy=policy), server=True)
+        return Envelope.parse(
+            self.exchange_raw(envelope, action, policy=policy, cache_key=cache_key),
+            server=True,
+        )
 
     def exchange_raw(
         self,
@@ -164,8 +215,14 @@ class ServiceProxy:
         action: str = "",
         *,
         policy: CallPolicy | None = None,
+        cache_key: tuple | None = None,
     ) -> bytes:
         """Like :meth:`exchange` but returns the undecoded response body.
+
+        When ``cache_key`` is given and the proxy has a response cache,
+        the cache is consulted first (single-flight on concurrent
+        misses) and fault-free response bodies are stored; the wire
+        exchange below — retries included — runs only on a miss.
 
         All resilience behaviour lives here, so every client entry point
         (``call``, the invokers, the pack path) gets it uniformly:
@@ -177,12 +234,30 @@ class ServiceProxy:
           :class:`~repro.errors.SoapFaultError` and — like transport
           drops — retried with backoff while budget remains.
         """
+        cache = self.response_cache
+        if cache is not None and cache_key is not None:
+            body, _ = cache.get_or_fetch(
+                cache_key,
+                lambda: self._exchange_uncached(envelope, action, policy),
+                validate=_body_is_cacheable,
+            )
+            return body
+        return self._exchange_uncached(envelope, action, policy)
+
+    def _exchange_uncached(
+        self,
+        envelope: Envelope,
+        action: str,
+        policy: CallPolicy | None,
+    ) -> bytes:
         policy = policy if policy is not None else self.policy
         header_fields = {
             "Content-Type": SOAP_CONTENT_TYPE,
             SOAP_ACTION_HEADER: f'"{self.namespace}#{action}"',
             "Host": self._host_header(),
         }
+        if self.accept_encoding:
+            header_fields["Accept-Encoding"] = self.accept_encoding
         trace_id = None
         if self.tracer is not None:
             trace_id = new_trace_id()
@@ -204,9 +279,19 @@ class ServiceProxy:
                 # refreshed per attempt: each retry re-tells the server
                 # how much budget is actually left
                 attach_deadline(envelope, budget)
-            request = HttpRequest(
-                "POST", self.path, Headers(header_fields), envelope.to_bytes()
-            )
+            body = envelope.to_bytes()
+            request_headers = Headers(header_fields)
+            coding = self.request_compression
+            if coding is not None and len(body) >= coding.min_size:
+                coded = compress(body, coding.encodings[0], level=coding.level)
+                if len(coded) < len(body):
+                    if self.tracer is not None:
+                        self.tracer.registry.counter("compress.bytes_saved").inc(
+                            len(body) - len(coded)
+                        )
+                    body = coded
+                    request_headers.set("Content-Encoding", coding.encodings[0])
+            request = HttpRequest("POST", self.path, request_headers, body)
             response = self._send_request(request)
             if response.status in (503, 504):
                 # shed/timed-out server: surface the fault as its

@@ -57,6 +57,18 @@ class Headers:
         entry = self._entries.get(name.lower())
         return entry[1] if entry is not None else default
 
+    def get_token(self, name: str) -> str:
+        """Lowercased, stripped value for a token-valued header.
+
+        The case-insensitive lookup helper for headers whose *values*
+        are case-insensitive tokens (``Connection``, ``Content-Encoding``,
+        ``Transfer-Encoding``): one call replaces the
+        ``(headers.get(...) or "").lower()`` pattern and removes the
+        temptation to compare token values exact-case.
+        """
+        entry = self._entries.get(name.lower())
+        return entry[1].strip().lower() if entry is not None else ""
+
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._entries
 
@@ -81,6 +93,47 @@ class Headers:
         return f"Headers({dict(self.items())!r})"
 
 
+def parse_qvalues(value: str | None) -> list[tuple[str, float]]:
+    """Parse an ``Accept-Encoding``-style header into ``(token, q)`` pairs.
+
+    Tokens are lowercased; quality values follow RFC 7231 §5.3.1
+    (``q`` between 0 and 1, up to three decimals, defaulting to 1 when
+    absent).  Malformed members are skipped rather than rejected —
+    content negotiation headers come from arbitrary peers and a bad
+    member must not fail the whole request.  Pairs are returned in
+    header order; ties on ``q`` are broken by the caller's own
+    preference order.
+    """
+    if not value:
+        return []
+    pairs: list[tuple[str, float]] = []
+    for member in value.split(","):
+        member = member.strip()
+        if not member:
+            continue
+        token, _, params = member.partition(";")
+        token = token.strip().lower()
+        if not token:
+            continue
+        quality = 1.0
+        ok = True
+        for param in params.split(";") if params else []:
+            name, sep, raw = param.partition("=")
+            if name.strip().lower() != "q":
+                continue  # unknown extension parameter: ignore
+            try:
+                quality = float(raw.strip()) if sep else 1.0
+            except ValueError:
+                ok = False
+                break
+            if not 0.0 <= quality <= 1.0:
+                ok = False
+                break
+        if ok:
+            pairs.append((token, quality))
+    return pairs
+
+
 @dataclass(slots=True)
 class HttpRequest:
     method: str = "POST"
@@ -100,7 +153,7 @@ class HttpRequest:
 
     @property
     def keep_alive(self) -> bool:
-        connection = (self.headers.get("Connection") or "").lower()
+        connection = self.headers.get_token("Connection")
         if self.version == "HTTP/1.0":
             return connection == "keep-alive"
         return connection != "close"
@@ -142,7 +195,7 @@ class HttpResponse:
 
     @property
     def keep_alive(self) -> bool:
-        connection = (self.headers.get("Connection") or "").lower()
+        connection = self.headers.get_token("Connection")
         if self.version == "HTTP/1.0":
             return connection == "keep-alive"
         return connection != "close"

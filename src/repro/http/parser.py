@@ -8,6 +8,11 @@ and :func:`read_response` assemble complete messages, supporting
 from __future__ import annotations
 
 from repro.errors import HttpError
+from repro.http.compression import (
+    SUPPORTED_ENCODINGS,
+    CompressionError,
+    decompress,
+)
 from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.transport.base import Channel
 
@@ -112,9 +117,9 @@ def _parse_head(head: bytes) -> tuple[str, Headers]:
 
 
 def _read_body(reader: ChannelReader, headers: Headers, *, is_request: bool) -> bytes:
-    encoding = (headers.get("Transfer-Encoding") or "").lower()
+    encoding = headers.get_token("Transfer-Encoding")
     if encoding == "chunked":
-        return _read_chunked(reader)
+        return _decode_content(_read_chunked(reader), headers, is_request=is_request)
     if encoding and encoding != "identity":
         raise HttpError(f"unsupported transfer encoding '{encoding}'", status=400)
 
@@ -131,7 +136,41 @@ def _read_body(reader: ChannelReader, headers: Headers, *, is_request: bool) -> 
             raise ValueError
     except ValueError:
         raise HttpError(f"bad Content-Length '{length_text}'", status=400) from None
-    return reader.read_exact(length)
+    return _decode_content(reader.read_exact(length), headers, is_request=is_request)
+
+
+def _decode_content(body: bytes, headers: Headers, *, is_request: bool) -> bytes:
+    """Reverse any ``Content-Encoding`` so callers see identity bytes.
+
+    The header is removed after decoding — the message no longer
+    carries the coding, and re-serializing it must not claim one.  An
+    unsupported coding on a *request* is the client's fault (415); on a
+    response it surfaces as a plain :class:`HttpError` for the client's
+    retry policy to judge.
+    """
+    encoding = headers.get_token("Content-Encoding")
+    if not encoding or encoding == "identity":
+        return body
+    if encoding not in SUPPORTED_ENCODINGS:
+        raise HttpError(
+            f"unsupported content encoding '{encoding}'",
+            status=415 if is_request else None,
+        )
+    if not body:
+        headers.remove("Content-Encoding")
+        return body
+    try:
+        decoded = decompress(body, encoding, max_size=MAX_BODY_BYTES)
+    except CompressionError as exc:
+        if exc.status == 413:
+            raise
+        raise HttpError(
+            f"undecodable {encoding} body: {exc}",
+            status=400 if is_request else None,
+        ) from exc
+    headers.remove("Content-Encoding")
+    headers.set("Content-Length", str(len(decoded)))
+    return decoded
 
 
 def _read_chunked(reader: ChannelReader) -> bytes:

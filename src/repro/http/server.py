@@ -21,6 +21,7 @@ import time
 from typing import Callable, Iterator
 
 from repro.errors import HttpError, TransportError
+from repro.http.compression import CompressionPolicy, choose_encoding, compress
 from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.http.parser import ChannelReader, ConnectionClosedCleanly, read_request
 from repro.obs.trace import (
@@ -57,6 +58,7 @@ class HttpServer:
         chunk_size: int = 8192,
         max_connections: int | None = None,
         observability: Observability | None = None,
+        compression: CompressionPolicy | None = None,
     ) -> None:
         """``chunk_responses_over``: when set, response bodies larger
         than this many bytes are sent with chunked transfer encoding —
@@ -76,6 +78,13 @@ class HttpServer:
         app callable runs, and ``GET /metrics`` / ``GET /healthz``
         return JSON snapshots without entering the app.  Without it the
         seed code path runs unchanged.
+
+        ``compression``: when set, response bodies at least
+        ``compression.min_size`` bytes long are content-coded with the
+        best coding the request's ``Accept-Encoding`` admits (identity
+        when it admits none, or when coding would grow the body).
+        Compression runs before chunking, so both compose.  ``None``
+        (the default) keeps the seed wire format byte-for-byte.
         """
         self._app = app
         self._obs = observability
@@ -86,6 +95,7 @@ class HttpServer:
         self._server_header = server_header
         self._chunk_over = chunk_responses_over
         self._chunk_size = chunk_size
+        self._compression = compression
         self._connection_slots = (
             threading.Semaphore(max_connections) if max_connections else None
         )
@@ -203,6 +213,7 @@ class HttpServer:
                         with self._counter_lock:
                             self.requests_served += 1
                         keep_alive = request.keep_alive and not self._stopping.is_set()
+                        self._maybe_compress(request, admin)
                         self._send(channel, admin, close=not keep_alive)
                         if not keep_alive:
                             return
@@ -231,6 +242,7 @@ class HttpServer:
                         deactivate()
                 with self._counter_lock:
                     self.requests_served += 1
+                self._maybe_compress(request, response)
 
                 keep_alive = request.keep_alive and not self._stopping.is_set()
                 if obs is not None:
@@ -298,6 +310,37 @@ class HttpServer:
     def _release_slot(self) -> None:
         if self._connection_slots is not None:
             self._connection_slots.release()
+
+    def _maybe_compress(self, request: HttpRequest, response: HttpResponse) -> None:
+        """Content-code the response in place when negotiation allows it.
+
+        Identity is kept for small bodies, for codings the client did
+        not accept, for already-coded responses, and when coding would
+        not actually shrink the body (incompressible payloads).
+        """
+        policy = self._compression
+        if (
+            policy is None
+            or len(response.body) < policy.min_size
+            or "Content-Encoding" in response.headers
+        ):
+            return
+        encoding = choose_encoding(
+            request.headers.get("Accept-Encoding"), policy
+        )
+        if encoding is None:
+            return
+        raw_size = len(response.body)
+        coded = compress(response.body, encoding, level=policy.level)
+        if len(coded) >= raw_size:
+            return
+        response.body = coded
+        response.headers.set("Content-Encoding", encoding)
+        response.headers.set("Vary", "Accept-Encoding")
+        if self._obs is not None:
+            registry = self._obs.registry
+            registry.counter("compress.responses").inc()
+            registry.counter("compress.bytes_saved").inc(raw_size - len(coded))
 
     def _send(self, channel: Channel, response: HttpResponse, *, close: bool) -> None:
         response.headers.set("Server", self._server_header)

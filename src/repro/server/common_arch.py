@@ -13,8 +13,10 @@ from __future__ import annotations
 import contextlib
 from typing import Iterator
 
+from repro.http.compression import CompressionPolicy
 from repro.http.server import HttpServer
 from repro.obs.trace import Observability, span as obs_span
+from repro.soap.sercache import ResponseTemplateCache
 from repro.server.container import ServiceContainer, entry_fault
 from repro.server.endpoint import SoapEndpoint
 from repro.server.handlers import HandlerChain, MessageContext
@@ -39,11 +41,18 @@ class CommonSoapServer:
         chain: HandlerChain | None = None,
         chunk_responses_over: int | None = None,
         observability: Observability | None = None,
+        serialization_cache: ResponseTemplateCache | None = None,
+        compression: CompressionPolicy | None = None,
     ) -> None:
         self.observability = observability
+        self.serialization_cache = serialization_cache
         self.container = ServiceContainer(services)
         self.endpoint = SoapEndpoint(
-            self.container, self._execute, chain=chain, observability=observability
+            self.container,
+            self._execute,
+            chain=chain,
+            observability=observability,
+            serialization_cache=serialization_cache,
         )
         self.transport = transport if transport is not None else TcpTransport()
         self.http = HttpServer(
@@ -52,6 +61,7 @@ class CommonSoapServer:
             address=address,
             chunk_responses_over=chunk_responses_over,
             observability=observability,
+            compression=compression,
         )
 
     def _execute(

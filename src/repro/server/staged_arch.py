@@ -24,7 +24,9 @@ import contextlib
 from typing import Iterator
 
 from repro.errors import PoolSaturatedError
+from repro.http.compression import CompressionPolicy
 from repro.http.server import HttpServer
+from repro.soap.sercache import ResponseTemplateCache
 from repro.obs import trace as obs_trace
 from repro.obs.trace import Observability
 from repro.server.container import ServiceContainer, entry_fault
@@ -58,8 +60,11 @@ class StagedSoapServer:
         app_queue_limit: int | None = None,
         chunk_responses_over: int | None = None,
         observability: Observability | None = None,
+        serialization_cache: ResponseTemplateCache | None = None,
+        compression: CompressionPolicy | None = None,
     ) -> None:
         self.observability = observability
+        self.serialization_cache = serialization_cache
         self.container = ServiceContainer(services)
         # app_queue_limit bounds the application stage's backlog: once
         # that many entries wait for a worker, further entries shed with
@@ -71,7 +76,11 @@ class StagedSoapServer:
             max_queue=app_queue_limit,
         )
         self.endpoint = SoapEndpoint(
-            self.container, self._execute, chain=chain, observability=observability
+            self.container,
+            self._execute,
+            chain=chain,
+            observability=observability,
+            serialization_cache=serialization_cache,
         )
         self.transport = transport if transport is not None else TcpTransport()
         self.http = HttpServer(
@@ -80,6 +89,7 @@ class StagedSoapServer:
             address=address,
             chunk_responses_over=chunk_responses_over,
             observability=observability,
+            compression=compression,
         )
 
     def _execute(

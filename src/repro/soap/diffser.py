@@ -41,12 +41,21 @@ class DiffSerStats:
         return self.hits / total if total else 0.0
 
 
+#: One template per (service, operation); 256 operations is far beyond
+#: any WSDL this repo models, so eviction is a safety valve, not a
+#: tuning knob.
+DEFAULT_MAX_OPERATIONS = 256
+
+
 class DifferentialSerializer:
     """Serialize RPC requests, reusing a per-operation template when the
     message *structure* (operation + parameter names + value types)
     matches the previous send."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_operations: int = DEFAULT_MAX_OPERATIONS) -> None:
+        if max_operations < 1:
+            raise ValueError("max_operations must be positive")
+        self._max_operations = max_operations
         self._templates: dict[tuple[str, str], _Template] = {}
         self.stats = DiffSerStats()
 
@@ -79,6 +88,9 @@ class DifferentialSerializer:
         document = _serialize_with_markers(namespace, operation, params)
         rendered, segments = document
         if segments is not None:
+            if key not in self._templates and len(self._templates) >= self._max_operations:
+                # FIFO eviction: dict preserves insertion order.
+                del self._templates[next(iter(self._templates))]
             self._templates[key] = _Template(names, segments, types)
         return rendered.encode("utf-8")
 

@@ -1,0 +1,367 @@
+"""Server-side response serialization template cache.
+
+The paper's application-aware interface removes per-call protocol
+overhead; related work (Abu-Ghazaleh et al., HPDC-13) shows the same
+idea applies *inside* serialization: successive responses from one
+service differ only in parameter values, so the tag/attribute/namespace
+markup around those values can be rendered once and reused.  PR-4
+reproduced that as a client-side bench baseline (``soap.diffser``);
+this module promotes the technique to the production server hot path.
+
+Design
+------
+A :class:`ResponseTemplateCache` renders a response envelope exactly as
+:meth:`Envelope.to_bytes` would, but treats each *body entry* (and each
+child of a ``Parallel_Method`` pack wrapper — the pack-aware part) as a
+cacheable unit:
+
+* The Envelope/Header/Body scaffolding and the pack wrapper always
+  render fresh — they are a handful of nodes and carry the namespace
+  declarations everything below depends on.
+* Per entry, a **shape signature** is computed: the recursive
+  (tag, attributes, nsmap, child-shape) structure with each non-empty
+  text node replaced by a slot marker.  Entries that differ only in
+  text content share a signature.
+* The template key is ``(signature, scope key)`` where the scope key
+  (:meth:`StreamingWriter.scope_key`) pins the prefix resolution of
+  every URI the entry mentions — the same scope-version discipline the
+  writer's own rendered-name memo uses, lifted across documents.  Same
+  signature + same scope key ⇒ byte-identical markup.
+* On a miss the entry renders normally while the writer's part list is
+  bracketed (:meth:`StreamingWriter.position` / ``capture``); the
+  captured parts are split at the text slots into static segments.  On
+  a hit the segments are interleaved with the new escaped text values
+  and spliced in via ``writer.raw`` — no scope pushes, no name
+  rendering, no attribute escaping.
+* A capture during which the writer generated a fresh ``nsN`` prefix is
+  discarded: generated prefixes are position-dependent (the counter is
+  monotonic per document), so such markup is not safely reusable.
+
+Because parameter values live in the slots, templates store only the
+static markup — a cached 100 KB echo response costs a few hundred bytes
+of template.  The store is a bounded LRU with explicit
+:meth:`invalidate` (service redeploy, interface change); in-flight
+captures race invalidation via a version counter, never by serving
+stale bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.soap.constants import BODY_TAG, PARALLEL_METHOD
+from repro.soap.envelope import Envelope
+from repro.xmlcore.escape import escape_text
+from repro.xmlcore.tree import Element
+from repro.xmlcore.writer import StreamingWriter, _write_element
+
+DEFAULT_MAX_TEMPLATES = 512
+
+#: Templates whose static markup exceeds this many characters are not
+#: stored: past this size the splice saves little relative to the
+#: memory held, and pathological shapes must not pin the LRU.
+DEFAULT_MAX_TEMPLATE_CHARS = 64 * 1024
+
+# Child-shape markers for text nodes.  Empty text is structurally
+# significant (it suppresses the self-closing form) but carries no
+# value, so it is part of the shape rather than a slot.
+_TEXT_SLOT = "\x00t"
+_EMPTY_TEXT = "\x00e"
+
+
+@dataclass(slots=True)
+class SerCacheStats:
+    """Point-in-time counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    uncacheable: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses + self.uncacheable
+        return self.hits / total if total else 0.0
+
+
+class _Template:
+    """Static markup segments with len(segments)-1 text slots between."""
+
+    __slots__ = ("segments", "namespace", "operation")
+
+    def __init__(
+        self, segments: tuple[str, ...], namespace: str, operation: str
+    ) -> None:
+        self.segments = segments
+        self.namespace = namespace
+        self.operation = operation
+
+    def render(self, texts: list[str]) -> str:
+        segments = self.segments
+        out = [segments[0]]
+        for index, text in enumerate(texts):
+            out.append(escape_text(text))
+            out.append(segments[index + 1])
+        return "".join(out)
+
+
+class ResponseTemplateCache:
+    """Bounded LRU of per-entry serialization templates.
+
+    Thread-safe: lookups and stores take an internal mutex; rendering
+    (the expensive part) runs outside it.  One instance is shared by
+    all connection threads of a server.
+    """
+
+    __slots__ = ("_lock", "_templates", "_version", "_max_entries",
+                 "_max_template_chars", "_stats", "_hit_counter",
+                 "_miss_counter")
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_TEMPLATES,
+        *,
+        max_template_chars: int = DEFAULT_MAX_TEMPLATE_CHARS,
+        registry=None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._lock = threading.Lock()
+        self._templates: OrderedDict[tuple, _Template] = OrderedDict()
+        self._version = 0
+        self._max_entries = max_entries
+        self._max_template_chars = max_template_chars
+        self._stats = SerCacheStats()
+        self._hit_counter = registry.counter("cache.sercache.hit") if registry else None
+        self._miss_counter = registry.counter("cache.sercache.miss") if registry else None
+
+    # -- rendering -----------------------------------------------------
+
+    def render_envelope(self, envelope: Envelope) -> bytes:
+        """Serialize ``envelope`` byte-identically to ``to_bytes()``,
+        splicing cached per-entry markup where templates apply."""
+        writer = StreamingWriter(declaration=True)
+        root = envelope.to_element()
+        writer.start(root.tag, root.items(), root.nsmap)
+        for child in root.children:
+            if isinstance(child, str):
+                writer.characters(child)
+            elif child.tag == BODY_TAG:
+                writer.start(child.tag, child.items(), child.nsmap)
+                for entry in child.children:
+                    if isinstance(entry, str):
+                        writer.characters(entry)
+                    elif entry.tag == PARALLEL_METHOD:
+                        writer.start(entry.tag, entry.items(), entry.nsmap)
+                        # Sibling pack entries resolve against one scope;
+                        # memoize the per-URI-set key across them (the
+                        # memo self-invalidates on scope changes).
+                        memo = _ScopeKeyMemo(writer)
+                        for packed in entry.children:
+                            if isinstance(packed, str):
+                                writer.characters(packed)
+                            else:
+                                self._write_entry(writer, packed, memo)
+                        writer.end()
+                    else:
+                        self._write_entry(writer, entry, _ScopeKeyMemo(writer))
+                writer.end()
+            else:
+                _write_element(writer, child)  # Header subtree, fresh
+        writer.end()
+        return writer.getvalue().encode("utf-8")
+
+    def _write_entry(
+        self, writer: StreamingWriter, entry: Element, memo: "_ScopeKeyMemo"
+    ) -> None:
+        writer.close_pending()  # keep the parent's '>' out of the capture
+        signature, uris, texts = _analyze(entry)
+        key = (signature, memo.scope_key(uris))
+        with self._lock:
+            template = self._templates.get(key)
+            if template is not None:
+                self._templates.move_to_end(key)
+                self._stats.hits += 1
+            version = self._version
+        if template is not None:
+            if self._hit_counter is not None:
+                self._hit_counter.inc()
+            writer.raw(template.render(texts))
+            return
+
+        if self._miss_counter is not None:
+            self._miss_counter.inc()
+        prefixes_before = writer.generated_prefixes
+        start = writer.position()
+        slots: list[int] = []
+        _record_element(writer, entry, slots)
+        if writer.generated_prefixes != prefixes_before:
+            # The capture minted position-dependent nsN prefixes;
+            # replaying it elsewhere would emit stale numbering.
+            with self._lock:
+                self._stats.uncacheable += 1
+            return
+        parts = writer.capture(start)
+        segments = _split_segments(parts, slots, start)
+        if sum(len(s) for s in segments) > self._max_template_chars:
+            with self._lock:
+                self._stats.uncacheable += 1
+            return
+        qname = entry.qname
+        template = _Template(segments, qname.uri, qname.local)
+        with self._lock:
+            self._stats.misses += 1
+            if self._version != version:
+                # invalidated while we were rendering: the capture may
+                # predate the interface change — drop it.
+                return
+            self._templates[key] = template
+            self._templates.move_to_end(key)
+            while len(self._templates) > self._max_entries:
+                self._templates.popitem(last=False)
+                self._stats.evictions += 1
+
+    # -- maintenance ---------------------------------------------------
+
+    def invalidate(
+        self, *, namespace: str | None = None, operation: str | None = None
+    ) -> int:
+        """Drop templates for a service (``namespace``), an operation
+        (matched against the entry local name, with or without the RPC
+        ``Response`` suffix), or everything.  Returns the count dropped.
+
+        Call on redeploy or interface change; the internal version
+        counter also discards any capture that was in flight across the
+        call, so a stale template can never be re-inserted.
+        """
+        with self._lock:
+            self._version += 1
+            self._stats.invalidations += 1
+            if namespace is None and operation is None:
+                dropped = len(self._templates)
+                self._templates.clear()
+                return dropped
+            locals_accepted = (
+                None if operation is None else (operation, f"{operation}Response")
+            )
+            doomed = [
+                key
+                for key, template in self._templates.items()
+                if (namespace is None or template.namespace == namespace)
+                and (locals_accepted is None or template.operation in locals_accepted)
+            ]
+            for key in doomed:
+                del self._templates[key]
+            return len(doomed)
+
+    def stats(self) -> SerCacheStats:
+        """A snapshot copy of the counters."""
+        with self._lock:
+            stats = self._stats
+            return SerCacheStats(
+                stats.hits,
+                stats.misses,
+                stats.uncacheable,
+                stats.evictions,
+                stats.invalidations,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._templates)
+
+
+class _ScopeKeyMemo:
+    """Per-render memo for :meth:`StreamingWriter.scope_key`.
+
+    Sibling entries under one parent query the same namespace scope;
+    re-walking the scope stack per entry was ~25% of the warm render.
+    Keyed by URI set and checked against the writer's scope version, so
+    a declaration anywhere between queries discards the memo.
+    """
+
+    __slots__ = ("_writer", "_version", "_keys")
+
+    def __init__(self, writer: StreamingWriter) -> None:
+        self._writer = writer
+        self._version = -1
+        self._keys: dict[tuple[str, ...], tuple] = {}
+
+    def scope_key(self, uris: tuple[str, ...]) -> tuple:
+        version = self._writer.scope_version
+        if version != self._version:
+            self._keys.clear()
+            self._version = version
+        key = self._keys.get(uris)
+        if key is None:
+            key = self._keys[uris] = self._writer.scope_key(uris)
+        return key
+
+
+def _analyze(element: Element) -> tuple[tuple, tuple[str, ...], list[str]]:
+    """One pre-pass over an entry: shape signature, referenced URIs (in
+    first-seen order, for the scope key), and slot text values."""
+    uris: dict[str, None] = {}  # ordered set
+    texts: list[str] = []
+
+    def visit(node: Element) -> tuple:
+        tag = node.tag
+        if tag.startswith("{"):
+            uris.setdefault(tag[1 : tag.index("}")])
+        attrs = node.items()
+        for name, _ in attrs:
+            if name.startswith("{"):
+                uris.setdefault(name[1 : name.index("}")])
+        children: list = []
+        for child in node.children:
+            if isinstance(child, str):
+                if child:
+                    texts.append(child)
+                    children.append(_TEXT_SLOT)
+                else:
+                    children.append(_EMPTY_TEXT)
+            else:
+                children.append(visit(child))
+        return (
+            tag,
+            attrs,
+            tuple(sorted(node.nsmap.items())),
+            tuple(children),
+        )
+
+    signature = visit(element)
+    return signature, tuple(uris), texts
+
+
+def _record_element(
+    writer: StreamingWriter, element: Element, slots: list[int]
+) -> None:
+    """``_write_element`` with the part index of every non-empty text
+    node recorded (``characters`` appends the escaped text as the final
+    part it touches)."""
+    writer.start(element.tag, element.items(), element.nsmap)
+    for child in element.children:
+        if isinstance(child, str):
+            if child:
+                writer.characters(child)
+                slots.append(writer.position() - 1)
+        else:
+            _record_element(writer, child, slots)
+    writer.end()
+
+
+def _split_segments(
+    parts: tuple[str, ...], slots: list[int], start: int
+) -> tuple[str, ...]:
+    """Join captured parts into static segments around the slot indices."""
+    segments: list[str] = []
+    cursor = 0
+    for slot in slots:
+        local = slot - start
+        segments.append("".join(parts[cursor:local]))
+        cursor = local + 1
+    segments.append("".join(parts[cursor:]))
+    return tuple(segments)

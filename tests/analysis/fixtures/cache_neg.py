@@ -1,0 +1,37 @@
+"""Negative fixture: bounded, version-cleared, or non-cache dicts."""
+
+from collections import OrderedDict
+
+
+class BoundedLru:
+    def __init__(self, max_entries=128):
+        self._entry_cache = OrderedDict()
+        self._max_entries = max_entries
+
+    def store(self, key, value):
+        self._entry_cache[key] = value
+        while len(self._entry_cache) > self._max_entries:
+            self._entry_cache.popitem(last=False)
+
+
+class EvictingMemo:
+    def __init__(self):
+        self._memo = {}
+
+    def trim(self):
+        self.evict_oldest()
+
+    def evict_oldest(self):
+        self._memo.clear()
+
+
+class SuppressedMemo:
+    def __init__(self):
+        # cleared per document; lifetime-bounded by construction
+        self._span_memo = {}  # repro: disable=no-unbounded-cache
+
+
+class NotACache:
+    def __init__(self):
+        self._handlers = {}
+        self._routes = dict()

@@ -1,0 +1,17 @@
+"""Positive fixture: dict-backed caches with no registered bound."""
+
+from collections import OrderedDict
+
+
+class UnboundedLookup:
+    def __init__(self):
+        self._result_cache = {}
+        self._name_memo = dict()
+
+    def lookup(self, key):
+        return self._result_cache.get(key)
+
+
+class UnboundedTemplates:
+    def __init__(self):
+        self._templates: dict[str, bytes] = OrderedDict()

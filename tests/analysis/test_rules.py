@@ -58,6 +58,15 @@ class TestPositiveFixtures:
         assert {f.rule_id for f in findings} == {"no-unbounded-queue"}
         assert {f.message.split("(")[0] for f in findings} == {"ThreadPool", "Stage"}
 
+    def test_no_unbounded_cache(self):
+        findings = corpus_findings("cache_pos.py")
+        assert {f.rule_id for f in findings} == {"no-unbounded-cache"}
+        messages = {f.message for f in findings}
+        assert any("UnboundedLookup._result_cache" in m for m in messages)
+        assert any("UnboundedLookup._name_memo" in m for m in messages)
+        assert any("UnboundedTemplates._templates" in m for m in messages)
+        assert len(findings) == 3
+
     def test_no_bare_except(self):
         findings = corpus_findings("bare_except_pos.py")
         assert [f.rule_id for f in findings] == ["no-bare-except"]
@@ -77,6 +86,7 @@ class TestPositiveFixtures:
         "sleep_neg.py",
         "slots_neg.py",
         "queue_neg.py",
+        "cache_neg.py",
         "bare_except_neg.py",
         "server/swallow_neg.py",
     ],

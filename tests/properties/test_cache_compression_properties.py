@@ -1,0 +1,125 @@
+"""Property tests for the PR-6 caches and wire compression.
+
+Three contracts:
+
+* the serialization template cache is *invisible*: for any response
+  envelope shape, cached rendering is byte-identical to a fresh
+  ``to_bytes()`` — including on repeat renders that splice templates;
+* content-coding roundtrips: any body compressed with any supported
+  coding survives the incremental HTTP parser (identity, plain and
+  chunked framing) byte-for-byte;
+* the q-value parser never crashes and only ever returns supported
+  values in range.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packformat import build_parallel_method
+from repro.http.compression import SUPPORTED_ENCODINGS, compress
+from repro.http.message import parse_qvalues
+from repro.http.parser import ChannelReader, encode_chunked, read_response
+from repro.soap.envelope import Envelope
+from repro.soap.sercache import ResponseTemplateCache
+from repro.soap.serializer import serialize_rpc_response
+
+ncnames = st.text(alphabet=string.ascii_letters, min_size=1, max_size=8)
+
+xml_text = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",),
+        blacklist_characters="".join(
+            chr(c) for c in range(0x20) if c not in (0x9, 0xA, 0xD)
+        )
+        + "￾￿",
+    ),
+    max_size=40,
+)
+
+# RPC result values the serializer accepts: scalars, lists, flat dicts.
+results = st.one_of(
+    xml_text,
+    st.integers(),
+    st.booleans(),
+    st.lists(xml_text, max_size=4),
+    st.dictionaries(ncnames, xml_text, max_size=4),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(ncnames, results), min_size=1, max_size=6),
+    st.integers(min_value=2, max_value=4),
+)
+def test_template_cache_render_is_byte_identical(operations, rounds):
+    cache = ResponseTemplateCache()
+    for _ in range(rounds):
+        envelope = Envelope()
+        envelope.add_body(
+            build_parallel_method(
+                [
+                    serialize_rpc_response("urn:prop", operation, result)
+                    for operation, result in operations
+                ]
+            )
+        )
+        assert cache.render_envelope(envelope) == envelope.to_bytes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(xml_text, xml_text)
+def test_template_shape_reuse_with_fresh_values(first, second):
+    cache = ResponseTemplateCache()
+    for value in (first, second, first + second):
+        envelope = Envelope()
+        envelope.add_body(
+            build_parallel_method(
+                [serialize_rpc_response("urn:prop", "echo", value)]
+            )
+        )
+        assert cache.render_envelope(envelope) == envelope.to_bytes()
+
+
+class _Scripted:
+    def __init__(self, payload: bytes, chunk: int):
+        self._chunks = [
+            payload[i : i + chunk] for i in range(0, len(payload), chunk)
+        ]
+
+    def recv(self, max_bytes: int = 65536) -> bytes:
+        return self._chunks.pop(0) if self._chunks else b""
+
+    def sendall(self, data: bytes) -> None:  # pragma: no cover
+        raise AssertionError("not used")
+
+    def close(self) -> None:  # pragma: no cover
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.binary(max_size=4096),
+    st.sampled_from(SUPPORTED_ENCODINGS),
+    st.booleans(),
+    st.integers(min_value=1, max_value=977),
+)
+def test_coded_response_roundtrips_through_parser(body, encoding, chunked, arrival):
+    coded = compress(body, encoding)
+    head = f"HTTP/1.1 200 OK\r\nContent-Encoding: {encoding}\r\n".encode()
+    if chunked:
+        raw = head + b"Transfer-Encoding: chunked\r\n\r\n" + encode_chunked(coded)
+    else:
+        raw = head + f"Content-Length: {len(coded)}\r\n\r\n".encode() + coded
+    response = read_response(ChannelReader(_Scripted(raw, arrival)))
+    assert response.body == body
+    assert response.headers.get("Content-Encoding") is None
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.text(max_size=60))
+def test_qvalue_parser_is_total_and_in_range(header):
+    for token, q in parse_qvalues(header):
+        assert token == token.strip().lower()
+        assert 0.0 <= q <= 1.0

@@ -1,0 +1,125 @@
+"""Unit tests for the response serialization template cache (PR-6)."""
+
+from repro.apps.echo import ECHO_NS
+from repro.core.packformat import build_parallel_method
+from repro.obs.registry import MetricsRegistry
+from repro.soap.envelope import Envelope
+from repro.soap.sercache import ResponseTemplateCache
+from repro.soap.serializer import (
+    build_response_envelope,
+    serialize_rpc_response,
+)
+from repro.xmlcore.tree import Element
+
+NS = "urn:sercache-test"
+
+
+def pack_envelope(results, operation="echo"):
+    envelope = Envelope()
+    envelope.add_body(
+        build_parallel_method(
+            [serialize_rpc_response(NS, operation, r) for r in results]
+        )
+    )
+    return envelope
+
+
+class TestIdentity:
+    def test_pack_render_matches_to_bytes(self):
+        cache = ResponseTemplateCache()
+        for _ in range(3):
+            envelope = pack_envelope(["alpha", "beta", "gamma"])
+            assert cache.render_envelope(envelope) == envelope.to_bytes()
+        stats = cache.stats()
+        assert stats.hits > 0
+
+    def test_values_change_but_shape_hits(self):
+        cache = ResponseTemplateCache()
+        first = pack_envelope(["one", "two"])
+        cache.render_envelope(first)
+        second = pack_envelope(["three <escaped> & checked", "four"])
+        assert cache.render_envelope(second) == second.to_bytes()
+        assert cache.stats().hits == 2
+
+    def test_different_shapes_key_separately(self):
+        cache = ResponseTemplateCache()
+        cache.render_envelope(pack_envelope(["a"]))
+        wide = pack_envelope([{"x": "1", "y": "2"}])
+        assert cache.render_envelope(wide) == wide.to_bytes()
+        assert cache.stats().hits == 0
+        assert len(cache) == 2
+
+    def test_header_subtree_renders_fresh(self):
+        cache = ResponseTemplateCache()
+        envelope = pack_envelope(["payload"])
+        header = Element("{urn:hdr}trace", {"id": "t-1"}, nsmap={"h": "urn:hdr"})
+        envelope.add_header(header)
+        assert cache.render_envelope(envelope) == envelope.to_bytes()
+
+
+class TestUncacheable:
+    def test_generated_prefix_declines_capture(self):
+        # A single-entry response without hoisted namespaces forces the
+        # writer to mint ns0; the capture must be declined, output still
+        # byte-identical.
+        cache = ResponseTemplateCache()
+        envelope = build_response_envelope(NS, "echo", "x")
+        for _ in range(2):
+            assert cache.render_envelope(envelope) == envelope.to_bytes()
+        stats = cache.stats()
+        assert stats.uncacheable == 2
+        assert len(cache) == 0
+
+    def test_oversized_template_declined(self):
+        cache = ResponseTemplateCache(max_template_chars=8)
+        envelope = pack_envelope(["tiny"])
+        assert cache.render_envelope(envelope) == envelope.to_bytes()
+        assert cache.stats().uncacheable == 1
+        assert len(cache) == 0
+
+
+class TestMaintenance:
+    def test_lru_eviction(self):
+        cache = ResponseTemplateCache(max_entries=2)
+        for op in ("first", "second", "third"):
+            cache.render_envelope(pack_envelope(["v"], operation=op))
+        assert len(cache) == 2
+        assert cache.stats().evictions == 1
+        # oldest template is gone: rendering it again is a miss
+        envelope = pack_envelope(["v"], operation="first")
+        cache.render_envelope(envelope)
+        assert cache.stats().misses == 4
+
+    def test_invalidate_all(self):
+        cache = ResponseTemplateCache()
+        cache.render_envelope(pack_envelope(["v"]))
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+
+    def test_invalidate_by_operation_matches_response_suffix(self):
+        cache = ResponseTemplateCache()
+        cache.render_envelope(pack_envelope(["v"], operation="getQuote"))
+        cache.render_envelope(pack_envelope(["v"], operation="other"))
+        assert cache.invalidate(operation="getQuote") == 1
+        assert len(cache) == 1
+
+    def test_invalidate_by_namespace(self):
+        cache = ResponseTemplateCache()
+        cache.render_envelope(pack_envelope(["v"]))
+        envelope = Envelope()
+        envelope.add_body(
+            build_parallel_method(
+                [serialize_rpc_response(ECHO_NS, "echo", "v")]
+            )
+        )
+        cache.render_envelope(envelope)
+        assert cache.invalidate(namespace=NS) == 1
+        assert len(cache) == 1
+
+    def test_counters_reach_registry(self):
+        registry = MetricsRegistry()
+        cache = ResponseTemplateCache(registry=registry)
+        cache.render_envelope(pack_envelope(["v"]))
+        cache.render_envelope(pack_envelope(["v"]))
+        assert registry.counter("cache.sercache.miss").value == 1
+        assert registry.counter("cache.sercache.hit").value == 1
