@@ -461,6 +461,92 @@ class NoUnboundedCache(Rule):
             )
 
 
+# -- no-unbounded-span-store --------------------------------------------
+
+#: Self-attribute names that look like a span/trace retention buffer.
+_SPAN_STORE_NAME_MARKERS = ("span", "trace")
+
+
+def _container_valued(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict, ast.List)):
+        return True
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        return name is not None and name.rsplit(".", 1)[-1] in (
+            "dict",
+            "OrderedDict",
+            "defaultdict",
+            "deque",
+            "list",
+        )
+    return False
+
+
+class NoUnboundedSpanStore(Rule):
+    """A span/trace retention buffer in a class that names no bound.
+
+    The telemetry plane retains per-request data (spans, traces) in
+    long-lived server objects; unlike a cache, a telemetry buffer grows
+    with *traffic*, not key diversity, so an unbounded one is a memory
+    leak under perfectly benign load.  Every retention structure in
+    ``repro.obs`` names its bound (ring ``capacity``, ``max_traces`` /
+    ``max_spans_per_trace`` / ``max_bytes``); any class assigning a
+    container to a ``self.*span*``/``*trace*`` attribute must mention a
+    bound in its body or carry an inline disable naming the enforcer.
+    """
+
+    id = "no-unbounded-span-store"
+    severity = SEVERITY_WARNING
+    fix_hint = (
+        "bound the buffer (deque(maxlen=...), a max_* knob plus eviction), "
+        "or name the external enforcer with "
+        "'# repro: disable=no-unbounded-span-store'"
+    )
+    rationale = (
+        "span/trace buffers grow with traffic, not key diversity; an "
+        "unbounded one leaks memory under benign load, so every retention "
+        "structure must register its bound"
+    )
+    node_types = (ast.ClassDef,)
+    exempt_parts = frozenset({"tests"})
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag span/trace-named container attributes in unbounded classes."""
+        assert isinstance(node, ast.ClassDef)
+        suspects: list[tuple[int, str]] = []
+        for descendant in ast.walk(node):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(descendant, ast.Assign):
+                targets = descendant.targets
+                value = descendant.value
+            elif isinstance(descendant, ast.AnnAssign) and descendant.value is not None:
+                targets = [descendant.target]
+                value = descendant.value
+            if value is None or not _container_valued(value):
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and any(
+                        marker in target.attr.lower()
+                        for marker in _SPAN_STORE_NAME_MARKERS
+                    )
+                ):
+                    suspects.append((descendant.lineno, target.attr))
+        if not suspects or _class_mentions_bound(node):
+            return
+        for lineno, attr in suspects:
+            yield self.finding(
+                ctx,
+                lineno,
+                f"{node.name}.{attr} is a span/trace buffer with no "
+                "registered bound",
+            )
+
+
 # -- no-bare-except / no-swallowed-fault --------------------------------
 
 
@@ -559,6 +645,7 @@ def lint_rules() -> list[Rule]:
         RequireSlots(),
         NoUnboundedQueue(),
         NoUnboundedCache(),
+        NoUnboundedSpanStore(),
         NoBareExcept(),
         NoSwallowedFault(),
     ]

@@ -14,6 +14,7 @@ poking at the stack with a real client::
 from __future__ import annotations
 
 import argparse
+import json
 import signal
 import sys
 import threading
@@ -32,7 +33,7 @@ from repro.core.dispatcher import spi_server_handlers
 from repro.core.remote_exec import make_plan_runner_service
 from repro.diagnostics import PackMetricsHandler
 from repro.http.compression import CompressionPolicy
-from repro.obs import Observability
+from repro.obs import Observability, SpanStore
 from repro.server.handlers import HandlerChain
 from repro.server.staged_arch import StagedSoapServer
 from repro.soap.sercache import ResponseTemplateCache
@@ -47,17 +48,21 @@ def build_server(
     observability: Observability | None = None,
     serialization_cache: bool = False,
     compression: bool = False,
+    slo_config: dict | None = None,
 ) -> tuple[StagedSoapServer, PackMetricsHandler]:
     """Assemble the full demo container with SPI + metrics handlers.
 
     With an :class:`Observability`, the server records per-phase spans
-    and serves ``GET /metrics`` and ``GET /healthz``; the pack metrics
-    feed its registry so everything lands in one snapshot.
+    and serves ``GET /metrics`` and ``GET /healthz``; when the bundle
+    carries a span store, ``GET /traces`` and ``GET /trace/<id>`` serve
+    retained span trees too.  The pack metrics feed its registry so
+    everything lands in one snapshot.
 
     ``serialization_cache`` enables the response-template cache (its
     hit/miss counters land in the registry); ``compression`` enables
     negotiated gzip/deflate response coding for clients that send
-    ``Accept-Encoding``.
+    ``Accept-Encoding``; ``slo_config`` (a parsed ``slo.json``) lights
+    up ``GET /slo`` live budget evaluation.
     """
     services = [
         make_echo_service(),
@@ -83,6 +88,7 @@ def build_server(
             ResponseTemplateCache(registry=registry) if serialization_cache else None
         ),
         compression=CompressionPolicy() if compression else None,
+        slo_config=slo_config,
     )
     server.container.deploy(make_plan_runner_service(server.container))
     return server, metrics
@@ -112,9 +118,33 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="negotiate gzip/deflate response coding via Accept-Encoding",
     )
+    parser.add_argument(
+        "--span-store",
+        type=int,
+        nargs="?",
+        const=256,
+        default=None,
+        metavar="MAX_TRACES",
+        help="keep completed traces queryable at /traces and /trace/<id> "
+        "(tail-sampled, bounded; optional value sets the trace cap)",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="SLO_JSON",
+        help="slo.json path; serves live budget verdicts at GET /slo",
+    )
     args = parser.parse_args(argv)
 
-    observability = None if args.no_obs else Observability()
+    slo_config = None
+    if args.slo:
+        with open(args.slo, "r", encoding="utf-8") as handle:
+            slo_config = json.load(handle)
+    store = (
+        SpanStore(max_traces=args.span_store)
+        if args.span_store is not None and not args.no_obs
+        else None
+    )
+    observability = None if args.no_obs else Observability(span_store=store)
     server, metrics = build_server(
         args.host,
         args.port,
@@ -122,12 +152,17 @@ def main(argv: list[str] | None = None) -> int:
         observability=observability,
         serialization_cache=args.sercache,
         compression=args.compress,
+        slo_config=slo_config,
     )
     address = server.start()
     print(f"SPI demo server listening on {address[0]}:{address[1]}")
     if observability is not None:
         print(f"  metrics: http://{address[0]}:{address[1]}/metrics")
         print(f"  health:  http://{address[0]}:{address[1]}/healthz")
+        if store is not None:
+            print(f"  traces:  http://{address[0]}:{address[1]}/traces")
+        if slo_config is not None:
+            print(f"  slo:     http://{address[0]}:{address[1]}/slo")
     print("deployed services:")
     for service in server.container.services():
         print(f"  {service.name:<24} {service.namespace}")

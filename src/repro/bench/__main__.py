@@ -168,6 +168,7 @@ def _run_e2e(args) -> int:
     # cache-warm latency and bytes-on-wire rails ride on fig7; they
     # must land before gating so the bytes gate sees the current run
     e2e.add_cache_rails(results, smoke=args.smoke)
+    e2e.add_sketch_rail(results, smoke=args.smoke)
     # gate against the committed baseline BEFORE --record appends the
     # current run (which would otherwise become its own baseline)
     regression = (
@@ -186,6 +187,19 @@ def _run_e2e(args) -> int:
     if args.phase_report:
         report = e2e.write_phase_report(results, args.phase_report)
         print(f"phase report written to {report}")
+    if args.check_overhead is not None:
+        # settle BEFORE --record so the trajectory stores the settled
+        # number: a noisy reading re-measures, a real regression fails
+        # every retry anyway
+        readings = e2e.settle_overhead(
+            results, args.check_overhead, smoke=args.smoke
+        )
+        if readings:
+            print(
+                f"overhead gate: re-measured {e2e.OVERHEAD_GATE_CASE} "
+                f"{' '.join(f'{r:.2f}%' for r in readings)} -> "
+                f"{results[e2e.OVERHEAD_GATE_CASE]['overhead_pct']:.2f}%"
+            )
     if args.record:
         path = args.bench_json or e2e.BENCH_JSON
         e2e.record_entry(args.record, results, path=path)

@@ -124,7 +124,8 @@ class ResponseCache:
     """
 
     __slots__ = ("policy", "_lock", "_entries", "_inflight", "_version",
-                 "_clock", "_stats", "_hit_counter", "_miss_counter")
+                 "_clock", "_stats", "_hit_counter", "_miss_counter",
+                 "_eviction_counter", "_hit_ratio_gauge")
 
     def __init__(
         self,
@@ -141,8 +142,16 @@ class ResponseCache:
         self._version = 0
         self._clock = clock
         self._stats = ClientCacheStats()
-        self._hit_counter = registry.counter("cache.client.hit") if registry else None
-        self._miss_counter = registry.counter("cache.client.miss") if registry else None
+        if registry is not None:
+            self._hit_counter = registry.counter("cache.client.hit")
+            self._miss_counter = registry.counter("cache.client.miss")
+            self._eviction_counter = registry.counter("cache.client.evictions")
+            self._hit_ratio_gauge = registry.gauge("cache.client.hit_ratio")
+        else:
+            self._hit_counter = None
+            self._miss_counter = None
+            self._eviction_counter = None
+            self._hit_ratio_gauge = None
 
     # -- lookup --------------------------------------------------------
 
@@ -167,6 +176,7 @@ class ResponseCache:
                 if found is not None:
                     if self._hit_counter is not None:
                         self._hit_counter.inc()
+                    self._update_ratio_locked()
                     return found[0], True
                 event = self._inflight.get(key)
                 if event is None:
@@ -191,12 +201,18 @@ class ResponseCache:
         if validate is None or validate(value):
             with self._lock:
                 self._stats.misses += 1
+                self._update_ratio_locked()
                 if self._version == version:
                     self._store_locked(key, value)
         else:
             with self._lock:
                 self._stats.misses += 1
+                self._update_ratio_locked()
         return value, False
+
+    def _update_ratio_locked(self) -> None:
+        if self._hit_ratio_gauge is not None:
+            self._hit_ratio_gauge.set(self._stats.hit_rate)
 
     def _lookup_locked(self, key: tuple) -> tuple[Any] | None:
         entry = self._entries.get(key)
@@ -219,6 +235,8 @@ class ResponseCache:
         while len(self._entries) > self.policy.max_entries:
             self._entries.popitem(last=False)
             self._stats.evictions += 1
+            if self._eviction_counter is not None:
+                self._eviction_counter.inc()
 
     # -- maintenance ---------------------------------------------------
 

@@ -314,8 +314,15 @@ class ServiceProxy:
                 self.retries += state.retries
 
         if trace_id is not None:
-            with self.tracer.span("client.call", trace_id, detail=action or "exchange"):
-                return run()
+            in_flight = self.tracer.registry.gauge("client.calls.in_flight")
+            in_flight.add(1)
+            try:
+                with self.tracer.span(
+                    "client.call", trace_id, detail=action or "exchange"
+                ):
+                    return run()
+            finally:
+                in_flight.add(-1)
         return run()
 
     def _on_retry(self, retry_index: int, error: BaseException, delay: float) -> None:

@@ -35,7 +35,10 @@ from repro.transport.base import Address, Channel, Listener, ListenerClosed, Tra
 
 App = Callable[[HttpRequest], HttpResponse]
 
-ADMIN_PATHS = ("/metrics", "/healthz")
+ADMIN_PATHS = ("/metrics", "/healthz", "/traces", "/slo")
+
+#: ``GET /trace/<id>`` serves one retained trace's span tree.
+TRACE_PATH_PREFIX = "/trace/"
 
 
 class HttpServer:
@@ -59,6 +62,7 @@ class HttpServer:
         max_connections: int | None = None,
         observability: Observability | None = None,
         compression: CompressionPolicy | None = None,
+        slo_config: dict | None = None,
     ) -> None:
         """``chunk_responses_over``: when set, response bodies larger
         than this many bytes are sent with chunked transfer encoding —
@@ -74,10 +78,20 @@ class HttpServer:
         ``observability`` lights up tracing and the admin surface: each
         request gets ``http.parse``/``http.send`` spans on the trace
         named by its ``X-Repro-Trace-Id`` header (a fresh id is minted
-        for untraced requests), the trace context is active while the
-        app callable runs, and ``GET /metrics`` / ``GET /healthz``
-        return JSON snapshots without entering the app.  Without it the
-        seed code path runs unchanged.
+        for untraced requests), the app callable runs inside a
+        ``server.handle`` root span with the trace context active (so
+        phase spans tree under it), and ``GET /metrics`` / ``GET
+        /healthz`` / ``GET /traces`` / ``GET /trace/<id>`` / ``GET
+        /slo`` return JSON without entering the app.  When the
+        observability bundle carries a
+        :class:`~repro.obs.store.SpanStore`, every traced response also
+        completes its trace there (status-aware, so 503/504/5xx mark
+        shed/deadline/fault).  Without observability the seed code path
+        runs unchanged.
+
+        ``slo_config``: a parsed ``slo.json`` document; when present
+        (and observability is on) ``GET /slo`` evaluates the config's
+        ``"live"`` budgets against the current metrics snapshot.
 
         ``compression``: when set, response bodies at least
         ``compression.min_size`` bytes long are content-coded with the
@@ -88,6 +102,7 @@ class HttpServer:
         """
         self._app = app
         self._obs = observability
+        self._slo_config = slo_config
         # Monotonic anchor: /healthz uptime is an interval measurement.
         self._started_at = time.monotonic()
         self._transport = transport
@@ -176,6 +191,9 @@ class HttpServer:
                 self._current_connections += 1
                 if self._current_connections > self.max_concurrent_connections:
                     self.max_concurrent_connections = self._current_connections
+                active = self._current_connections
+            if self._obs is not None:
+                self._obs.registry.gauge("http.connections.active").set(active)
             thread = threading.Thread(
                 target=self._serve_connection,
                 args=(channel,),
@@ -231,7 +249,17 @@ class HttpServer:
                     obs.registry.counter("http.requests").inc()
                     activate(obs.tracer, trace_id)
                 try:
-                    response = self._app(request)
+                    if obs is not None:
+                        # the root span of the handling tree: phase
+                        # spans opened inside the app (soap.parse,
+                        # spi.unpack, execute x M, ...) parent under it
+                        # via the thread's ambient span stack
+                        with obs.tracer.span(
+                            "server.handle", trace_id, detail=request.path
+                        ):
+                            response = self._app(request)
+                    else:
+                        response = self._app(request)
                 except Exception as exc:  # app bug: report, keep serving
                     response = HttpResponse(
                         500, Headers({"Content-Type": "text/plain"}),
@@ -250,6 +278,14 @@ class HttpServer:
                         "http.send", trace_id, detail=f"{len(response.body)}B"
                     ):
                         self._send(channel, response, close=not keep_alive)
+                    if obs.store is not None:
+                        # the trace is over once the bytes are on the
+                        # wire: run the tail-sampling decision now,
+                        # status-aware (503 shed / 504 deadline / 4xx+
+                        # fault)
+                        obs.store.complete(
+                            trace_id, http_status=response.status
+                        )
                 else:
                     self._send(channel, response, close=not keep_alive)
                 if not keep_alive:
@@ -258,6 +294,9 @@ class HttpServer:
             channel.close()
             with self._counter_lock:
                 self._current_connections -= 1
+                active = self._current_connections
+            if obs is not None:
+                obs.registry.gauge("http.connections.active").set(active)
             self._release_slot()
             with self._threads_lock:
                 self._connection_threads.discard(threading.current_thread())
@@ -265,20 +304,30 @@ class HttpServer:
     # -- admin surface ------------------------------------------------------
 
     def _admin_response(self, request: HttpRequest) -> HttpResponse | None:
-        """``GET /metrics`` / ``GET /healthz``; None otherwise.
+        """The admin surface: ``GET /metrics`` / ``/healthz`` /
+        ``/traces`` / ``/trace/<id>`` / ``/slo``; None otherwise.
 
         ``/metrics`` defaults to the JSON snapshot;
         ``/metrics?format=prometheus`` renders the text exposition
-        format a stock Prometheus can scrape.
+        format a stock Prometheus can scrape.  ``/traces?slowest=N``
+        lists retained trace summaries, ``/trace/<id>`` one trace's
+        span tree, ``/slo`` the live budget verdict.
         """
         if request.method != "GET":
             return None
         path, _, query = request.path.partition("?")
-        if path not in ADMIN_PATHS:
+        if path not in ADMIN_PATHS and not path.startswith(TRACE_PATH_PREFIX):
             return None
         assert self._obs is not None
+        status = 200
         if path == "/healthz":
             payload = self.health_snapshot()
+        elif path == "/traces":
+            status, payload = self._traces_payload(query)
+        elif path.startswith(TRACE_PATH_PREFIX):
+            status, payload = self._trace_payload(path[len(TRACE_PATH_PREFIX):])
+        elif path == "/slo":
+            status, payload = self._slo_payload()
         elif "format=prometheus" in query.split("&"):
             from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
 
@@ -290,10 +339,40 @@ class HttpServer:
         else:
             payload = self._obs.metrics_snapshot()
         return HttpResponse(
-            200,
+            status,
             Headers({"Content-Type": "application/json"}),
             json.dumps(payload, indent=2).encode("utf-8"),
         )
+
+    def _traces_payload(self, query: str) -> tuple[int, dict]:
+        store = self._obs.store if self._obs is not None else None
+        if store is None:
+            return 404, {"error": "span store not enabled"}
+        slowest = 20
+        for part in query.split("&"):
+            name, _, value = part.partition("=")
+            if name == "slowest" and value.isdigit():
+                slowest = int(value)
+        return 200, {"traces": store.slowest(slowest), "stats": store.stats()}
+
+    def _trace_payload(self, trace_id: str) -> tuple[int, dict]:
+        store = self._obs.store if self._obs is not None else None
+        if store is None:
+            return 404, {"error": "span store not enabled"}
+        tree = store.get(trace_id)
+        if tree is None:
+            return 404, {"error": f"trace {trace_id!r} not retained"}
+        return 200, tree
+
+    def _slo_payload(self) -> tuple[int, dict]:
+        if self._slo_config is None:
+            return 404, {"error": "no slo config loaded"}
+        from repro.obs.slo import evaluate_snapshot, summarize
+
+        checks = evaluate_snapshot(
+            self._slo_config, self._obs.metrics_snapshot()
+        )
+        return 200, summarize(checks)
 
     def health_snapshot(self) -> dict:
         """The ``/healthz`` document: liveness plus connection counters."""

@@ -9,9 +9,17 @@ substrate that makes those phases visible end-to-end:
 * :mod:`repro.obs.trace` — trace ids minted client-side, propagated as
   an HTTP header plus a SOAP header entry (surviving SPI packing), and
   recorded server-side as per-phase spans;
+* :mod:`repro.obs.sketch` — mergeable log-bucketed quantile sketches
+  (DDSketch-style, ~1% relative error) behind every latency series;
+* :mod:`repro.obs.rollup` — per-(service, operation) latency/error
+  EWMAs + in-flight gauges, the feed for hedging and live SLO checks;
+* :mod:`repro.obs.store` — bounded queryable span store with
+  tail-based sampling, behind ``GET /trace/<id>`` and ``GET /traces``;
 * :mod:`repro.obs.timeline` — text waterfalls of one trace's spans;
 * :mod:`repro.obs.prometheus` — the text exposition format behind
-  ``GET /metrics?format=prometheus``.
+  ``GET /metrics?format=prometheus``;
+* :mod:`repro.obs.slo` — budgets-vs-snapshot checker behind
+  ``python -m repro.obs.slo check`` and the CI gate.
 
 Attach one :class:`Observability` to a server (and optionally share its
 tracer with a client proxy) to light everything up; servers without one
@@ -26,6 +34,15 @@ from repro.obs.registry import (
     LATENCY_BOUNDS_S,
     MetricsRegistry,
 )
+from repro.obs.rollup import Ewma, ObsRollup, rollup_key
+from repro.obs.sketch import QuantileSketch
+from repro.obs.store import (
+    FLAG_DEADLINE,
+    FLAG_FAULT,
+    FLAG_SHED,
+    SpanStore,
+    TraceRecord,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     OBS_NS,
@@ -35,6 +52,7 @@ from repro.obs.trace import (
     TRACE_HTTP_HEADER,
     TRACE_ID_ATTR,
     Tracer,
+    new_span_id,
     new_trace_id,
 )
 from repro.obs.prometheus import render_prometheus, sanitize_name
@@ -43,23 +61,33 @@ from repro.obs.timeline import phase_breakdown, render_all, render_spans, render
 __all__ = [
     "Counter",
     "DEFAULT_BOUNDS",
+    "Ewma",
+    "FLAG_DEADLINE",
+    "FLAG_FAULT",
+    "FLAG_SHED",
     "Gauge",
     "Histogram",
     "LATENCY_BOUNDS_S",
     "MetricsRegistry",
     "NULL_SPAN",
     "OBS_NS",
+    "ObsRollup",
     "Observability",
+    "QuantileSketch",
     "Span",
+    "SpanStore",
     "TRACE_HEADER_TAG",
     "TRACE_HTTP_HEADER",
     "TRACE_ID_ATTR",
+    "TraceRecord",
     "Tracer",
+    "new_span_id",
     "new_trace_id",
     "phase_breakdown",
     "render_all",
     "render_prometheus",
     "render_spans",
     "render_timeline",
+    "rollup_key",
     "sanitize_name",
 ]

@@ -10,6 +10,14 @@ server can sit behind a stock Prometheus without an exporter sidecar:
   Prometheus convention each bucket includes everything below it, and
   the ``le="+Inf"`` bucket equals ``name_count``) plus ``name_sum``
   and ``name_count``
+* quantile sketches → ``# TYPE name summary``: one
+  ``name{quantile="0.5"}``-style line per pre-rendered quantile, plus
+  ``name_sum`` and ``name_count`` (summaries are the Prometheus type
+  for client-computed quantiles, which is exactly what a sketch is)
+* rollups → per-target labeled series
+  ``repro_rollup_<metric>{service="...",operation="..."}`` for the
+  latency EWMA, error rate, per-class error rates and in-flight gauge
+  (label values escaped per the exposition spec)
 
 Dotted repro metric names (``http.requests``) become legal Prometheus
 names by mapping every character outside ``[a-zA-Z0-9_]`` to ``_``.
@@ -21,6 +29,17 @@ from __future__ import annotations
 import re
 
 from repro.obs.registry import MetricsRegistry, _bound_label
+
+#: rollup snapshot field -> (exposition metric suffix, TYPE)
+_ROLLUP_SERIES = (
+    ("latency_ewma_s", "gauge"),
+    ("latency_p50_s", "gauge"),
+    ("latency_p99_s", "gauge"),
+    ("error_rate", "gauge"),
+    ("in_flight", "gauge"),
+    ("calls", "counter"),
+    ("faults", "counter"),
+)
 
 _NAME_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -39,6 +58,14 @@ def _format_value(value: float) -> str:
     if isinstance(value, float) and not value.is_integer():
         return repr(value)
     return str(int(value))
+
+
+def escape_label_value(value: str) -> str:
+    """A label value escaped per the exposition spec (backslash, quote,
+    newline)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
 def render_prometheus(registry: MetricsRegistry) -> str:
@@ -66,4 +93,35 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         lines.append(f'{metric}_bucket{{le="+Inf"}} {summary["total"]}')
         lines.append(f"{metric}_sum {repr(float(summary['sum']))}")
         lines.append(f"{metric}_count {summary['total']}")
+    for name, sketch in snapshot["sketches"].items():
+        metric = sanitize_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for key, value in sketch["quantiles"].items():
+            q = int(key[1:]) / 100.0
+            lines.append(f'{metric}{{quantile="{q:g}"}} {repr(float(value))}')
+        lines.append(f"{metric}_sum {repr(float(sketch['sum']))}")
+        lines.append(f"{metric}_count {sketch['count']}")
+    rollups = snapshot.get("rollups", {})
+    if rollups:
+        for suffix, kind in _ROLLUP_SERIES:
+            metric = f"repro_rollup_{sanitize_name(suffix)}"
+            lines.append(f"# TYPE {metric} {kind}")
+            for doc in rollups.values():
+                labels = (
+                    f'service="{escape_label_value(doc["service"])}",'
+                    f'operation="{escape_label_value(doc["operation"])}"'
+                )
+                lines.append(
+                    f"{metric}{{{labels}}} {_format_value(float(doc[suffix]))}"
+                )
+        metric = "repro_rollup_error_rate_by_class"
+        lines.append(f"# TYPE {metric} gauge")
+        for doc in rollups.values():
+            for klass, rate in doc["error_rate_by_class"].items():
+                labels = (
+                    f'service="{escape_label_value(doc["service"])}",'
+                    f'operation="{escape_label_value(doc["operation"])}",'
+                    f'class="{klass}"'
+                )
+                lines.append(f"{metric}{{{labels}}} {_format_value(float(rate))}")
     return "\n".join(lines) + "\n"

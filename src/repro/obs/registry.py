@@ -16,8 +16,13 @@ live on the request hot path.  ``diagnostics`` and ``stage`` now import
 from __future__ import annotations
 
 import threading
+import time
 from bisect import bisect_left
-from typing import Any
+from collections import deque
+from typing import Any, Callable
+
+from repro.obs.rollup import DEFAULT_HALF_LIFE_S, ObsRollup, rollup_key
+from repro.obs.sketch import QuantileSketch
 
 # Pack-degree style bounds: entries carried per message (Figure 5-7 M sweep).
 DEFAULT_BOUNDS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
@@ -32,8 +37,16 @@ LATENCY_BOUNDS_S: tuple[float, ...] = (
 
 
 def _bound_label(bound: float) -> str:
-    """Render ``1`` as ``1`` and ``0.005`` as ``0.005`` (no trailing .0)."""
-    return f"{bound:g}"
+    """Render ``1`` as ``1`` and ``0.005`` as ``0.005`` (no trailing .0).
+
+    Always positional notation: ``%g`` would render 1e-05 in scientific
+    form, and a ``le="1e-05"`` label sorts *after* ``le="0.00025"`` in
+    any string-ordered exposition diff, making the bucket series look
+    non-monotonic.  Fixed-point keeps the rendered series in the same
+    order as the numeric bounds.
+    """
+    text = f"{bound:.12f}".rstrip("0").rstrip(".")
+    return text if text else "0"
 
 
 class Counter:
@@ -61,32 +74,56 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value (queue depth, worker count, ...)."""
+    """A point-in-time value (queue depth, worker count, ...).
 
-    __slots__ = ("name", "_value", "_lock")
+    ``set`` is a single attribute store (atomic under the GIL, last
+    writer wins — exactly gauge semantics) and ``add`` appends a delta
+    to a pending deque folded on read, so neither blocks on a lock:
+    in-flight gauges sit on the per-task stage hot path, where a
+    contended lock costs a thread park/unpark per event.
+    """
+
+    __slots__ = ("name", "_value", "_pending", "_lock")
+
+    #: pending ``add`` deltas buffered before an inline fold
+    MAX_PENDING = 256
 
     def __init__(self, name: str = "") -> None:
         self.name = name
         self._value = 0.0
+        self._pending: "deque[float]" = deque()
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Replace the gauge value."""
-        with self._lock:
-            self._value = value
+        self._value = value
 
     def add(self, delta: float) -> None:
         """Adjust the gauge by ``delta`` (use for in-flight counts)."""
+        pending = self._pending
+        pending.append(delta)
+        if len(pending) >= self.MAX_PENDING:
+            self._fold()
+
+    def _fold(self) -> None:
         with self._lock:
-            self._value += delta
+            pending = self._pending
+            value = self._value
+            while True:
+                try:
+                    value += pending.popleft()
+                except IndexError:
+                    break
+            self._value = value
 
     @property
     def value(self) -> float:
+        self._fold()
         return self._value
 
     def snapshot(self) -> float:
         """The current value."""
-        return self._value
+        return self.value
 
 
 class Histogram:
@@ -161,13 +198,28 @@ class MetricsRegistry:
 
     ``registry.counter("http.requests")`` returns the same
     :class:`Counter` from every thread; histogram ``bounds`` apply only
-    on first creation.
+    on first creation.  Beyond the three classic instrument kinds the
+    registry also hosts
+
+    * :class:`~repro.obs.sketch.QuantileSketch` instruments
+      (``registry.sketch(name)``) — the log-bucketed quantile store
+      phase/stage/call latencies record into;
+    * :class:`~repro.obs.rollup.ObsRollup` tables
+      (``registry.rollup(service, operation)``) — per-target latency
+      EWMA + error-rate EWMAs + in-flight gauge, the feed for hedging
+      thresholds and live SLO checks.
+
+    ``clock`` (monotonic) is threaded into every rollup so tests can
+    drive EWMAs deterministically.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, clock: Callable[[], float] = time.monotonic) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._sketches: dict[str, QuantileSketch] = {}
+        self._rollups: dict[tuple[str, str], ObsRollup] = {}
+        self._clock = clock
         self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
@@ -196,16 +248,71 @@ class MetricsRegistry:
                 instrument = self._histograms[name] = Histogram(bounds, name=name)
         return instrument
 
+    def sketch(
+        self, name: str, *, alpha: float | None = None
+    ) -> QuantileSketch:
+        """Get or create the quantile sketch ``name`` (``alpha`` — the
+        relative-error bound — is fixed at creation)."""
+        with self._lock:
+            instrument = self._sketches.get(name)
+            if instrument is None:
+                kwargs = {} if alpha is None else {"alpha": alpha}
+                instrument = self._sketches[name] = QuantileSketch(
+                    name=name, **kwargs
+                )
+        return instrument
+
+    def rollup(
+        self,
+        service: str,
+        operation: str,
+        *,
+        half_life_s: float = DEFAULT_HALF_LIFE_S,
+    ) -> ObsRollup:
+        """Get or create the per-target rollup for ``(service,
+        operation)``; ``half_life_s`` applies only on first creation.
+
+        This is the API adaptive consumers read: a hedging policy asks
+        ``registry.rollup(ns, op).latency_quantile(0.95)`` for its
+        fire threshold, an AIMD limiter watches
+        ``.error_rate_by_class["shed"]``.
+        """
+        key = (service, operation)
+        with self._lock:
+            instrument = self._rollups.get(key)
+            if instrument is None:
+                instrument = self._rollups[key] = ObsRollup(
+                    service,
+                    operation,
+                    half_life_s=half_life_s,
+                    clock=self._clock,
+                )
+        return instrument
+
+    def rollups(self) -> list[ObsRollup]:
+        """Every rollup created so far, sorted by (service, operation)."""
+        with self._lock:
+            return [self._rollups[key] for key in sorted(self._rollups)]
+
     def snapshot(self) -> dict[str, Any]:
         """Every instrument's state, grouped by kind, names sorted."""
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
+            sketches = dict(self._sketches)
+            rollups = dict(self._rollups)
         return {
             "counters": {name: counters[name].snapshot() for name in sorted(counters)},
             "gauges": {name: gauges[name].snapshot() for name in sorted(gauges)},
             "histograms": {
                 name: histograms[name].snapshot() for name in sorted(histograms)
+            },
+            "sketches": {
+                name: sketches[name].snapshot() for name in sorted(sketches)
+            },
+            "rollups": {
+                rollup_key(*key): rollups[key].snapshot()
+                for key in sorted(rollups)
             },
         }

@@ -25,14 +25,18 @@ server runs the exact seed code path plus one attribute lookup.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import threading
 import time
 from collections import deque
-from typing import IO, Iterator
+from typing import IO, TYPE_CHECKING, Iterator
 
-from repro.obs.registry import LATENCY_BOUNDS_S, MetricsRegistry
+from repro.obs.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.obs.store import SpanStore
 
 # Wire constants for propagation.
 TRACE_HTTP_HEADER = "X-Repro-Trace-Id"
@@ -46,13 +50,44 @@ def new_trace_id() -> str:
     return os.urandom(8).hex()
 
 
+# Span ids only need uniqueness, not unpredictability — and every Span
+# construction mints one, which puts id generation on each timed phase
+# of the request path.  os.urandom is a getrandom(2) syscall per call
+# (microseconds); a counter is one GIL-atomic next() (nanoseconds).
+# Seeded randomly once so ids from distinct processes rarely collide in
+# merged trace exports.
+_span_ids = itertools.count(int.from_bytes(os.urandom(4), "big"))
+
+
+def new_span_id() -> str:
+    """A fresh 32-bit hex span id (unique within a trace)."""
+    return f"{next(_span_ids) & 0xFFFFFFFF:08x}"
+
+
 class Span:
-    """One finished (or in-flight) timed phase of a trace."""
+    """One finished (or in-flight) timed phase of a trace.
 
-    __slots__ = ("trace_id", "name", "detail", "start", "end")
+    ``span_id``/``parent_id`` give spans tree structure: nested
+    ``with span(...)`` blocks on one thread parent automatically, and
+    stage workers inherit the protocol thread's span as parent through
+    the captured context (:func:`current` / :func:`span_in`) — which is
+    how a packed request renders as one ``server.handle`` root with one
+    ``execute`` child per pack entry.
+    """
 
-    def __init__(self, trace_id: str, name: str, detail: str = "") -> None:
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "detail", "start", "end")
+
+    def __init__(
+        self,
+        trace_id: str,
+        name: str,
+        detail: str = "",
+        *,
+        parent_id: str = "",
+    ) -> None:
         self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
         self.name = name
         self.detail = detail
         self.start = 0.0
@@ -66,6 +101,8 @@ class Span:
         """JSON-friendly span summary."""
         return {
             "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
             "name": self.name,
             "detail": self.detail,
             "start_s": self.start,
@@ -77,7 +114,12 @@ class Span:
 
 
 class _SpanHandle:
-    """Context manager that times one span and hands it to the tracer."""
+    """Context manager that times one span and hands it to the tracer.
+
+    Entering pushes the span onto the thread's span stack (so spans
+    opened inside the ``with`` body become its children) and adopts the
+    current stack top as parent when the span has none yet.
+    """
 
     __slots__ = ("_tracer", "_span")
 
@@ -86,11 +128,21 @@ class _SpanHandle:
         self._span = span
 
     def __enter__(self) -> Span:
-        self._span.start = self._tracer._clock()
-        return self._span
+        span = self._span
+        stack = getattr(_active, "stack", None)
+        if stack is None:
+            stack = _active.stack = []
+        if stack and not span.parent_id and stack[-1].trace_id == span.trace_id:
+            span.parent_id = stack[-1].span_id
+        stack.append(span)
+        span.start = self._tracer._clock()
+        return span
 
     def __exit__(self, *exc_info: object) -> None:
         self._span.end = self._tracer._clock()
+        stack = getattr(_active, "stack", None)
+        if stack and stack[-1] is self._span:
+            stack.pop()
         self._tracer._finish(self._span)
 
 
@@ -131,38 +183,63 @@ class Tracer:
         capacity: int = 4096,
         clock=time.perf_counter,
         export_sink: "IO[str] | None" = None,
+        store: "SpanStore | None" = None,
     ) -> None:
         self.registry = registry
         self._clock = clock
+        # bounded ring; deque appends/snapshots are atomic under the
+        # GIL, so the per-span hot path takes no lock at all
         self._spans: deque[Span] = deque(maxlen=capacity)
-        self._lock = threading.Lock()
+        # span name -> its registry sketch, to skip the registry lock
+        # (and the f-string) on every finished span after the first
+        self._span_sketches: dict[str, object] = {}
         self.export_sink = export_sink
+        self.store = store
         self._sink_lock = threading.Lock()
 
     # -- recording -----------------------------------------------------
 
-    def span(self, name: str, trace_id: str, detail: str = "") -> _SpanHandle:
-        """A context manager timing one phase of ``trace_id``."""
-        return _SpanHandle(self, Span(trace_id, name, detail))
+    def span(
+        self, name: str, trace_id: str, detail: str = "", *, parent_id: str = ""
+    ) -> _SpanHandle:
+        """A context manager timing one phase of ``trace_id``.
+
+        Without an explicit ``parent_id`` the span adopts the thread's
+        innermost open span of the same trace as parent.
+        """
+        return _SpanHandle(self, Span(trace_id, name, detail, parent_id=parent_id))
 
     def record_span(
-        self, name: str, trace_id: str, start: float, end: float, detail: str = ""
+        self,
+        name: str,
+        trace_id: str,
+        start: float,
+        end: float,
+        detail: str = "",
+        *,
+        parent_id: str = "",
     ) -> Span:
         """Record a phase timed by the caller (e.g. before the trace id
         was known — the HTTP parse phase discovers the id)."""
-        span = Span(trace_id, name, detail)
+        span = Span(trace_id, name, detail, parent_id=parent_id)
         span.start = start
         span.end = end
         self._finish(span)
         return span
 
     def _finish(self, span: Span) -> None:
-        with self._lock:
-            self._spans.append(span)
+        self._spans.append(span)
         if self.registry is not None:
-            self.registry.histogram(
-                f"span.{span.name}.seconds", LATENCY_BOUNDS_S
-            ).record(span.duration_s)
+            # quantile sketches, not fixed buckets: p99 of any phase is
+            # answerable to ~1% relative error regardless of magnitude
+            sketch = self._span_sketches.get(span.name)
+            if sketch is None:
+                sketch = self.registry.sketch(f"span.{span.name}.seconds")
+                self._span_sketches[span.name] = sketch
+            sketch.record(span.duration_s)
+        store = self.store
+        if store is not None:
+            store.ingest(span)
         sink = self.export_sink
         if sink is not None:
             line = json.dumps(span.as_dict(), separators=(",", ":"))
@@ -176,8 +253,7 @@ class Tracer:
 
     def spans(self, trace_id: str | None = None) -> list[Span]:
         """Recorded spans in completion order, optionally one trace's."""
-        with self._lock:
-            snapshot = list(self._spans)
+        snapshot = list(self._spans)
         if trace_id is None:
             return snapshot
         return [span for span in snapshot if span.trace_id == trace_id]
@@ -190,8 +266,7 @@ class Tracer:
         return list(seen)
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._spans)
+        return len(self._spans)
 
 
 # -- ambient per-thread trace context ----------------------------------
@@ -204,21 +279,26 @@ def activate(tracer: Tracer, trace_id: str) -> None:
     thread does this once the HTTP request head names the trace."""
     _active.tracer = tracer
     _active.trace_id = trace_id
+    _active.stack = []
 
 
 def deactivate() -> None:
     """Clear the current thread's trace binding."""
     _active.tracer = None
     _active.trace_id = None
+    _active.stack = []
 
 
-def current() -> tuple[Tracer, str] | None:
-    """The active (tracer, trace id), or None — capture this before
-    hopping threads (the staged server hands it to stage workers)."""
+def current() -> tuple[Tracer, str, str] | None:
+    """The active (tracer, trace id, parent span id), or None — capture
+    this before hopping threads (the staged server hands it to stage
+    workers, whose spans then parent under the capturing span)."""
     tracer = getattr(_active, "tracer", None)
     if tracer is None:
         return None
-    return tracer, _active.trace_id
+    stack = getattr(_active, "stack", None)
+    parent_id = stack[-1].span_id if stack else ""
+    return tracer, _active.trace_id, parent_id
 
 
 def current_trace_id() -> str | None:
@@ -236,12 +316,15 @@ def span(name: str, detail: str = ""):
     return tracer.span(name, _active.trace_id, detail)
 
 
-def span_in(context: tuple[Tracer, str] | None, name: str, detail: str = ""):
+def span_in(context: tuple | None, name: str, detail: str = ""):
     """Like :func:`span` but against an explicitly captured context —
-    for worker threads that inherited it from the protocol thread."""
+    for worker threads that inherited it from the protocol thread.
+    Accepts both the 3-tuple :func:`current` returns now and the
+    pre-span-tree 2-tuple."""
     if context is None:
         return NULL_SPAN
-    return context[0].span(name, context[1], detail)
+    parent_id = context[2] if len(context) > 2 else ""
+    return context[0].span(name, context[1], detail, parent_id=parent_id)
 
 
 class Observability:
@@ -253,22 +336,30 @@ class Observability:
         *,
         span_capacity: int = 4096,
         span_sink: "IO[str] | None" = None,
+        span_store: "SpanStore | None" = None,
     ) -> None:
         self.registry = MetricsRegistry()
+        self.store = span_store
         self.tracer = Tracer(
-            self.registry, capacity=span_capacity, export_sink=span_sink
+            self.registry,
+            capacity=span_capacity,
+            export_sink=span_sink,
+            store=span_store,
         )
         # Monotonic anchor: uptime is an interval, and wall clocks jump.
         self.started_at = time.monotonic()
 
     def metrics_snapshot(self) -> dict:
         """The ``/metrics`` JSON document."""
-        return {
+        doc = {
             "uptime_s": round(time.monotonic() - self.started_at, 3),
             "spans_recorded": len(self.tracer),
             "traces": len(self.tracer.trace_ids()),
             **self.registry.snapshot(),
         }
+        if self.store is not None:
+            doc["span_store"] = self.store.stats()
+        return doc
 
     def iter_traces(self) -> Iterator[tuple[str, list[Span]]]:
         """(trace id, spans) pairs in first-completion order."""

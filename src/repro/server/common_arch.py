@@ -43,10 +43,14 @@ class CommonSoapServer:
         observability: Observability | None = None,
         serialization_cache: ResponseTemplateCache | None = None,
         compression: CompressionPolicy | None = None,
+        slo_config: dict | None = None,
     ) -> None:
         self.observability = observability
         self.serialization_cache = serialization_cache
-        self.container = ServiceContainer(services)
+        self.container = ServiceContainer(
+            services,
+            registry=observability.registry if observability is not None else None,
+        )
         self.endpoint = SoapEndpoint(
             self.container,
             self._execute,
@@ -62,6 +66,7 @@ class CommonSoapServer:
             chunk_responses_over=chunk_responses_over,
             observability=observability,
             compression=compression,
+            slo_config=slo_config,
         )
 
     def _execute(
@@ -89,6 +94,12 @@ class CommonSoapServer:
                     )
                 )
                 self._count_deadline_expired()
+                if self.observability is not None:
+                    # never reached the container: account the expiry
+                    # into the target's rollup here
+                    self.observability.registry.rollup(
+                        entry.namespace, entry.local_name
+                    ).observe(0.0, "timeout")
                 continue
             with obs_span("execute", detail=entry.local_name):
                 if is_one_way(entry):

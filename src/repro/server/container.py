@@ -14,12 +14,26 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import ServiceError
-from repro.soap.constants import REQUEST_ID_ATTR
+from repro.obs.registry import MetricsRegistry
+from repro.soap.constants import (
+    FAULT_SERVER_BUSY,
+    FAULT_SERVER_TIMEOUT,
+    REQUEST_ID_ATTR,
+)
 from repro.soap.deserializer import OperationMatcher, parse_rpc_request
 from repro.soap.fault import SoapFault
 from repro.soap.serializer import serialize_rpc_response
 from repro.server.service import ServiceDefinition
 from repro.xmlcore.tree import Element
+
+
+def _fault_class(fault: SoapFault) -> str:
+    """Map a fault onto the rollup taxonomy (shed/timeout/retryable/fatal)."""
+    if fault.faultcode == FAULT_SERVER_BUSY:
+        return "shed"
+    if fault.faultcode == FAULT_SERVER_TIMEOUT:
+        return "timeout"
+    return "retryable" if fault.is_retryable() else "fatal"
 
 
 def entry_fault(entry: Element, fault: SoapFault) -> Element:
@@ -60,9 +74,26 @@ class ServiceContainer:
     [being] in one service container" — this is that container.
     """
 
-    def __init__(self, services: list[ServiceDefinition] | None = None) -> None:
+    def __init__(
+        self,
+        services: list[ServiceDefinition] | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        """``registry``: when given, every executed entry additionally
+        feeds the per-``(namespace, operation)``
+        :class:`~repro.obs.rollup.ObsRollup` — latency EWMA, error-rate
+        EWMAs by fault class, in-flight gauge — which is what
+        ``registry.rollup(ns, op)`` consumers (hedging thresholds, the
+        live ``/slo`` gate, the bench reporter) read."""
         self._services: dict[str, ServiceDefinition] = {}
         self._matcher = OperationMatcher()
+        self._registry = registry
+        # (namespace, operation) -> ObsRollup, written only on first
+        # sight of a target.  Reads go through dict.get, which is
+        # atomic under the GIL, so the per-entry hot path skips the
+        # registry lock entirely once a target is warm.
+        self._rollups: dict[tuple[str, str], object] = {}
         self._lock = threading.Lock()
         self.stats = ContainerStats()
         for service in services or []:
@@ -98,6 +129,15 @@ class ServiceContainer:
     def matcher(self) -> OperationMatcher:
         return self._matcher
 
+    def _rollup_for(self, entry: Element):
+        """The entry's target rollup, via a lock-free warm-path cache."""
+        key = (entry.namespace, entry.local_name)
+        rollup = self._rollups.get(key)
+        if rollup is None:
+            rollup = self._registry.rollup(entry.namespace, entry.local_name)
+            self._rollups[key] = rollup
+        return rollup
+
     def execute_entry(self, entry: Element) -> Element:
         """Decode, dispatch and execute one request entry.
 
@@ -107,6 +147,10 @@ class ServiceContainer:
         can correlate it.
         """
         request_id = entry.get(REQUEST_ID_ATTR)
+        rollup = self._rollup_for(entry) if self._registry is not None else None
+        if rollup is not None:
+            rollup.begin()
+        fault_class: str | None = None
         start = time.perf_counter()
         try:
             service = self._matcher.match(entry)
@@ -117,9 +161,13 @@ class ServiceContainer:
             )
             failed = False
         except BaseException as exc:
-            response = SoapFault.from_exception(exc).to_element()
+            fault = SoapFault.from_exception(exc)
+            response = fault.to_element()
+            fault_class = _fault_class(fault)
             failed = True
         elapsed = time.perf_counter() - start
+        if rollup is not None:
+            rollup.complete(elapsed, fault_class)
 
         if request_id is not None:
             response.set(REQUEST_ID_ATTR, request_id)

@@ -22,6 +22,7 @@ from typing import Callable, Protocol
 from repro.errors import PoolSaturatedError, ReproError, ServerBusyError
 from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.obs.registry import DEFAULT_BOUNDS
+from repro.obs.store import FLAG_DEADLINE, FLAG_FAULT, FLAG_SHED
 from repro.obs.trace import (
     TRACE_HEADER_TAG,
     TRACE_ID_ATTR,
@@ -211,6 +212,12 @@ class SoapEndpoint:
             return self._fault_response(
                 SoapFault(FAULT_SERVER_BUSY, str(exc)), status=503
             )
+        if self._obs is not None and self._obs.store is not None:
+            # Packed responses carry per-entry faults inside an HTTP 200
+            # — invisible to the status-based flagging at completion
+            # time.  Mark the trace now, while the entries are still
+            # unpacked, so tail sampling always retains it.
+            self._mark_entry_faults(context.response_entries)
         self.chain.run_response(context)
 
         start = time.perf_counter()
@@ -255,6 +262,25 @@ class SoapEndpoint:
         carried = header.get(TRACE_ID_ATTR)
         if carried and carried != current_trace_id():
             activate(self._obs.tracer, carried)
+
+    def _mark_entry_faults(self, entries: list[Element]) -> None:
+        """Flag the active trace in the span store for each entry fault
+        (shed/deadline/fault by faultcode)."""
+        trace_id = current_trace_id()
+        if trace_id is None:
+            return
+        store = self._obs.store
+        for entry in entries:
+            if entry.tag != FAULT_TAG:
+                continue
+            code = fault_code_of(entry) or ""
+            if code == FAULT_SERVER_BUSY:
+                flag = FLAG_SHED
+            elif code == FAULT_SERVER_TIMEOUT:
+                flag = FLAG_DEADLINE
+            else:
+                flag = FLAG_FAULT
+            store.mark(trace_id, flag)
 
     def _fault_response(self, fault: SoapFault, *, status: int) -> HttpResponse:
         envelope = Envelope()

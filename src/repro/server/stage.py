@@ -6,35 +6,46 @@ The staged architecture of Figure 2 wires two of them together:
 *application processing* (an explicit Stage of worker threads executing
 service operations).
 
-Service-time accounting is a :class:`~repro.obs.registry.Histogram`
-(the unified metrics primitive) rather than a bespoke sum/max pair;
-give the stage a :class:`~repro.obs.registry.MetricsRegistry` and its
-latency histogram is created in the registry (name
-``stage.<name>.service_time_s``) so it shows up under ``/metrics``.
+Service-time accounting is a
+:class:`~repro.obs.sketch.QuantileSketch` (log-bucketed, ~1% relative
+error at any magnitude — the fixed ``LATENCY_BOUNDS_S`` histogram
+quantized sub-millisecond stages into two buckets); give the stage a
+:class:`~repro.obs.registry.MetricsRegistry` and its latency sketch is
+created in the registry (name ``stage.<name>.service_time_s``) so it
+shows up under ``/metrics``, alongside live ``stage.<name>.queue_depth``
+/ ``.in_flight`` / ``.saturation`` gauges.
 """
 
 from __future__ import annotations
 
+import itertools
 import time
 from typing import Any, Callable
 
 from repro.errors import PoolSaturatedError
-from repro.obs.registry import LATENCY_BOUNDS_S, Histogram, MetricsRegistry
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sketch import QuantileSketch
 from repro.server.threadpool import TaskFuture, ThreadPool
 
 
 class StageStats:
-    """Per-stage event accounting over a unified latency histogram."""
+    """Per-stage event accounting over a latency quantile sketch.
+
+    Any instrument speaking ``record``/``sum``/``mean`` works (the
+    sketch and the fixed-bucket histogram both do).
+    """
 
     __slots__ = ("events", "failures", "max_service_time", "per_kind", "service_time")
 
-    def __init__(self, histogram: Histogram | None = None) -> None:
+    def __init__(self, instrument: QuantileSketch | None = None) -> None:
         self.events = 0
         self.failures = 0
         self.max_service_time = 0.0
         self.per_kind: dict[str, int] = {}
         self.service_time = (
-            histogram if histogram is not None else Histogram(LATENCY_BOUNDS_S)
+            instrument
+            if instrument is not None
+            else QuantileSketch(name="stage.service_time_s")
         )
 
     def record(self, kind: str, elapsed: float, *, failed: bool) -> None:
@@ -86,15 +97,20 @@ class Stage:
     ) -> None:
         self.name = name
         self._pool = ThreadPool(workers, name=f"stage-{name}", max_queue=max_queue)
-        histogram = (
-            registry.histogram(f"stage.{name}.service_time_s", LATENCY_BOUNDS_S)
-            if registry is not None
-            else None
-        )
-        self._rejected_counter = (
-            registry.counter(f"stage.{name}.rejected") if registry is not None else None
-        )
-        self.stats = StageStats(histogram)
+        if registry is not None:
+            instrument = registry.sketch(f"stage.{name}.service_time_s")
+            self._rejected_counter = registry.counter(f"stage.{name}.rejected")
+            self._queue_gauge = registry.gauge(f"stage.{name}.queue_depth")
+            self._in_flight_gauge = registry.gauge(f"stage.{name}.in_flight")
+            self._saturation_gauge = registry.gauge(f"stage.{name}.saturation")
+        else:
+            instrument = None
+            self._rejected_counter = None
+            self._queue_gauge = None
+            self._in_flight_gauge = None
+            self._saturation_gauge = None
+        self._observe_tick = itertools.count()
+        self.stats = StageStats(instrument)
 
     @property
     def workers(self) -> int:
@@ -117,11 +133,13 @@ class Stage:
         queue is at its bound.
         """
         try:
-            return self._pool.submit(self._timed, handler, kind, args, kwargs)
+            future = self._pool.submit(self._timed, handler, kind, args, kwargs)
         except PoolSaturatedError:
             if self._rejected_counter is not None:
                 self._rejected_counter.inc()
             raise
+        self._observe_queue()
+        return future
 
     def pool_stats(self) -> dict[str, int]:
         """The backing thread pool's counters."""
@@ -137,12 +155,40 @@ class Stage:
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
+    def _observe_queue(self) -> None:
+        """Refresh the live queue-depth and saturation gauges.
+
+        Sampled: every 8th submit.  ``queue_depth()`` takes the queue's
+        own mutex — the lock all workers contend on for work — so a
+        per-submit poll adds contention exactly where the stage is
+        hottest, for gauge freshness nobody can observe.
+        """
+        if self._queue_gauge is None:
+            return
+        if next(self._observe_tick) & 0x7:
+            return
+        depth = self._pool.queue_depth()
+        self._queue_gauge.set(depth)
+        bound = self._pool.max_queue
+        if bound:
+            self._saturation_gauge.set(depth / bound)
+
     def _timed(self, handler: Callable[..., Any], kind: str, args: tuple, kwargs: dict) -> Any:
+        # the queue-depth/saturation gauges refresh on submit only:
+        # qsize() takes the queue's own mutex — the lock every worker
+        # already contends on to pull work — so polling it from worker
+        # threads per task doubles traffic on the hottest lock in the
+        # stage for no added freshness
+        if self._in_flight_gauge is not None:
+            self._in_flight_gauge.add(1)
         start = time.perf_counter()
         try:
             result = handler(*args, **kwargs)
         except BaseException:
             self.stats.record(kind, time.perf_counter() - start, failed=True)
             raise
+        finally:
+            if self._in_flight_gauge is not None:
+                self._in_flight_gauge.add(-1)
         self.stats.record(kind, time.perf_counter() - start, failed=False)
         return result

@@ -62,10 +62,14 @@ class StagedSoapServer:
         observability: Observability | None = None,
         serialization_cache: ResponseTemplateCache | None = None,
         compression: CompressionPolicy | None = None,
+        slo_config: dict | None = None,
     ) -> None:
         self.observability = observability
         self.serialization_cache = serialization_cache
-        self.container = ServiceContainer(services)
+        self.container = ServiceContainer(
+            services,
+            registry=observability.registry if observability is not None else None,
+        )
         # app_queue_limit bounds the application stage's backlog: once
         # that many entries wait for a worker, further entries shed with
         # a Server.Busy fault instead of queueing unboundedly.
@@ -90,6 +94,7 @@ class StagedSoapServer:
             chunk_responses_over=chunk_responses_over,
             observability=observability,
             compression=compression,
+            slo_config=slo_config,
         )
 
     def _execute(
@@ -121,6 +126,7 @@ class StagedSoapServer:
                     ),
                 )
                 self._count("resilience.deadline_expired")
+                self._observe_skipped(entry, "timeout")
             elif is_one_way(entry):
                 results[index] = accepted_response(entry)
                 try:
@@ -132,6 +138,7 @@ class StagedSoapServer:
                     # place of the silently-dropped execution
                     results[index] = entry_fault(entry, busy_fault(str(exc)))
                     self._count("resilience.shed")
+                    self._observe_skipped(entry, "shed")
             else:
                 waited.append((index, entry))
 
@@ -160,6 +167,7 @@ class StagedSoapServer:
                     # stage saturated mid-pack: shed this entry alone
                     results[index] = entry_fault(entry, busy_fault(str(exc)))
                     self._count("resilience.shed")
+                    self._observe_skipped(entry, "shed")
                     latch.count_down()
 
             # the protocol thread "goes to sleep" here; its patience is
@@ -181,11 +189,21 @@ class StagedSoapServer:
                             ),
                         )
                         self._count("resilience.deadline_expired")
+                        self._observe_skipped(entry, "timeout")
         return [entry for entry in results if entry is not None]
 
     def _count(self, name: str) -> None:
         if self.observability is not None:
             self.observability.registry.counter(name).inc()
+
+    def _observe_skipped(self, entry: Element, fault_class: str) -> None:
+        """Entries faulted before (or instead of) executing — sheds and
+        deadline expiries — still count into the target's rollup; the
+        container never saw them."""
+        if self.observability is not None:
+            self.observability.registry.rollup(
+                entry.namespace, entry.local_name
+            ).observe(0.0, fault_class)
 
     def _execute_traced(self, ctx, entry: Element) -> Element:
         with obs_trace.span_in(ctx, "execute", detail=entry.local_name):

@@ -118,7 +118,7 @@ class ResponseTemplateCache:
 
     __slots__ = ("_lock", "_templates", "_version", "_max_entries",
                  "_max_template_chars", "_stats", "_hit_counter",
-                 "_miss_counter")
+                 "_miss_counter", "_eviction_counter", "_hit_ratio_gauge")
 
     def __init__(
         self,
@@ -135,8 +135,16 @@ class ResponseTemplateCache:
         self._max_entries = max_entries
         self._max_template_chars = max_template_chars
         self._stats = SerCacheStats()
-        self._hit_counter = registry.counter("cache.sercache.hit") if registry else None
-        self._miss_counter = registry.counter("cache.sercache.miss") if registry else None
+        if registry is not None:
+            self._hit_counter = registry.counter("cache.sercache.hit")
+            self._miss_counter = registry.counter("cache.sercache.miss")
+            self._eviction_counter = registry.counter("cache.sercache.evictions")
+            self._hit_ratio_gauge = registry.gauge("cache.sercache.hit_ratio")
+        else:
+            self._hit_counter = None
+            self._miss_counter = None
+            self._eviction_counter = None
+            self._hit_ratio_gauge = None
 
     # -- rendering -----------------------------------------------------
 
@@ -185,6 +193,7 @@ class ResponseTemplateCache:
             if template is not None:
                 self._templates.move_to_end(key)
                 self._stats.hits += 1
+                self._update_ratio_locked()
             version = self._version
         if template is not None:
             if self._hit_counter is not None:
@@ -214,6 +223,7 @@ class ResponseTemplateCache:
         template = _Template(segments, qname.uri, qname.local)
         with self._lock:
             self._stats.misses += 1
+            self._update_ratio_locked()
             if self._version != version:
                 # invalidated while we were rendering: the capture may
                 # predate the interface change — drop it.
@@ -223,6 +233,12 @@ class ResponseTemplateCache:
             while len(self._templates) > self._max_entries:
                 self._templates.popitem(last=False)
                 self._stats.evictions += 1
+                if self._eviction_counter is not None:
+                    self._eviction_counter.inc()
+
+    def _update_ratio_locked(self) -> None:
+        if self._hit_ratio_gauge is not None:
+            self._hit_ratio_gauge.set(self._stats.hit_rate)
 
     # -- maintenance ---------------------------------------------------
 

@@ -28,7 +28,7 @@ class EvictingMemo:
 class SuppressedMemo:
     def __init__(self):
         # cleared per document; lifetime-bounded by construction
-        self._span_memo = {}  # repro: disable=no-unbounded-cache
+        self._doc_memo = {}  # repro: disable=no-unbounded-cache
 
 
 class NotACache:

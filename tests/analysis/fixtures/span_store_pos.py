@@ -1,0 +1,18 @@
+"""Positive fixture: span/trace buffers with no registered bound."""
+
+from collections import deque
+
+
+class UnboundedSpanRing:
+    def __init__(self):
+        self._spans = []
+        self._trace_index = {}
+
+    def ingest(self, span):
+        self._spans.append(span)
+        self._trace_index.setdefault(span.trace_id, []).append(span)
+
+
+class UnboundedTraceLog:
+    def __init__(self):
+        self.completed_traces = deque()

@@ -67,6 +67,15 @@ class TestPositiveFixtures:
         assert any("UnboundedTemplates._templates" in m for m in messages)
         assert len(findings) == 3
 
+    def test_no_unbounded_span_store(self):
+        findings = corpus_findings("span_store_pos.py")
+        assert {f.rule_id for f in findings} == {"no-unbounded-span-store"}
+        messages = {f.message for f in findings}
+        assert any("UnboundedSpanRing._spans" in m for m in messages)
+        assert any("UnboundedSpanRing._trace_index" in m for m in messages)
+        assert any("UnboundedTraceLog.completed_traces" in m for m in messages)
+        assert len(findings) == 3
+
     def test_no_bare_except(self):
         findings = corpus_findings("bare_except_pos.py")
         assert [f.rule_id for f in findings] == ["no-bare-except"]
@@ -87,6 +96,7 @@ class TestPositiveFixtures:
         "slots_neg.py",
         "queue_neg.py",
         "cache_neg.py",
+        "span_store_neg.py",
         "bare_except_neg.py",
         "server/swallow_neg.py",
     ],

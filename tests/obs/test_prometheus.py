@@ -85,7 +85,15 @@ class TestAdminRoute:
         assert response.headers.get("Content-Type") == CONTENT_TYPE
         text = response.body.decode("utf-8")
         assert "# TYPE http_requests counter" in text
-        assert 'span_execute_seconds_bucket{le="+Inf"}' in text
+        # span latencies are summaries (sketch quantiles) now
+        assert "# TYPE span_execute_seconds summary" in text
+        assert 'span_execute_seconds{quantile="0.99"}' in text
+        assert "span_execute_seconds_count 4" in text
+        # per-target rollup series carry service/operation labels
+        assert (
+            'repro_rollup_calls{service="urn:repro:echo",operation="echo"} 4'
+            in text
+        )
 
     def test_metrics_without_format_still_json(self):
         import json

@@ -82,9 +82,9 @@ class TestTracePropagation:
         assert snap["histograms"]["soap.pack_degree"]["buckets"]["<=32"] == 1
         # handler-chain pack metrics land in the same registry ...
         assert snap["histograms"]["pack.degree"]["total"] == 1
-        # ... as do the span-duration and stage-latency histograms
-        assert snap["histograms"]["span.execute.seconds"]["total"] == 32
-        assert snap["histograms"]["stage.application.service_time_s"]["total"] >= 1
+        # ... as do the span-duration and stage-latency sketches
+        assert snap["sketches"]["span.execute.seconds"]["count"] == 32
+        assert snap["sketches"]["stage.application.service_time_s"]["count"] >= 1
 
 
 class TestAdminEndpoints:

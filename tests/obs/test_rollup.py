@@ -1,0 +1,131 @@
+"""Ewma and ObsRollup under an injected monotonic clock: convergence,
+fault-class accounting, and registry integration — all deterministic."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, ObsRollup, rollup_key
+from repro.obs.rollup import Ewma
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestEwma:
+    def test_first_observation_seeds(self):
+        ewma = Ewma(half_life_s=30.0)
+        assert not ewma.seeded
+        assert ewma.update(0.25, now=10.0) == 0.25
+        assert ewma.seeded and ewma.value == 0.25
+
+    def test_one_half_life_moves_halfway(self):
+        ewma = Ewma(half_life_s=10.0)
+        ewma.update(0.0, now=0.0)
+        ewma.update(1.0, now=10.0)  # exactly one half-life later
+        assert ewma.value == pytest.approx(0.5)
+
+    def test_converges_to_constant_input(self):
+        ewma = Ewma(half_life_s=5.0)
+        now = 0.0
+        for _ in range(50):
+            ewma.update(0.125, now)
+            now += 1.0
+        assert ewma.value == pytest.approx(0.125)
+
+    def test_step_change_decays_deterministically(self):
+        ewma = Ewma(half_life_s=10.0)
+        ewma.update(1.0, now=0.0)
+        # after three half-lives of zeros the residue is 1/8
+        for i in (10.0, 20.0, 30.0):
+            ewma.update(0.0, now=i)
+        assert ewma.value == pytest.approx(1.0 / 8.0)
+
+    def test_zero_dt_burst_still_moves(self):
+        ewma = Ewma(half_life_s=30.0)
+        ewma.update(0.0, now=5.0)
+        before = ewma.value
+        ewma.update(1.0, now=5.0)  # same instant: gain floored at 1/64
+        assert ewma.value == pytest.approx(before + (1.0 - before) / 64.0)
+
+    def test_rejects_nonpositive_half_life(self):
+        with pytest.raises(ValueError):
+            Ewma(half_life_s=0.0)
+
+
+class TestObsRollup:
+    def make(self, half_life=10.0):
+        clock = FakeClock()
+        rollup = ObsRollup("urn:svc", "op", half_life_s=half_life, clock=clock)
+        return rollup, clock
+
+    def test_latency_ewma_is_deterministic_under_injected_clock(self):
+        rollup, clock = self.make()
+        rollup.observe(0.100)
+        clock.advance(10.0)
+        rollup.observe(0.300)  # one half-life: halfway from 0.1 to 0.3
+        assert rollup.latency_s() == pytest.approx(0.200)
+        snap = rollup.snapshot()
+        assert snap["latency_ewma_s"] == pytest.approx(0.200)
+        assert snap["calls"] == 2 and snap["faults"] == 0
+
+    def test_error_rate_splits_by_fault_class(self):
+        rollup, clock = self.make()
+        rollup.observe(0.01)  # success seeds every EWMA at 0
+        clock.advance(10.0)
+        rollup.observe(0.01, "shed")  # one half-life: each rate moves to 0.5
+        snap = rollup.snapshot()
+        assert snap["error_rate"] == pytest.approx(0.5)
+        assert snap["error_rate_by_class"]["shed"] == pytest.approx(0.5)
+        # sheds are retryable by definition; timeouts did not happen
+        assert snap["error_rate_by_class"]["retryable"] == pytest.approx(0.5)
+        assert snap["error_rate_by_class"]["timeout"] == pytest.approx(0.0)
+        assert snap["faults"] == 1
+
+    def test_fatal_faults_count_overall_but_not_retryable(self):
+        rollup, clock = self.make()
+        rollup.observe(0.01, "fatal")
+        snap = rollup.snapshot()
+        assert snap["error_rate"] == pytest.approx(1.0)
+        assert snap["error_rate_by_class"]["retryable"] == pytest.approx(0.0)
+
+    def test_in_flight_gauge_brackets(self):
+        rollup, _ = self.make()
+        rollup.begin()
+        rollup.begin()
+        assert rollup.in_flight == 2
+        rollup.done()
+        assert rollup.in_flight == 1
+        assert rollup.snapshot()["in_flight"] == 1
+
+    def test_latency_quantiles_come_from_the_sketch(self):
+        rollup, clock = self.make()
+        for ms in range(1, 101):
+            rollup.observe(ms / 1000.0)
+            clock.advance(0.5)
+        assert rollup.latency_quantile(0.5) == pytest.approx(0.050, rel=0.02)
+        assert rollup.snapshot()["latency_p99_s"] == pytest.approx(0.100, rel=0.02)
+
+
+class TestRegistryIntegration:
+    def test_rollup_is_get_or_create(self):
+        registry = MetricsRegistry()
+        a = registry.rollup("urn:svc", "op")
+        assert registry.rollup("urn:svc", "op") is a
+        assert registry.rollup("urn:svc", "other") is not a
+
+    def test_snapshot_carries_rollups_keyed_by_target(self):
+        registry = MetricsRegistry()
+        registry.rollup("urn:svc", "op").observe(0.05)
+        snap = registry.snapshot()
+        key = rollup_key("urn:svc", "op")
+        assert key == "urn:svc#op"
+        doc = snap["rollups"][key]
+        assert doc["service"] == "urn:svc" and doc["operation"] == "op"
+        assert doc["calls"] == 1

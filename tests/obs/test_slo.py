@@ -1,0 +1,179 @@
+"""SLO checker: budget evaluation over bench trajectories and live
+snapshots, plus the CLI's exit-code contract."""
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    evaluate_bench,
+    evaluate_snapshot,
+    main,
+    pick_entry,
+    summarize,
+)
+
+CONFIG = {
+    "bench": {
+        "fig7": {
+            "overhead_pct": {"max": 5.0},
+            "wire_saved_pct": {"min": 90.0},
+        }
+    },
+    "live": {
+        "targets": {
+            "urn:svc#op": {
+                "latency_p99_s": {"max": 0.25},
+                "error_rate_by_class.shed": {"max": 0.2},
+            }
+        },
+        "sketches": {"span.execute.seconds": {"quantiles.p99": {"max": 0.1}}},
+    },
+}
+
+
+def trajectory(overhead=3.0, saved=95.0):
+    return {
+        "entries": [
+            {"label": "PR-6", "results": {"fig7": {"overhead_pct": 1.0}}},
+            {
+                "label": "PR-7",
+                "results": {
+                    "fig7": {"overhead_pct": overhead, "wire_saved_pct": saved}
+                },
+            },
+        ]
+    }
+
+
+class TestPickEntry:
+    def test_default_is_latest(self):
+        assert pick_entry(trajectory())["label"] == "PR-7"
+
+    def test_by_label(self):
+        assert pick_entry(trajectory(), "PR-6")["label"] == "PR-6"
+
+    def test_missing_label_and_empty(self):
+        assert pick_entry(trajectory(), "PR-99") is None
+        assert pick_entry({"entries": []}) is None
+
+
+class TestEvaluateBench:
+    def test_within_budget_passes(self):
+        checks = evaluate_bench(CONFIG, trajectory())
+        assert all(c.ok for c in checks)
+        assert {c.kind for c in checks} == {"max", "min"}
+
+    def test_bust_fails_the_right_check(self):
+        checks = evaluate_bench(CONFIG, trajectory(overhead=9.9))
+        failed = [c for c in checks if not c.ok]
+        assert [c.metric for c in failed] == ["overhead_pct"]
+        assert failed[0].value == 9.9 and failed[0].bound == 5.0
+
+    def test_min_budget_direction(self):
+        checks = evaluate_bench(CONFIG, trajectory(saved=50.0))
+        failed = [c for c in checks if not c.ok]
+        assert [c.metric for c in failed] == ["wire_saved_pct"]
+
+    def test_absent_metric_is_skipped_not_failed(self):
+        checks = evaluate_bench(CONFIG, trajectory(), label="PR-6")
+        skipped = [c for c in checks if c.skipped]
+        assert [c.metric for c in skipped] == ["wire_saved_pct"]
+        assert all(c.ok for c in checks)
+
+
+class TestEvaluateSnapshot:
+    def snapshot(self, p99=0.1, shed=0.05):
+        return {
+            "rollups": {
+                "urn:svc#op": {
+                    "latency_p99_s": p99,
+                    "error_rate_by_class": {"shed": shed},
+                }
+            },
+            "sketches": {
+                "span.execute.seconds": {"quantiles": {"p99": 0.01}}
+            },
+        }
+
+    def test_within_budget_passes(self):
+        checks = evaluate_snapshot(CONFIG, self.snapshot())
+        assert len(checks) == 3 and all(c.ok for c in checks)
+
+    def test_dotted_path_reaches_nested_class_rates(self):
+        checks = evaluate_snapshot(CONFIG, self.snapshot(shed=0.9))
+        failed = [c for c in checks if not c.ok]
+        assert [c.metric for c in failed] == ["error_rate_by_class.shed"]
+
+    def test_missing_target_skips_every_budget(self):
+        checks = evaluate_snapshot(CONFIG, {"rollups": {}, "sketches": {}})
+        assert all(c.skipped for c in checks)
+
+
+class TestSummarize:
+    def test_strict_turns_skips_into_a_bust(self):
+        checks = evaluate_snapshot(CONFIG, {"rollups": {}, "sketches": {}})
+        assert summarize(checks)["ok"] is True
+        assert summarize(checks, strict=True)["ok"] is False
+
+    def test_document_shape(self):
+        doc = summarize(evaluate_bench(CONFIG, trajectory()))
+        assert doc["failed"] == 0 and doc["checks"] == len(doc["results"])
+        assert {"subject", "metric", "value", "bound", "kind", "ok", "skipped"} <= set(
+            doc["results"][0]
+        )
+
+
+class TestCli:
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_passing_bench_gate_exits_zero(self, tmp_path, capsys):
+        config = self.write(tmp_path, "slo.json", CONFIG)
+        bench = self.write(tmp_path, "bench.json", trajectory())
+        assert main(["check", "--config", config, "--bench", bench]) == 0
+        out = capsys.readouterr().out
+        assert "-> OK" in out and "[ok  ]" in out
+
+    def test_bust_exits_one(self, tmp_path, capsys):
+        config = self.write(tmp_path, "slo.json", CONFIG)
+        bench = self.write(tmp_path, "bench.json", trajectory(overhead=50.0))
+        assert main(["check", "--config", config, "--bench", bench]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_label_selects_the_gated_entry(self, tmp_path):
+        config = self.write(tmp_path, "slo.json", CONFIG)
+        bench = self.write(tmp_path, "bench.json", trajectory(overhead=50.0))
+        # PR-6 recorded 1.0% overhead; gating that entry passes
+        assert main(
+            ["check", "--config", config, "--bench", bench, "--label", "PR-6"]
+        ) == 0
+
+    def test_strict_fails_on_skips(self, tmp_path):
+        config = self.write(tmp_path, "slo.json", CONFIG)
+        bench = self.write(tmp_path, "bench.json", trajectory())
+        snapshot = self.write(tmp_path, "snap.json", {"rollups": {}, "sketches": {}})
+        args = ["check", "--config", config, "--bench", bench, "--snapshot", snapshot]
+        assert main(args) == 0
+        assert main(args + ["--strict"]) == 1
+
+    def test_usage_errors_exit_two(self, tmp_path):
+        config = self.write(tmp_path, "slo.json", CONFIG)
+        assert main(["check", "--config", str(tmp_path / "nope.json")]) == 2
+        assert main(["check", "--config", config]) == 2  # nothing to evaluate
+
+    def test_repo_slo_config_gates_the_committed_trajectory(self):
+        # the committed slo.json + BENCH_e2e.json must stay green — this
+        # is exactly what the CI obs-slo job runs
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        assert main(
+            [
+                "check",
+                "--config", str(root / "slo.json"),
+                "--bench", str(root / "BENCH_e2e.json"),
+            ]
+        ) == 0

@@ -61,6 +61,6 @@ class TestJsonlSink:
         record = json.loads(sink.getvalue())
         assert record["name"] == "client.call"
         # the registry feed still works alongside the sink
-        assert obs.registry.snapshot()["histograms"][
+        assert obs.registry.snapshot()["sketches"][
             "span.client.call.seconds"
-        ]["total"] == 1
+        ]["count"] == 1
