@@ -16,8 +16,8 @@ import pytest
 
 from repro.apps.echo import ECHO_NS, ECHO_SERVICE, make_echo_payload, make_echo_service
 from repro.client.proxy import ServiceProxy
-from repro.server.staged_arch import StagedSoapServer
 from repro.transport.tcp import TcpTransport
+from repro.server import ServerConfig, build_server
 
 PAYLOAD = make_echo_payload(1_000_000)
 
@@ -25,12 +25,7 @@ PAYLOAD = make_echo_payload(1_000_000)
 @pytest.fixture(scope="module", params=[None, 64 * 1024], ids=["content-length", "chunked"])
 def echo_server(request):
     transport = TcpTransport()
-    server = StagedSoapServer(
-        [make_echo_service()],
-        transport=transport,
-        address=("127.0.0.1", 0),
-        chunk_responses_over=request.param,
-    )
+    server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address=("127.0.0.1", 0), chunk_responses_over=request.param))
     address = server.start()
     yield request.param, transport, address
     server.stop()
@@ -63,12 +58,7 @@ def test_chunking_overhead_is_modest(benchmark):
     times = {}
     for chunked in (None, 64 * 1024):
         transport = TcpTransport()
-        server = StagedSoapServer(
-            [make_echo_service()],
-            transport=transport,
-            address=("127.0.0.1", 0),
-            chunk_responses_over=chunked,
-        )
+        server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address=("127.0.0.1", 0), chunk_responses_over=chunked))
         address = server.start()
         try:
             samples = []

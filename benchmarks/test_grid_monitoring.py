@@ -16,7 +16,7 @@ from repro.bench.workloads import build_transport
 from repro.client.proxy import ServiceProxy
 from repro.core.dispatcher import spi_server_handlers
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
+from repro.server import ServerConfig, build_server
 
 JOBS = 10
 
@@ -25,12 +25,7 @@ JOBS = 10
 def grid_env():
     transport = build_transport("lan")
     service = make_grid_service(workers=8, work_units=20)
-    server = StagedSoapServer(
-        [service],
-        transport=transport,
-        address=("127.0.0.1", 0),
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    server = build_server(ServerConfig(services=[service], architecture="staged", transport=transport, address=("127.0.0.1", 0), chain=HandlerChain(spi_server_handlers())))
     address = server.start()
     yield transport, address
     server.stop()

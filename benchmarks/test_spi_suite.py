@@ -35,7 +35,7 @@ from repro.core.remote_exec import (
 )
 from repro.core.dispatcher import spi_server_handlers
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
+from repro.server import ServerConfig, build_server
 
 M = 16
 
@@ -112,12 +112,7 @@ def test_autopack_fewer_messages_than_serial(benchmark, echo_bed):
 @pytest.fixture(scope="module")
 def pipeline_env():
     transport = build_transport("lan")
-    server = StagedSoapServer(
-        [make_airline_service("AirChina", 480), make_credit_card_service()],
-        transport=transport,
-        address=("127.0.0.1", 0),
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    server = build_server(ServerConfig(services=[make_airline_service("AirChina", 480), make_credit_card_service()], architecture="staged", transport=transport, address=("127.0.0.1", 0), chain=HandlerChain(spi_server_handlers())))
     server.container.deploy(make_plan_runner_service(server.container))
     address = server.start()
     yield transport, address

@@ -20,7 +20,7 @@ from repro.core.dispatcher import spi_server_handlers
 from repro.client.proxy import ServiceProxy
 from repro.apps.echo import ECHO_NS, ECHO_SERVICE
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
+from repro.server import ServerConfig, build_server
 
 M = 16
 DELAY_MS = 5
@@ -31,13 +31,7 @@ WORKER_COUNTS = [1, 4, 16]
 def sized_bed(request):
     workers = request.param
     transport = build_transport("lan")
-    server = StagedSoapServer(
-        [make_echo_service()],
-        transport=transport,
-        address=("127.0.0.1", 0),
-        chain=HandlerChain(spi_server_handlers()),
-        app_workers=workers,
-    )
+    server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address=("127.0.0.1", 0), chain=HandlerChain(spi_server_handlers()), app_workers=workers))
     address = server.start()
     yield workers, transport, address
     server.stop()
@@ -76,13 +70,7 @@ def test_more_workers_is_faster(benchmark):
     times = {}
     for workers in (1, 16):
         transport = build_transport("lan")
-        server = StagedSoapServer(
-            [make_echo_service()],
-            transport=transport,
-            address=("127.0.0.1", 0),
-            chain=HandlerChain(spi_server_handlers()),
-            app_workers=workers,
-        )
+        server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address=("127.0.0.1", 0), chain=HandlerChain(spi_server_handlers()), app_workers=workers))
         address = server.start()
         try:
             samples = []

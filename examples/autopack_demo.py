@@ -14,18 +14,13 @@ from repro.apps.echo import ECHO_NS, make_echo_service
 from repro.core import spi_server_handlers
 from repro.core.autopack import AutoPacker
 from repro.client.proxy import ServiceProxy
-from repro.server import HandlerChain, StagedSoapServer
+from repro.server import HandlerChain, ServerConfig, build_server
 from repro.transport import TcpTransport
 
 
 def main() -> None:
     transport = TcpTransport()
-    server = StagedSoapServer(
-        [make_echo_service()],
-        transport=transport,
-        address=("127.0.0.1", 0),
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address=("127.0.0.1", 0), chain=HandlerChain(spi_server_handlers())))
     with server.running() as address:
         proxy = ServiceProxy(
             transport, address, namespace=ECHO_NS, service_name="EchoService",

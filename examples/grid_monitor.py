@@ -14,7 +14,7 @@ import time
 from repro.apps.grid import GRID_NS, GRID_SERVICE, GridMonitor, make_grid_service
 from repro.client.proxy import ServiceProxy
 from repro.core import spi_server_handlers
-from repro.server import HandlerChain, StagedSoapServer
+from repro.server import HandlerChain, ServerConfig, build_server
 from repro.transport import TcpTransport
 
 JOBS = 12
@@ -47,12 +47,7 @@ def monitor_run(transport, address, server, use_packing: bool) -> None:
 def main() -> None:
     transport = TcpTransport()
     service = make_grid_service(workers=8, work_units=30)
-    server = StagedSoapServer(
-        [service],
-        transport=transport,
-        address=("127.0.0.1", 0),
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    server = build_server(ServerConfig(services=[service], architecture="staged", transport=transport, address=("127.0.0.1", 0), chain=HandlerChain(spi_server_handlers())))
     with server.running() as address:
         print(f"JobManager on {address[0]}:{address[1]} — monitoring {JOBS} jobs\n")
         monitor_run(transport, address, server, use_packing=False)

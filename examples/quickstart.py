@@ -5,7 +5,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core import spi, spi_server_handlers
-from repro.server import StagedSoapServer, HandlerChain, operation, service_from_object
+from repro.server import HandlerChain, ServerConfig, build_server, operation, service_from_object
 from repro.transport import TcpTransport
 
 
@@ -27,12 +27,7 @@ def main() -> None:
     # 1. deploy — the staged (Fig. 2) architecture with SPI pack support
     service = service_from_object(Greeter(), namespace="urn:example:greeter")
     transport = TcpTransport()
-    server = StagedSoapServer(
-        [service],
-        transport=transport,
-        address=("127.0.0.1", 0),
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    server = build_server(ServerConfig(services=[service], architecture="staged", transport=transport, address=("127.0.0.1", 0), chain=HandlerChain(spi_server_handlers())))
 
     with server.running() as address:
         print(f"server listening on {address}")

@@ -17,17 +17,13 @@ from repro.core.remote_exec import (
     make_plan_runner_service,
 )
 from repro.client.proxy import ServiceProxy
-from repro.server import StagedSoapServer
 from repro.transport import TcpTransport
+from repro.server import ServerConfig, build_server
 
 
 def main() -> None:
     transport = TcpTransport()
-    server = StagedSoapServer(
-        [make_airline_service("AirChina", 480), make_credit_card_service()],
-        transport=transport,
-        address=("127.0.0.1", 0),
-    )
+    server = build_server(ServerConfig(services=[make_airline_service("AirChina", 480), make_credit_card_service()], architecture="staged", transport=transport, address=("127.0.0.1", 0)))
     server.container.deploy(make_plan_runner_service(server.container))
 
     with server.running() as address:

@@ -14,7 +14,7 @@ from repro.client.proxy import ServiceProxy
 from repro.core import spi_server_handlers
 from repro.core.batch import PackBatch
 from repro.errors import SoapFaultError
-from repro.server import HandlerChain, SecurityVerifyHandler, StagedSoapServer
+from repro.server import HandlerChain, SecurityVerifyHandler, ServerConfig, build_server
 from repro.soap.wssecurity import Credentials, security_header_overhead
 from repro.transport import TcpTransport
 
@@ -24,12 +24,7 @@ SECRETS = {"alice": b"alice-shared-secret"}
 def main() -> None:
     transport = TcpTransport()
     verifier = SecurityVerifyHandler(SECRETS.get, required=True)
-    server = StagedSoapServer(
-        [make_echo_service()],
-        transport=transport,
-        address=("127.0.0.1", 0),
-        chain=HandlerChain([verifier, *spi_server_handlers()]),
-    )
+    server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address=("127.0.0.1", 0), chain=HandlerChain([verifier, *spi_server_handlers()])))
 
     alice = Credentials("alice", SECRETS["alice"])
     print(f"security header size: {security_header_overhead(alice)} bytes "

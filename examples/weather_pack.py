@@ -11,7 +11,7 @@ Run:  python examples/weather_pack.py
 
 from repro.apps.weather import WEATHER_NS, figure4_document, make_weather_service
 from repro.core import spi, spi_server_handlers
-from repro.server import HandlerChain, StagedSoapServer
+from repro.server import HandlerChain, ServerConfig, build_server
 from repro.transport import TcpTransport
 
 
@@ -23,12 +23,7 @@ def main() -> None:
     print()
 
     transport = TcpTransport()
-    server = StagedSoapServer(
-        [make_weather_service()],
-        transport=transport,
-        address=("127.0.0.1", 0),
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    server = build_server(ServerConfig(services=[make_weather_service()], architecture="staged", transport=transport, address=("127.0.0.1", 0), chain=HandlerChain(spi_server_handlers())))
     with server.running() as address:
         client = spi.connect(
             transport, address, namespace=WEATHER_NS, service_name="GlobalWeather"

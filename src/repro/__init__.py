@@ -11,10 +11,9 @@ Quickstart::
 
     from repro import spi
     from repro.apps.echo import make_echo_service
-    from repro.server import StagedSoapServer
-    from repro.transport import TcpTransport
+    from repro.server import ServerConfig, build_server
 
-    server = StagedSoapServer([make_echo_service()])
+    server = build_server(ServerConfig(services=[make_echo_service()]))
     with server.running() as address:
         client = spi.connect(address, "EchoService")
         with client.pack() as batch:

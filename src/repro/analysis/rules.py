@@ -252,6 +252,10 @@ HOT_PATH_CLASSES = frozenset(
         "StageStats",
         "TraceEvent",
         "StartTag",
+        # PR-8 event loop: allocated per connection / per in-flight request
+        "EventedConnection",
+        "RequestParser",
+        "_ResponseSlot",
     }
 )
 
@@ -547,6 +551,117 @@ class NoUnboundedSpanStore(Rule):
             )
 
 
+# -- no-blocking-call-on-event-loop -------------------------------------
+
+#: Socket methods that block (or throw) unless routed through the
+#: module's EAGAIN-aware wrappers.
+_LOOP_SOCKET_METHODS = frozenset({"recv", "send", "sendall", "accept"})
+
+#: The only functions allowed to touch raw socket I/O in the event-loop
+#: module — each one translates EAGAIN/EOF/errors into loop-safe values.
+_LOOP_IO_WRAPPERS = frozenset(
+    {"_recv_nonblocking", "_send_nonblocking", "_accept_nonblocking"}
+)
+
+
+class NoBlockingCallOnEventLoop(Rule):
+    """A call that can block (or mishandle EAGAIN) in the event-loop module.
+
+    The evented backend's whole contract is that the loop thread never
+    blocks: every socket is non-blocking, deadlines live in the
+    selector timeout, and application work leaves through a bounded
+    stage.  One blocking call on the loop stalls every connection at
+    once, so the loop module is held to a stricter standard than the
+    rest of the codebase:
+
+    * raw ``.recv()``/``.send()``/``.sendall()``/``.accept()`` must go
+      through the module's EAGAIN-aware wrappers
+      (``_recv_nonblocking``/``_send_nonblocking``/``_accept_nonblocking``);
+    * ``time.sleep`` never — waiting is the selector's job;
+    * ``.acquire()`` without a ``timeout=``/``blocking=`` argument can
+      park the loop behind a worker;
+    * ``.submit(...).result()`` makes the loop wait on its own handler
+      stage — a self-deadlock once the queue fills.
+    """
+
+    id = "no-blocking-call-on-event-loop"
+    severity = SEVERITY_ERROR
+    fix_hint = (
+        "route socket I/O through the _*_nonblocking wrappers, replace "
+        "sleeps with the selector timeout, give acquire() a timeout, and "
+        "hand stage results back via the completion queue instead of "
+        ".result()"
+    )
+    rationale = (
+        "the evented backend multiplexes every connection onto one loop "
+        "thread; a single blocking call there stalls the whole server, "
+        "not one request"
+    )
+    node_types = ()  # whole-module walk: findings depend on the enclosing function
+    only_parts = frozenset({"evented.py"})
+    exempt_parts = frozenset({"tests"})
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Walk the module tracking each call's enclosing function."""
+        yield from self._walk(ctx.tree, ctx, None)
+
+    def _walk(
+        self, node: ast.AST, ctx: ModuleContext, function: str | None
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Call):
+                yield from self._visit_call(child, ctx, function)
+            enclosing = (
+                child.name
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else function
+            )
+            yield from self._walk(child, ctx, enclosing)
+
+    def _visit_call(
+        self, node: ast.Call, ctx: ModuleContext, function: str | None
+    ) -> Iterator[Finding]:
+        func = node.func
+        if dotted_name(func) == "time.sleep":
+            yield self.finding(
+                ctx,
+                node.lineno,
+                "time.sleep() in the event-loop module; waiting belongs to "
+                "the selector timeout",
+            )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in _LOOP_SOCKET_METHODS and function not in _LOOP_IO_WRAPPERS:
+            yield self.finding(
+                ctx,
+                node.lineno,
+                f"raw socket .{func.attr}() outside the non-blocking "
+                f"wrappers (in {function or '<module>'})",
+            )
+        elif func.attr == "acquire" and not (
+            node.args
+            or any(kw.arg in ("timeout", "blocking") for kw in node.keywords)
+        ):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                ".acquire() without a timeout can park the event loop",
+            )
+        elif (
+            func.attr == "result"
+            and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Attribute)
+            and func.value.func.attr == "submit"
+        ):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                ".submit(...).result() blocks the loop on its own stage "
+                "queue (self-deadlock once the queue fills)",
+            )
+
+
 # -- no-bare-except / no-swallowed-fault --------------------------------
 
 
@@ -646,6 +761,7 @@ def lint_rules() -> list[Rule]:
         NoUnboundedQueue(),
         NoUnboundedCache(),
         NoUnboundedSpanStore(),
+        NoBlockingCallOnEventLoop(),
         NoBareExcept(),
         NoSwallowedFault(),
     ]

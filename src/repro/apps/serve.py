@@ -34,22 +34,24 @@ from repro.core.remote_exec import make_plan_runner_service
 from repro.diagnostics import PackMetricsHandler
 from repro.http.compression import CompressionPolicy
 from repro.obs import Observability, SpanStore
+from repro.server import ServerConfig, build_server
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.soap.sercache import ResponseTemplateCache
 from repro.transport.tcp import TcpTransport
 
 
-def build_server(
+def build_demo_server(
     host: str,
     port: int,
     *,
+    architecture: str = "staged",
+    backend: str = "threaded",
     app_workers: int = 16,
     observability: Observability | None = None,
     serialization_cache: bool = False,
     compression: bool = False,
     slo_config: dict | None = None,
-) -> tuple[StagedSoapServer, PackMetricsHandler]:
+):
     """Assemble the full demo container with SPI + metrics handlers.
 
     With an :class:`Observability`, the server records per-phase spans
@@ -77,8 +79,10 @@ def build_server(
     )
     chain = HandlerChain([metrics, *spi_server_handlers()])
     registry = observability.registry if observability is not None else None
-    server = StagedSoapServer(
-        services,
+    server = build_server(ServerConfig(
+        services=services,
+        architecture=architecture,
+        backend=backend,
         transport=TcpTransport(),
         address=(host, port),
         chain=chain,
@@ -89,7 +93,7 @@ def build_server(
         ),
         compression=CompressionPolicy() if compression else None,
         slo_config=slo_config,
-    )
+    ))
     server.container.deploy(make_plan_runner_service(server.container))
     return server, metrics
 
@@ -103,6 +107,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8080)
     parser.add_argument("--workers", type=int, default=16, help="application-stage workers")
+    parser.add_argument(
+        "--arch",
+        default="staged",
+        choices=["common", "staged"],
+        help="server architecture: paper Fig. 1 (common) or Fig. 2 (staged)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="threaded",
+        choices=["threaded", "evented"],
+        help="protocol-stage I/O: thread-per-connection or the C10K event loop",
+    )
     parser.add_argument(
         "--no-obs",
         action="store_true",
@@ -145,9 +161,11 @@ def main(argv: list[str] | None = None) -> int:
         else None
     )
     observability = None if args.no_obs else Observability(span_store=store)
-    server, metrics = build_server(
+    server, metrics = build_demo_server(
         args.host,
         args.port,
+        architecture=args.arch,
+        backend=args.backend,
         app_workers=args.workers,
         observability=observability,
         serialization_cache=args.sercache,

@@ -34,9 +34,9 @@ from repro.client.proxy import ServiceProxy
 from repro.core.batch import PackBatch
 from repro.core.dispatcher import spi_server_handlers
 from repro.errors import ServiceError
+from repro.server import ServerConfig, build_server
 from repro.server.handlers import HandlerChain
 from repro.server.service import ServiceDefinition, service_from_functions
-from repro.server.staged_arch import StagedSoapServer
 from repro.soap.fault import ClientFaultCause
 from repro.transport.base import Address, Transport
 
@@ -190,9 +190,9 @@ def make_credit_card_service() -> ServiceDefinition:
 class TravelSystem:
     """The three deployed server nodes plus their addresses."""
 
-    airline_server: StagedSoapServer
-    hotel_server: StagedSoapServer
-    credit_server: StagedSoapServer
+    airline_server: Any
+    hotel_server: Any
+    credit_server: Any
     airline_address: Address = None
     hotel_address: Address = None
     credit_address: Address = None
@@ -228,24 +228,24 @@ def deploy_travel_system(
             ("127.0.0.1", 0),
         )
 
-    airline_server = StagedSoapServer(
+    def node(services, address):
+        return build_server(ServerConfig(
+            services=services,
+            architecture="staged",
+            transport=transport,
+            address=address,
+            chain=HandlerChain(spi_server_handlers()),
+        ))
+
+    airline_server = node(
         [make_airline_service(n, 480 + 70 * i) for i, n in enumerate(AIRLINE_NAMES)],
-        transport=transport,
-        address=node_addresses[0],
-        chain=HandlerChain(spi_server_handlers()),
+        node_addresses[0],
     )
-    hotel_server = StagedSoapServer(
+    hotel_server = node(
         [make_hotel_service(n, 120 + 35 * i) for i, n in enumerate(HOTEL_NAMES)],
-        transport=transport,
-        address=node_addresses[1],
-        chain=HandlerChain(spi_server_handlers()),
+        node_addresses[1],
     )
-    credit_server = StagedSoapServer(
-        [make_credit_card_service()],
-        transport=transport,
-        address=node_addresses[2],
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    credit_server = node([make_credit_card_service()], node_addresses[2])
 
     system = TravelSystem(airline_server, hotel_server, credit_server)
     system.airline_address = airline_server.start()

@@ -13,6 +13,8 @@ Usage::
     python -m repro.bench xml [--smoke] [--record LABEL]
     python -m repro.bench e2e [--smoke] [--record LABEL] [--check-overhead PCT]
                               [--check-regression PCT] [--shed-smoke]
+                              [--connections N] [--soak-seconds S] [--soak-only]
+                              [--backend threaded|evented]
 
 Profiles: lan (paper's 100 Mbit Ethernet emulation, default), wan,
 loopback (bare TCP), inproc (no sockets).
@@ -93,6 +95,35 @@ def main(argv: list[str] | None = None) -> int:
         "unless it sheds with Server.Busy faults and a one-way HTTP 503",
     )
     parser.add_argument(
+        "--connections",
+        type=int,
+        default=None,
+        metavar="N",
+        help="e2e experiment: add the C10K soak rail — hold N concurrent "
+        "keep-alive connections against an evented echo deployment and "
+        "fail unless all N are held with real connection reuse",
+    )
+    parser.add_argument(
+        "--soak-seconds",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="e2e experiment: soak window for --connections (default 10s)",
+    )
+    parser.add_argument(
+        "--soak-only",
+        action="store_true",
+        help="e2e experiment: run just the --connections soak and its "
+        "assertions, skipping the latency shapes and gates (CI smoke)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["threaded", "evented"],
+        help="e2e experiment: protocol backend for --connections / "
+        "--shed-smoke (defaults: evented for the soak, threaded for shed)",
+    )
+    parser.add_argument(
         "--phase-report",
         metavar="PATH",
         nargs="?",
@@ -163,8 +194,24 @@ def _run_e2e(args) -> int:
     from repro.bench import e2e
 
     if args.shed_smoke:
-        return _run_shed_smoke(e2e)
+        return _run_shed_smoke(e2e, backend=args.backend or "threaded")
+    soak = None
+    soak_failures: list[str] = []
+    if args.connections:
+        soak = e2e.run_connection_soak(
+            connections=args.connections,
+            soak_seconds=args.soak_seconds,
+            backend=args.backend or "evented",
+        )
+        print(e2e.render_soak(soak))
+        soak_failures = e2e.check_soak(soak)
+        for failure in soak_failures:
+            print(f"FAIL: {failure}")
+        if args.soak_only:
+            return 1 if soak_failures else 0
     results = e2e.run_e2e_bench(smoke=args.smoke)
+    if soak is not None:
+        results["c10k"] = soak
     # cache-warm latency and bytes-on-wire rails ride on fig7; they
     # must land before gating so the bytes gate sees the current run
     e2e.add_cache_rails(results, smoke=args.smoke)
@@ -237,13 +284,13 @@ def _run_e2e(args) -> int:
                 )
             if not regression["ok"]:
                 return 1
-    return 0
+    return 1 if soak_failures else 0
 
 
-def _run_shed_smoke(e2e) -> int:
-    outcome = e2e.run_shed_smoke()
+def _run_shed_smoke(e2e, *, backend: str = "threaded") -> int:
+    outcome = e2e.run_shed_smoke(backend=backend)
     print(
-        f"shed smoke: pack of {outcome['pack_size']} -> "
+        f"shed smoke [{outcome['backend']}]: pack of {outcome['pack_size']} -> "
         f"{outcome['served']} served, {outcome['shed']} shed with Server.Busy; "
         f"one-way probe under saturation -> HTTP {outcome['oneway_status']}; "
         f"counters: resilience.shed={outcome['shed_counter']} "

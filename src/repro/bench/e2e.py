@@ -29,6 +29,8 @@ Run::
 from __future__ import annotations
 
 import json
+import selectors
+import socket
 import statistics
 import time
 from dataclasses import dataclass
@@ -494,6 +496,8 @@ def load_trajectory(path: str | Path = BENCH_JSON) -> dict:
             "wire_saved_pct": "100 * (1 - on/off)",
             "rollup": "registry.rollup(service, op) snapshot after the obs-on run",
             "sketch_bench": "per-observation record cost, sketch vs fixed-bucket histogram",
+            "c10k": "keep-alive connection soak: N concurrent connections, "
+            "requests/rps/p50/p99 and the reuse ratio (requests per accept)",
         },
         "entries": [],
     }
@@ -588,11 +592,251 @@ def check_regression(
     }
 
 
+# -- PR-8 rail: C10K keep-alive connection soak ---------------------------
+
+#: Connections opened per ramp wave — kept under the server transport's
+#: listen backlog (128) so no SYN is ever dropped during ramp-up.
+_SOAK_WAVE = 100
+
+
+class _SoakChannel:
+    """One keep-alive client connection cycling echo round trips.
+
+    The soak client is itself a tiny selectors loop (it has to be: a
+    thread per connection on the *client* would melt first and measure
+    nothing).  Each channel writes one pre-serialized request, reads
+    until the Content-Length promise is met, samples the round-trip
+    latency, and immediately rearms — so every channel keeps exactly
+    one request in flight for the whole soak window.
+    """
+
+    __slots__ = ("sock", "outbuf", "inbuf", "need", "started", "requests")
+
+    def __init__(self, sock: socket.socket, request: bytes) -> None:
+        self.sock = sock
+        self.outbuf = request
+        self.inbuf = bytearray()
+        self.need: int | None = None
+        self.started: float | None = None
+        self.requests = 0
+
+    def response_size(self) -> int | None:
+        """Total wire size of the buffered response, once knowable."""
+        if self.need is None:
+            end = self.inbuf.find(b"\r\n\r\n")
+            if end < 0:
+                return None
+            length = 0
+            for line in bytes(self.inbuf[:end]).split(b"\r\n")[1:]:
+                name, _, value = line.partition(b":")
+                if name.strip().lower() == b"content-length":
+                    length = int(value.strip())
+            self.need = end + 4 + length
+        return self.need
+
+
+def run_connection_soak(
+    *,
+    connections: int = 1000,
+    soak_seconds: float = 10.0,
+    backend: str = "evented",
+    payload_bytes: int = 64,
+) -> dict:
+    """Hold N concurrent keep-alive connections against the echo server.
+
+    The C10K rail for the evented protocol stage: N loopback TCP
+    connections are ramped up in waves, then every connection cycles
+    small packed-free echo round trips (one in flight per connection)
+    until the soak window closes.  Keep-alive is the point — the rail's
+    ``reuse`` ratio (requests per accepted connection) proves requests
+    ride long-lived connections instead of reconnect churn, and
+    ``max_concurrent`` proves the backend really held N sockets open at
+    once.  Returns ``{backend, connections, soak_seconds, requests,
+    rps, p50_ms, p99_ms, connections_accepted, max_concurrent, reuse,
+    errors}``.
+    """
+    from repro.apps.echo import make_echo_payload
+    from repro.http.message import Headers, HttpRequest
+    from repro.soap.constants import SOAP_CONTENT_TYPE
+    from repro.soap.serializer import build_request_envelope
+
+    envelope = build_request_envelope(
+        ECHO_NS, "echo", {"payload": make_echo_payload(payload_bytes)}
+    )
+    request = HttpRequest(
+        "POST",
+        "/services/EchoService",
+        Headers({"Host": "soak", "Content-Type": SOAP_CONTENT_TYPE}),
+        envelope.to_bytes(),
+    ).to_bytes()
+
+    latencies: list[float] = []
+    errors = 0
+    with echo_testbed(
+        profile="loopback", architecture="staged", backend=backend
+    ) as bed:
+        host, port = bed.address
+        sel = selectors.DefaultSelector()
+        open_channels = 0
+        start = time.perf_counter()
+        deadline = start + soak_seconds
+
+        def open_wave(count: int) -> int:
+            opened = 0
+            for _ in range(count):
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                sock.setblocking(False)
+                sock.connect_ex((host, port))
+                try:
+                    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                except OSError:
+                    pass
+                sel.register(
+                    sock, selectors.EVENT_WRITE, _SoakChannel(sock, request)
+                )
+                opened += 1
+            return opened
+
+        def close_channel(channel: _SoakChannel) -> None:
+            nonlocal open_channels
+            sel.unregister(channel.sock)
+            channel.sock.close()
+            open_channels -= 1
+
+        def pump(timeout: float) -> None:
+            """One select round: write pending requests, read responses."""
+            nonlocal errors
+            events = sel.select(timeout=timeout)
+            now = time.perf_counter()
+            for key, mask in events:
+                channel: _SoakChannel = key.data
+                if mask & selectors.EVENT_WRITE and channel.outbuf:
+                    if channel.started is None:
+                        channel.started = now
+                    try:
+                        sent = channel.sock.send(channel.outbuf)
+                    except BlockingIOError:
+                        continue
+                    except OSError:
+                        errors += 1
+                        close_channel(channel)
+                        continue
+                    channel.outbuf = channel.outbuf[sent:]
+                    if not channel.outbuf:
+                        sel.modify(channel.sock, selectors.EVENT_READ, channel)
+                    continue
+                if not mask & selectors.EVENT_READ:
+                    continue
+                try:
+                    data = channel.sock.recv(65536)
+                except BlockingIOError:
+                    continue
+                except OSError:
+                    data = b""
+                if not data:
+                    # EOF with a request outstanding is a failure; after
+                    # the deadline the close is ours, not an error
+                    if now < deadline:
+                        errors += 1
+                    close_channel(channel)
+                    continue
+                channel.inbuf += data
+                need = channel.response_size()
+                if need is None or len(channel.inbuf) < need:
+                    continue
+                if not channel.inbuf.startswith(b"HTTP/1.1 200"):
+                    errors += 1
+                elif channel.started is not None:
+                    latencies.append(now - channel.started)
+                channel.requests += 1
+                del channel.inbuf[:need]
+                channel.need = None
+                channel.started = None
+                if now < deadline:
+                    channel.outbuf = request
+                    sel.modify(channel.sock, selectors.EVENT_WRITE, channel)
+                else:
+                    close_channel(channel)
+
+        # ramp in waves below the listen backlog, pumping in between so
+        # accepts (and first responses) keep pace with new connects
+        remaining = connections
+        while remaining > 0:
+            opened = open_wave(min(_SOAK_WAVE, remaining))
+            remaining -= opened
+            open_channels += opened
+            pump(0.01)
+        while open_channels > 0 and time.perf_counter() < deadline + 5.0:
+            pump(0.05)
+        elapsed = time.perf_counter() - start
+        for key in list(sel.get_map().values()):
+            key.data.sock.close()
+        sel.close()
+        accepted = bed.server.http.connections_accepted
+        max_concurrent = bed.server.http.max_concurrent_connections
+
+    total = len(latencies)
+    ordered = sorted(latencies)
+    return {
+        "backend": backend,
+        "connections": connections,
+        "soak_seconds": round(elapsed, 2),
+        "requests": total,
+        "rps": round(total / elapsed, 1) if elapsed else 0.0,
+        "p50_ms": round(ordered[total // 2] * 1e3, 3) if ordered else None,
+        "p99_ms": round(ordered[int(total * 0.99)] * 1e3, 3) if ordered else None,
+        "connections_accepted": accepted,
+        "max_concurrent": max_concurrent,
+        "reuse": round(total / accepted, 1) if accepted else 0.0,
+        "errors": errors,
+    }
+
+
+def check_soak(rail: dict) -> list[str]:
+    """The soak rail's CI assertions; returns failure descriptions.
+
+    * every requested connection was accepted and held concurrently;
+    * keep-alive actually reused connections (requests well above
+      connections accepted — reconnect churn would push reuse to ~1);
+    * no connection died or answered non-200 inside the window.
+    """
+    failures: list[str] = []
+    if rail["max_concurrent"] < rail["connections"]:
+        failures.append(
+            f"held {rail['max_concurrent']} concurrent connections, "
+            f"wanted {rail['connections']}"
+        )
+    if rail["reuse"] < 3.0:
+        failures.append(
+            f"keep-alive reuse is {rail['reuse']} requests/connection "
+            f"({rail['requests']} requests over {rail['connections_accepted']} "
+            "accepts); expected >= 3.0"
+        )
+    if rail["errors"]:
+        failures.append(f"{rail['errors']} connection errors during the soak")
+    return failures
+
+
+def render_soak(rail: dict) -> str:
+    """One-line summary of the soak rail."""
+    return (
+        f"c10k soak [{rail['backend']}]: {rail['connections']} connections "
+        f"(peak {rail['max_concurrent']}), {rail['requests']} requests in "
+        f"{rail['soak_seconds']}s = {rail['rps']} rps, "
+        f"p50 {rail['p50_ms']} ms, p99 {rail['p99_ms']} ms, "
+        f"reuse x{rail['reuse']}, {rail['errors']} errors"
+    )
+
+
 # -- shed smoke -----------------------------------------------------------
 
 
 def run_shed_smoke(
-    *, pack_size: int = 16, app_workers: int = 1, app_queue_limit: int = 2
+    *,
+    pack_size: int = 16,
+    app_workers: int = 1,
+    app_queue_limit: int = 2,
+    backend: str = "threaded",
 ) -> dict:
     """Overload a deliberately tiny staged deployment and prove it
     degrades the way the resilience layer promises:
@@ -617,8 +861,11 @@ def run_shed_smoke(
     from repro.apps.echo import ECHO_NS
 
     obs = Observability()
+    # the evented backend needs real sockets; threaded keeps the
+    # in-process transport so the smoke stays byte-for-byte historical
     with echo_testbed(
-        profile="inproc",
+        profile="inproc" if backend == "threaded" else "loopback",
+        backend=backend,
         app_workers=app_workers,
         app_queue_limit=app_queue_limit,
         observability=obs,
@@ -661,6 +908,7 @@ def run_shed_smoke(
         proxy.close()
 
     return {
+        "backend": backend,
         "pack_size": pack_size,
         "served": served,
         "shed": shed,

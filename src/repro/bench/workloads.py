@@ -33,9 +33,8 @@ from repro.http.compression import CompressionPolicy
 from repro.resilience.policy import CallPolicy
 from repro.soap.sercache import ResponseTemplateCache
 from repro.obs.trace import Observability, Tracer
-from repro.server.common_arch import CommonSoapServer
+from repro.server import ServerConfig, build_server
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.soap.wssecurity import Credentials, attach_security_header
 from repro.transport.base import Transport
 from repro.transport.inproc import InProcTransport
@@ -116,6 +115,7 @@ def echo_testbed(
     profile: str = "lan",
     architecture: str = "staged",
     spi: bool = True,
+    backend: str = "threaded",
     app_workers: int = 32,
     app_queue_limit: int | None = None,
     observability: Observability | None = None,
@@ -123,6 +123,10 @@ def echo_testbed(
     compression: CompressionPolicy | None = None,
 ) -> Iterator[Testbed]:
     """Deploy the Echo service and yield a ready Testbed.
+
+    ``backend``: protocol-stage I/O — ``"threaded"`` (one handler
+    thread per connection) or ``"evented"`` (the C10K selectors loop;
+    needs a socket profile, i.e. not ``"inproc"``).
 
     ``observability``: threads an obs subsystem through the server
     (spans, /metrics, /healthz) and installs a
@@ -143,30 +147,21 @@ def echo_testbed(
         handlers.insert(0, PackMetricsHandler(observability.registry))
     chain = HandlerChain(handlers) if handlers else None
 
-    if architecture == "common":
-        server = CommonSoapServer(
-            [make_echo_service()],
-            transport=transport,
-            address=address,
-            chain=chain,
-            observability=observability,
-            serialization_cache=serialization_cache,
-            compression=compression,
-        )
-    elif architecture == "staged":
-        server = StagedSoapServer(
-            [make_echo_service()],
-            transport=transport,
-            address=address,
-            chain=chain,
-            app_workers=app_workers,
-            app_queue_limit=app_queue_limit,
-            observability=observability,
-            serialization_cache=serialization_cache,
-            compression=compression,
-        )
-    else:
+    if architecture not in ("common", "staged"):
         raise ReproError(f"unknown architecture '{architecture}'")
+    server = build_server(ServerConfig(
+        services=[make_echo_service()],
+        architecture=architecture,
+        backend=backend,
+        transport=transport,
+        address=address,
+        chain=chain,
+        app_workers=app_workers,
+        app_queue_limit=app_queue_limit,
+        observability=observability,
+        serialization_cache=serialization_cache,
+        compression=compression,
+    ))
 
     bound = server.start()
     try:

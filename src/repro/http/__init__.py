@@ -5,21 +5,25 @@ from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.http.parser import (
     ChannelReader,
     ConnectionClosedCleanly,
+    RequestParser,
     encode_chunked,
     read_request,
     read_response,
 )
+from repro.http.evented import EventedHttpServer
 from repro.http.server import HttpServer
 
 __all__ = [
     "ChannelReader",
     "ConnectionClosedCleanly",
     "ConnectionPool",
+    "EventedHttpServer",
     "Headers",
     "HttpConnection",
     "HttpRequest",
     "HttpResponse",
     "HttpServer",
+    "RequestParser",
     "encode_chunked",
     "read_request",
     "read_response",

@@ -1,0 +1,313 @@
+"""Backend-agnostic core shared by the threaded and evented HTTP servers.
+
+:class:`HttpServerCore` owns everything that does not depend on *how*
+bytes move: the admin surface (``/metrics``, ``/healthz``, ``/traces``,
+``/trace/<id>``, ``/slo``), content-coding negotiation, response wire
+encoding (including the chunked-transfer framing of the HPDC-11
+"message chunking" optimization), the connection/request counters
+behind ``/healthz``, and the canned accept-overload 503.  The two
+backends differ only in their I/O discipline:
+
+* :class:`~repro.http.server.HttpServer` — one blocking handler thread
+  per connection (the paper's "thread pool created in the transport
+  layer");
+* :class:`~repro.http.evented.EventedHttpServer` — one ``selectors``
+  event loop owning accept/parse/write for every connection, with
+  application work dispatched to bounded stages (SEDA lineage).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+import time
+from typing import Callable, Iterator
+
+from repro.errors import HttpError
+from repro.http.compression import CompressionPolicy, choose_encoding, compress
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.obs.trace import Observability
+from repro.transport.base import Address, Transport
+
+App = Callable[[HttpRequest], HttpResponse]
+
+ADMIN_PATHS = ("/metrics", "/healthz", "/traces", "/slo")
+
+#: ``GET /trace/<id>`` serves one retained trace's span tree.
+TRACE_PATH_PREFIX = "/trace/"
+
+
+class HttpServerCore:
+    """Shared state + behaviour for both server backends.
+
+    Subclasses implement :meth:`start` / :meth:`stop` and the I/O path;
+    they report traffic through :meth:`_note_connection_opened` /
+    :meth:`_note_connection_closed` / :meth:`_note_request_served` so
+    ``/healthz`` and the ``http.connections.active`` gauge agree across
+    backends.
+    """
+
+    def __init__(
+        self,
+        app: App,
+        *,
+        transport: Transport,
+        address: Address,
+        server_header: str = "repro-httpd/1.0",
+        chunk_responses_over: int | None = None,
+        chunk_size: int = 8192,
+        observability: Observability | None = None,
+        compression: CompressionPolicy | None = None,
+        slo_config: dict | None = None,
+    ) -> None:
+        self._app = app
+        self._obs = observability
+        self._slo_config = slo_config
+        # Monotonic anchor: /healthz uptime is an interval measurement.
+        self._started_at = time.monotonic()
+        self._transport = transport
+        self._bind_address = address
+        self._server_header = server_header
+        self._chunk_over = chunk_responses_over
+        self._chunk_size = chunk_size
+        self._compression = compression
+        self.max_concurrent_connections = 0
+        self._current_connections = 0
+        self.connections_accepted = 0
+        self.requests_served = 0
+        self._counter_lock = threading.Lock()
+        self._busy_body: tuple[str, bytes] | None = None
+
+    # -- lifecycle (subclass responsibility) ----------------------------
+
+    def start(self) -> Address:
+        """Bind, start serving; returns the bound address."""
+        raise NotImplementedError
+
+    def stop(self, *, join_timeout: float = 5.0) -> None:
+        """Stop serving and release resources."""
+        raise NotImplementedError
+
+    @contextlib.contextmanager
+    def running(self) -> Iterator[Address]:
+        """Context manager: start, yield the bound address, stop."""
+        address = self.start()
+        try:
+            yield address
+        finally:
+            self.stop()
+
+    # -- traffic accounting ---------------------------------------------
+
+    def _note_connection_opened(self) -> int:
+        """Count an accepted connection; returns the active count."""
+        with self._counter_lock:
+            self.connections_accepted += 1
+            self._current_connections += 1
+            if self._current_connections > self.max_concurrent_connections:
+                self.max_concurrent_connections = self._current_connections
+            active = self._current_connections
+        if self._obs is not None:
+            self._obs.registry.gauge("http.connections.active").set(active)
+        return active
+
+    def _note_connection_closed(self) -> int:
+        with self._counter_lock:
+            self._current_connections -= 1
+            active = self._current_connections
+        if self._obs is not None:
+            self._obs.registry.gauge("http.connections.active").set(active)
+        return active
+
+    def _note_request_served(self) -> None:
+        with self._counter_lock:
+            self.requests_served += 1
+
+    # -- admin surface --------------------------------------------------
+
+    def _admin_response(self, request: HttpRequest) -> HttpResponse | None:
+        """The admin surface: ``GET /metrics`` / ``/healthz`` /
+        ``/traces`` / ``/trace/<id>`` / ``/slo``; None otherwise.
+
+        ``/metrics`` defaults to the JSON snapshot;
+        ``/metrics?format=prometheus`` renders the text exposition
+        format a stock Prometheus can scrape.  ``/traces?slowest=N``
+        lists retained trace summaries, ``/trace/<id>`` one trace's
+        span tree, ``/slo`` the live budget verdict.
+        """
+        if request.method != "GET":
+            return None
+        path, _, query = request.path.partition("?")
+        if path not in ADMIN_PATHS and not path.startswith(TRACE_PATH_PREFIX):
+            return None
+        assert self._obs is not None
+        status = 200
+        if path == "/healthz":
+            payload = self.health_snapshot()
+        elif path == "/traces":
+            status, payload = self._traces_payload(query)
+        elif path.startswith(TRACE_PATH_PREFIX):
+            status, payload = self._trace_payload(path[len(TRACE_PATH_PREFIX):])
+        elif path == "/slo":
+            status, payload = self._slo_payload()
+        elif "format=prometheus" in query.split("&"):
+            from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
+
+            return HttpResponse(
+                200,
+                Headers({"Content-Type": CONTENT_TYPE}),
+                render_prometheus(self._obs.registry).encode("utf-8"),
+            )
+        else:
+            payload = self._obs.metrics_snapshot()
+        return HttpResponse(
+            status,
+            Headers({"Content-Type": "application/json"}),
+            json.dumps(payload, indent=2).encode("utf-8"),
+        )
+
+    def _traces_payload(self, query: str) -> tuple[int, dict]:
+        store = self._obs.store if self._obs is not None else None
+        if store is None:
+            return 404, {"error": "span store not enabled"}
+        slowest = 20
+        for part in query.split("&"):
+            name, _, value = part.partition("=")
+            if name == "slowest" and value.isdigit():
+                slowest = int(value)
+        return 200, {"traces": store.slowest(slowest), "stats": store.stats()}
+
+    def _trace_payload(self, trace_id: str) -> tuple[int, dict]:
+        store = self._obs.store if self._obs is not None else None
+        if store is None:
+            return 404, {"error": "span store not enabled"}
+        tree = store.get(trace_id)
+        if tree is None:
+            return 404, {"error": f"trace {trace_id!r} not retained"}
+        return 200, tree
+
+    def _slo_payload(self) -> tuple[int, dict]:
+        if self._slo_config is None:
+            return 404, {"error": "no slo config loaded"}
+        from repro.obs.slo import evaluate_snapshot, summarize
+
+        checks = evaluate_snapshot(
+            self._slo_config, self._obs.metrics_snapshot()
+        )
+        return 200, summarize(checks)
+
+    def health_snapshot(self) -> dict:
+        """The ``/healthz`` document: liveness plus connection counters."""
+        with self._counter_lock:
+            return {
+                "status": "ok",
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "connections_accepted": self.connections_accepted,
+                "current_connections": self._current_connections,
+                "max_concurrent_connections": self.max_concurrent_connections,
+                "requests_served": self.requests_served,
+            }
+
+    # -- response coding ------------------------------------------------
+
+    def _maybe_compress(self, request: HttpRequest, response: HttpResponse) -> None:
+        """Content-code the response in place when negotiation allows it.
+
+        Identity is kept for small bodies, for codings the client did
+        not accept, for already-coded responses, and when coding would
+        not actually shrink the body (incompressible payloads).
+        """
+        policy = self._compression
+        if (
+            policy is None
+            or len(response.body) < policy.min_size
+            or "Content-Encoding" in response.headers
+        ):
+            return
+        encoding = choose_encoding(
+            request.headers.get("Accept-Encoding"), policy
+        )
+        if encoding is None:
+            return
+        raw_size = len(response.body)
+        coded = compress(response.body, encoding, level=policy.level)
+        if len(coded) >= raw_size:
+            return
+        response.body = coded
+        response.headers.set("Content-Encoding", encoding)
+        response.headers.set("Vary", "Accept-Encoding")
+        if self._obs is not None:
+            registry = self._obs.registry
+            registry.counter("compress.responses").inc()
+            registry.counter("compress.bytes_saved").inc(raw_size - len(coded))
+
+    def _response_payloads(
+        self, response: HttpResponse, *, close: bool
+    ) -> list[bytes]:
+        """The response as an ordered list of wire writes.
+
+        Chunked responses come back as ``[head, frame, frame, ...,
+        terminator]`` so the threaded backend can keep its one-sendall-
+        per-frame discipline (the shaped transport prices each sendall);
+        the evented backend joins the list into one write buffer.
+        """
+        response.headers.set("Server", self._server_header)
+        response.headers.set("Connection", "close" if close else "keep-alive")
+        if self._chunk_over is not None and len(response.body) > self._chunk_over:
+            payloads = [chunked_head(response)]
+            body = response.body
+            for offset in range(0, len(body), self._chunk_size):
+                chunk = body[offset : offset + self._chunk_size]
+                payloads.append(
+                    f"{len(chunk):x}\r\n".encode("ascii") + chunk + b"\r\n"
+                )
+            payloads.append(b"0\r\n\r\n")
+            return payloads
+        return [response.to_bytes()]
+
+    def make_busy_response(self, detail: str) -> HttpResponse:
+        """The accept-overload 503 sent before any parsing happens.
+
+        Plain text by default; the ``repro.server`` config layer swaps
+        in a SOAP ``Server.Busy`` fault body via ``busy_body`` so
+        clients classify the shed as retryable (the http layer must not
+        import soap).
+        """
+        body = self._busy_body
+        if body is None:
+            return HttpResponse(
+                503,
+                Headers({"Content-Type": "text/plain", "Retry-After": "1"}),
+                detail.encode("utf-8"),
+            )
+        content_type, payload = body
+        return HttpResponse(
+            503,
+            Headers({"Content-Type": content_type, "Retry-After": "1"}),
+            payload,
+        )
+
+    def set_busy_body(self, content_type: str, payload: bytes) -> None:
+        """Install the body served by accept-overload 503 responses."""
+        self._busy_body = (content_type, payload)
+
+
+def chunked_head(response: HttpResponse) -> bytes:
+    """The status line + headers of a chunked-transfer response."""
+    headers = response.headers.copy()
+    headers.remove("Content-Length")
+    headers.set("Transfer-Encoding", "chunked")
+    lines = [f"{response.version} {response.status} {response.reason}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+
+
+def error_response(exc: HttpError) -> HttpResponse:
+    """A plain-text response carrying the error's HTTP status."""
+    status = exc.status or 400
+    return HttpResponse(
+        status,
+        Headers({"Content-Type": "text/plain"}),
+        str(exc).encode("utf-8"),
+    )

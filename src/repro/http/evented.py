@@ -1,0 +1,809 @@
+"""Event-loop HTTP/1.1 backend: one thread, thousands of connections.
+
+The C10K counterpart of :class:`~repro.http.server.HttpServer`.  A
+single ``selectors``-based loop thread owns *all* protocol I/O —
+accept, incremental parse (one :class:`~repro.http.parser.RequestParser`
+per connection), and write-back — while every complete request is
+dispatched to a bounded ``http-handler`` :class:`~repro.server.stage.Stage`
+whose workers run the application callable.  Finished responses travel
+back through a completion deque plus a wakeup socketpair, so the loop
+never blocks on application work and workers never touch a socket:
+
+::
+
+    loop thread                         handler stage (bounded pool)
+    -----------                         ----------------------------
+    select() ──ready──► recv ──feed──► RequestParser
+       ▲                                  │ complete request
+       │                                  ▼ stage.submit()
+       │                             app(request) ─► payload bytes
+       │  wakeup byte + deque entry ◄─────┘
+       └── drain completions ─► fill response slots ─► send
+
+The SEDA argument (paper Fig. 2, Welsh et al.): the protocol stage
+must be non-blocking I/O feeding bounded worker pools, so overload
+surfaces as explicit sheds (``Server.Busy``) instead of thread
+explosion.  Three shed rungs, outermost first:
+
+1. **accept overload** — active connections at ``max_connections``:
+   a canned 503 is written straight from the loop, before any parse;
+2. **handler-stage saturation** — ``stage.submit`` raises
+   :class:`~repro.errors.PoolSaturatedError`: whole-message 503;
+3. the app-stage per-entry sheds of the staged architecture
+   (unchanged — entries inside a pack fault individually).
+
+Per-connection read-idle and write-stall deadlines are enforced from
+the loop with an injectable monotonic clock, so the slow-loris tests
+drive :class:`EventedConnection` directly with a fake socket and fake
+time.
+"""
+
+from __future__ import annotations
+
+import collections
+import selectors
+import socket
+import threading
+import time
+from typing import Callable
+
+from repro.errors import HttpError, PoolSaturatedError
+from repro.http.compression import CompressionPolicy
+from repro.http.core import HttpServerCore, error_response
+from repro.http.message import Headers, HttpRequest, HttpResponse
+from repro.http.parser import RequestParser
+from repro.obs.trace import (
+    TRACE_HTTP_HEADER,
+    Observability,
+    activate,
+    deactivate,
+    new_trace_id,
+)
+from repro.transport.base import Address, Transport
+
+App = Callable[[HttpRequest], HttpResponse]
+
+#: Per-connection cap on dispatched-but-unanswered pipelined requests;
+#: at the cap the loop drops read interest until responses drain.
+MAX_PIPELINED = 16
+
+#: Deadline sweeps run at most this often — O(connections) work that
+#: does not need per-event freshness.
+SWEEP_INTERVAL_S = 0.25
+
+#: Upper bound on one select() wait, so stop() and deadline sweeps are
+#: never starved by a silent socket set.
+MAX_POLL_S = 0.2
+
+
+class _ConnectionLost(Exception):
+    """The peer is gone (reset/broken pipe); close without ceremony."""
+
+
+def _recv_nonblocking(sock, max_bytes: int = 65536) -> bytes | None:
+    """One non-blocking recv: ``None`` = no data yet, ``b''`` = EOF.
+
+    The loop's only read primitive — the
+    ``no-blocking-call-on-event-loop`` analysis rule holds every other
+    ``recv`` in this module to it.
+    """
+    try:
+        return sock.recv(max_bytes)
+    except (BlockingIOError, InterruptedError):
+        return None
+    except OSError:
+        # reset mid-read reads like EOF: framing decides if it was clean
+        return b""
+
+
+def _send_nonblocking(sock, data) -> int:
+    """One non-blocking send: bytes written (0 = kernel buffer full).
+
+    Raises :class:`_ConnectionLost` when the peer is gone.
+    """
+    try:
+        return sock.send(data)
+    except (BlockingIOError, InterruptedError):
+        return 0
+    except OSError as exc:
+        raise _ConnectionLost(str(exc)) from exc
+
+
+def _accept_nonblocking(sock):
+    """One non-blocking accept: ``(conn, peer)`` or ``None``."""
+    try:
+        return sock.accept()
+    except (BlockingIOError, InterruptedError):
+        return None
+    except OSError:
+        return None
+
+
+class _ResponseSlot:
+    """One in-order response position on a connection.
+
+    Requests are dispatched as they parse (pipelining), but HTTP/1.1
+    responses must come back in request order: a worker fills its slot
+    whenever it finishes, the loop writes only the contiguous done
+    prefix.  ``done`` is set last (GIL-ordered) so the loop never reads
+    a half-filled slot.
+    """
+
+    __slots__ = ("payload", "close_after", "done")
+
+    def __init__(self) -> None:
+        self.payload = b""
+        self.close_after = False
+        self.done = False
+
+    def fill(self, payload: bytes, *, close_after: bool) -> None:
+        self.payload = payload
+        self.close_after = close_after
+        self.done = True
+
+
+class EventedConnection:
+    """Per-connection state machine, driven entirely by the loop thread.
+
+    Pure with respect to time: every method that needs a clock takes
+    ``now`` (monotonic seconds) — the slow-loris and partial-write
+    tests feed a fake socket and hand-rolled timestamps.
+    """
+
+    __slots__ = (
+        "sock",
+        "parser",
+        "outbuf",
+        "slots",
+        "idle_timeout",
+        "write_timeout",
+        "last_activity",
+        "write_started",
+        "parse_started",
+        "reading_shut",
+        "close_after_write",
+    )
+
+    def __init__(
+        self,
+        sock,
+        *,
+        now: float,
+        idle_timeout: float | None = None,
+        write_timeout: float | None = None,
+    ) -> None:
+        self.sock = sock
+        self.parser = RequestParser()
+        self.outbuf = bytearray()
+        #: dispatched-but-unwritten responses, oldest first
+        self.slots: collections.deque[_ResponseSlot] = collections.deque()
+        self.idle_timeout = idle_timeout
+        self.write_timeout = write_timeout
+        self.last_activity = now
+        #: monotonic time the current outbuf started waiting, or None
+        self.write_started: float | None = None
+        #: when the bytes of the currently-parsing request started
+        #: arriving — the start of that request's ``http.parse`` span
+        self.parse_started: float | None = None
+        self.reading_shut = False
+        self.close_after_write = False
+
+    # -- read path ------------------------------------------------------
+
+    def on_readable(self, now: float) -> list[HttpRequest] | None:
+        """Drain the socket; completed requests, or ``None`` = close me.
+
+        ``None`` means the connection is finished *as far as reading
+        goes*: either a clean EOF (pending writes still flush) or a
+        framing error (an error response is already queued with
+        ``close_after``).
+        """
+        requests: list[HttpRequest] = []
+        while True:
+            data = _recv_nonblocking(self.sock)
+            if data is None:
+                break
+            if data == b"":
+                self.reading_shut = True
+                if self.parser.has_buffered_data:
+                    # mid-message EOF: nothing to answer, drop after
+                    # any queued responses flush
+                    self.close_after_write = True
+                break
+            self.last_activity = now
+            if self.parse_started is None:
+                self.parse_started = now
+            self.parser.feed(data)
+            try:
+                while (request := self.parser.next_request()) is not None:
+                    requests.append(request)
+            except HttpError:
+                self.reading_shut = True
+                raise
+        if requests:
+            self.parse_started = (
+                now if self.parser.has_buffered_data else None
+            )
+        return requests if not self.reading_shut else (requests or None)
+
+    # -- write path -----------------------------------------------------
+
+    def pump_ready(self, now: float) -> bool:
+        """Move contiguous finished slots into the out-buffer.
+
+        Returns True when new bytes became writable.
+        """
+        moved = False
+        while self.slots and self.slots[0].done:
+            slot = self.slots.popleft()
+            if not self.outbuf:
+                self.write_started = now
+            self.outbuf += slot.payload
+            if slot.close_after:
+                self.close_after_write = True
+                self.slots.clear()
+                self.reading_shut = True
+            moved = True
+        return moved
+
+    def flush(self, now: float) -> bool:
+        """Write what the kernel will take; True when fully drained.
+
+        Raises :class:`_ConnectionLost` when the peer vanished.
+        """
+        while self.outbuf:
+            sent = _send_nonblocking(self.sock, self.outbuf)
+            if sent == 0:
+                return False
+            del self.outbuf[:sent]
+            self.last_activity = now
+        self.write_started = None
+        return True
+
+    # -- deadlines ------------------------------------------------------
+
+    def timed_out(self, now: float) -> str | None:
+        """The deadline this connection has blown, or ``None``.
+
+        ``"write"`` — the peer stopped reading mid-response;
+        ``"idle"`` — no request bytes within the idle window (covers
+        slow-loris: trickling a header forever resets nothing once the
+        window is measured from *our* last useful progress).
+        """
+        if (
+            self.write_timeout is not None
+            and self.write_started is not None
+            and now - self.write_started > self.write_timeout
+        ):
+            return "write"
+        if self.idle_timeout is not None and not self.slots and not self.outbuf:
+            # mid-request the anchor is when the request STARTED arriving
+            # — a slow-loris trickling header bytes resets nothing
+            anchor = (
+                self.parse_started
+                if self.parse_started is not None
+                else self.last_activity
+            )
+            if now - anchor > self.idle_timeout:
+                return "idle"
+        return None
+
+    @property
+    def finished(self) -> bool:
+        """Nothing left to read, write, or wait for."""
+        return (
+            self.reading_shut
+            and not self.slots
+            and not self.outbuf
+        )
+
+    def want_read(self) -> bool:
+        """Should the loop watch this socket for readability?
+
+        False once reading is shut *or* pipelining is maxed out (the
+        back-pressure valve: stop parsing until responses drain).
+        """
+        return not self.reading_shut and len(self.slots) < MAX_PIPELINED
+
+    def want_write(self) -> bool:
+        """Should the loop watch this socket for writability?"""
+        return bool(self.outbuf)
+
+
+class EventedHttpServer(HttpServerCore):
+    """Non-blocking protocol stage in front of bounded worker stages.
+
+    Same constructor surface as the threaded server plus the loop
+    knobs; requires a transport implementing ``selectable_listen``
+    (TCP and its shaped/chaos wrappers — not in-proc).
+    """
+
+    def __init__(
+        self,
+        app: App,
+        *,
+        transport: Transport,
+        address: Address,
+        server_header: str = "repro-httpd/1.0",
+        chunk_responses_over: int | None = None,
+        chunk_size: int = 8192,
+        max_connections: int | None = None,
+        observability: Observability | None = None,
+        compression: CompressionPolicy | None = None,
+        slo_config: dict | None = None,
+        protocol_workers: int = 8,
+        protocol_queue_limit: int | None = 1024,
+        idle_timeout: float | None = 30.0,
+        write_timeout: float | None = 30.0,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        """``max_connections`` here is the *accept-overload budget*:
+        past it, new peers get a canned 503 written from the loop
+        before any parsing (rung 1 of the shed ladder) — unlike the
+        threaded backend, which parks excess peers in the backlog.
+
+        ``protocol_workers`` / ``protocol_queue_limit`` size the
+        ``http-handler`` stage between loop and app (rung 2: a full
+        handler queue sheds whole messages with 503).
+
+        ``idle_timeout`` / ``write_timeout`` are the per-connection
+        deadlines the loop enforces; ``clock`` is the monotonic source
+        for both deadlines *and* span timestamps (``perf_counter`` by
+        default, matching the tracer's timebase; injectable for tests).
+        """
+        super().__init__(
+            app,
+            transport=transport,
+            address=address,
+            server_header=server_header,
+            chunk_responses_over=chunk_responses_over,
+            chunk_size=chunk_size,
+            observability=observability,
+            compression=compression,
+            slo_config=slo_config,
+        )
+        self._max_connections = max_connections
+        self._protocol_workers = protocol_workers
+        self._protocol_queue_limit = protocol_queue_limit
+        self._idle_timeout = idle_timeout
+        self._write_timeout = write_timeout
+        self._clock = clock
+        self.accept_overload_shed = 0
+        self._listen_sock: socket.socket | None = None
+        self._selector: selectors.BaseSelector | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._stage = None
+        self._stopping = threading.Event()
+        self._connections: dict[int, EventedConnection] = {}
+        self._masks: dict[int, int] = {}
+        # GIL-atomic handoff: workers append, the loop pops; the wakeup
+        # socketpair only exists to interrupt select()
+        self._completions: collections.deque[EventedConnection] = (
+            collections.deque()
+        )
+        self._wakeup_recv: socket.socket | None = None
+        self._wakeup_send: socket.socket | None = None
+        self._busy_payload: bytes | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> Address:
+        """Bind, start the loop thread; returns the bound address."""
+        if self._listen_sock is not None:
+            raise HttpError("server already started")
+        from repro.server.stage import Stage
+
+        self._listen_sock = self._transport.selectable_listen(
+            self._bind_address
+        )
+        self._stage = Stage(
+            "http-handler",
+            self._protocol_workers,
+            registry=self._obs.registry if self._obs is not None else None,
+            max_queue=self._protocol_queue_limit,
+        )
+        self._wakeup_recv, self._wakeup_send = socket.socketpair()
+        self._wakeup_recv.setblocking(False)
+        self._wakeup_send.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(
+            self._listen_sock, selectors.EVENT_READ, "accept"
+        )
+        self._selector.register(
+            self._wakeup_recv, selectors.EVENT_READ, "wakeup"
+        )
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="http-loop", daemon=True
+        )
+        self._loop_thread.start()
+        return self.address
+
+    def stop(self, *, join_timeout: float = 5.0) -> None:
+        """Stop the loop, close every connection, drain the stage."""
+        if self._listen_sock is None:
+            return
+        self._stopping.set()
+        self._wake()
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=join_timeout)
+        if self._stage is not None:
+            self._stage.shutdown()
+
+    @property
+    def address(self) -> Address:
+        if self._listen_sock is None:
+            raise HttpError("server not started")
+        return self._listen_sock.getsockname()
+
+    def set_busy_body(self, content_type: str, payload: bytes) -> None:
+        super().set_busy_body(content_type, payload)
+        self._busy_payload = None  # re-render on next shed
+
+    # -- the loop -------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        assert self._selector is not None
+        clock = self._clock
+        lag_gauge = open_gauge = None
+        if self._obs is not None:
+            registry = self._obs.registry
+            lag_gauge = registry.gauge("http.loop.lag_s")
+            open_gauge = registry.gauge("http.loop.open_connections")
+        last_sweep = clock()
+        try:
+            while not self._stopping.is_set():
+                timeout = self._select_timeout(clock())
+                intended_wake = clock() + timeout
+                events = self._selector.select(timeout)
+                now = clock()
+                if lag_gauge is not None and events:
+                    # how late the loop is to ready work: the C10K
+                    # health signal (a busy loop shows rising lag long
+                    # before connections error out)
+                    lag_gauge.set(max(0.0, now - intended_wake))
+                for key, mask in events:
+                    if key.data == "accept":
+                        self._accept_ready(now)
+                    elif key.data == "wakeup":
+                        self._drain_wakeup(now)
+                    else:
+                        self._connection_ready(key.data, mask, now)
+                self._drain_completions(now)
+                if now - last_sweep >= SWEEP_INTERVAL_S:
+                    last_sweep = now
+                    self._sweep_deadlines(now)
+                    if open_gauge is not None:
+                        open_gauge.set(len(self._connections))
+        finally:
+            self._teardown()
+
+    def _select_timeout(self, now: float) -> float:
+        """Sleep until the next deadline could fire, capped for sweeps."""
+        timeout = MAX_POLL_S
+        if self._completions:
+            return 0.0
+        return timeout
+
+    def _accept_ready(self, now: float) -> None:
+        assert self._listen_sock is not None
+        while True:
+            accepted = _accept_nonblocking(self._listen_sock)
+            if accepted is None:
+                return
+            sock, _peer = accepted
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            if (
+                self._max_connections is not None
+                and len(self._connections) >= self._max_connections
+            ):
+                self._shed_accept(sock)
+                continue
+            self._note_connection_opened()
+            conn = EventedConnection(
+                sock,
+                now=now,
+                idle_timeout=self._idle_timeout,
+                write_timeout=self._write_timeout,
+            )
+            self._connections[sock.fileno()] = conn
+            self._register(conn, selectors.EVENT_READ)
+
+    def _shed_accept(self, sock: socket.socket) -> None:
+        """Rung 1: over the connection budget — 503 before parse."""
+        self.accept_overload_shed += 1
+        if self._obs is not None:
+            self._obs.registry.counter("http.accept_overload.shed").inc()
+        if self._busy_payload is None:
+            response = self.make_busy_response(
+                "server busy: connection budget exceeded"
+            )
+            self._busy_payload = b"".join(
+                self._response_payloads(response, close=True)
+            )
+        try:
+            # best-effort: the canned 503 fits any fresh socket buffer;
+            # a peer that vanished just gets the close
+            _send_nonblocking(sock, self._busy_payload)
+        except _ConnectionLost:
+            pass
+        sock.close()
+
+    def _drain_wakeup(self, now: float) -> None:
+        assert self._wakeup_recv is not None
+        while _recv_nonblocking(self._wakeup_recv, 4096):
+            pass
+
+    def _wake(self) -> None:
+        """Nudge select() from another thread; safe to call anytime."""
+        if self._wakeup_send is None:
+            return
+        try:
+            _send_nonblocking(self._wakeup_send, b"\x00")
+        except (_ConnectionLost, OSError):
+            pass
+
+    def _connection_ready(
+        self, conn: EventedConnection, mask: int, now: float
+    ) -> None:
+        if mask & selectors.EVENT_WRITE:
+            try:
+                conn.flush(now)
+            except _ConnectionLost:
+                self._close_connection(conn)
+                return
+        if mask & selectors.EVENT_READ and conn.want_read():
+            try:
+                requests = conn.on_readable(now)
+            except HttpError as exc:
+                self._queue_error(conn, exc, now)
+                self._update_interest(conn)
+                return
+            if requests:
+                for request in requests:
+                    self._dispatch(conn, request, now)
+        if conn.finished:
+            self._close_connection(conn)
+            return
+        self._update_interest(conn)
+
+    # -- request handling -----------------------------------------------
+
+    def _dispatch(
+        self, conn: EventedConnection, request: HttpRequest, now: float
+    ) -> None:
+        obs = self._obs
+        parse_start = conn.parse_started
+        trace_id = ""
+        if obs is not None:
+            admin = self._admin_response(request)
+            if admin is not None:
+                self._note_request_served()
+                self._maybe_compress(request, admin)
+                self._complete_slot(
+                    conn, self._new_slot(conn), request, admin, now=now
+                )
+                return
+            trace_id = request.headers.get(TRACE_HTTP_HEADER) or new_trace_id()
+            obs.tracer.record_span(
+                "http.parse",
+                trace_id,
+                parse_start if parse_start is not None else now,
+                now,
+                detail=request.path,
+            )
+            obs.registry.counter("http.requests").inc()
+        slot = self._new_slot(conn)
+        assert self._stage is not None
+        try:
+            self._stage.submit(
+                self._handle_request,
+                conn,
+                slot,
+                request,
+                trace_id,
+                kind="request",
+            )
+        except PoolSaturatedError:
+            # rung 2: the handler stage is the bounded protocol queue
+            response = self.make_busy_response(
+                "server busy: handler stage saturated"
+            )
+            self._note_request_served()
+            if obs is not None and obs.store is not None and trace_id:
+                obs.store.complete(trace_id, http_status=response.status)
+            self._complete_slot(conn, slot, request, response, now=now)
+
+    def _new_slot(self, conn: EventedConnection) -> _ResponseSlot:
+        slot = _ResponseSlot()
+        conn.slots.append(slot)
+        return slot
+
+    def _queue_error(
+        self, conn: EventedConnection, exc: HttpError, now: float
+    ) -> None:
+        """A framing error: answer what we can, then close."""
+        response = error_response(exc)
+        slot = self._new_slot(conn)
+        slot.fill(
+            b"".join(self._response_payloads(response, close=True)),
+            close_after=True,
+        )
+        conn.pump_ready(now)
+
+    def _handle_request(
+        self,
+        conn: EventedConnection,
+        slot: _ResponseSlot,
+        request: HttpRequest,
+        trace_id: str,
+    ) -> None:
+        """Worker-side: run the app, code the response, fill the slot."""
+        obs = self._obs
+        try:
+            if obs is not None and trace_id:
+                activate(obs.tracer, trace_id)
+                try:
+                    with obs.tracer.span(
+                        "server.handle", trace_id, detail=request.path
+                    ):
+                        response = self._app(request)
+                finally:
+                    deactivate()
+            else:
+                response = self._app(request)
+        except Exception as exc:  # app bug: report, keep serving
+            response = HttpResponse(
+                500,
+                Headers({"Content-Type": "text/plain"}),
+                f"internal error: {exc}".encode("utf-8"),
+            )
+        self._note_request_served()
+        self._maybe_compress(request, response)
+        if obs is not None and trace_id:
+            send_mark = self._clock()
+            payload, close_after = self._encode(conn, request, response)
+            obs.tracer.record_span(
+                "http.send",
+                trace_id,
+                send_mark,
+                self._clock(),
+                detail=f"{len(response.body)}B",
+            )
+            if obs.store is not None:
+                # the loop only moves opaque bytes after this point:
+                # the trace is over once the payload is coded
+                obs.store.complete(trace_id, http_status=response.status)
+        else:
+            payload, close_after = self._encode(conn, request, response)
+        slot.fill(payload, close_after=close_after)
+        self._completions.append(conn)
+        self._wake()
+
+    def _encode(
+        self,
+        conn: EventedConnection,
+        request: HttpRequest,
+        response: HttpResponse,
+    ) -> tuple[bytes, bool]:
+        close = (
+            not request.keep_alive
+            or conn.close_after_write
+            or self._stopping.is_set()
+        )
+        return (
+            b"".join(self._response_payloads(response, close=close)),
+            close,
+        )
+
+    def _complete_slot(
+        self,
+        conn: EventedConnection,
+        slot: _ResponseSlot,
+        request: HttpRequest,
+        response: HttpResponse,
+        *,
+        now: float,
+    ) -> None:
+        """Loop-side slot fill (admin responses, stage sheds)."""
+        payload, close_after = self._encode(conn, request, response)
+        slot.fill(payload, close_after=close_after)
+        if conn.pump_ready(now):
+            self._flush_now(conn, now)
+
+    # -- completions + write-back ---------------------------------------
+
+    def _drain_completions(self, now: float) -> None:
+        pending = self._completions
+        seen: set[int] = set()
+        while pending:
+            conn = pending.popleft()
+            if id(conn) in seen:
+                continue
+            seen.add(id(conn))
+            if conn.sock.fileno() not in self._connections:
+                continue  # closed while the worker ran
+            if conn.pump_ready(now):
+                self._flush_now(conn, now)
+
+    def _flush_now(self, conn: EventedConnection, now: float) -> None:
+        """Optimistic immediate flush; fall back to write interest."""
+        try:
+            drained = conn.flush(now)
+        except _ConnectionLost:
+            self._close_connection(conn)
+            return
+        if drained and conn.finished:
+            self._close_connection(conn)
+            return
+        self._update_interest(conn)
+
+    def _register(self, conn: EventedConnection, mask: int) -> None:
+        assert self._selector is not None
+        self._selector.register(conn.sock, mask, conn)
+        self._masks[conn.sock.fileno()] = mask
+
+    def _update_interest(self, conn: EventedConnection) -> None:
+        assert self._selector is not None
+        fileno = conn.sock.fileno()
+        if fileno not in self._connections:
+            return
+        mask = 0
+        if conn.want_read():
+            mask |= selectors.EVENT_READ
+        if conn.want_write():
+            mask |= selectors.EVENT_WRITE
+        current = self._masks.get(fileno, 0)
+        if mask == current:
+            return
+        if mask == 0:
+            # parked: pipelining maxed out and nothing to write yet —
+            # the completion drain re-arms it
+            self._selector.unregister(conn.sock)
+        elif current == 0:
+            self._selector.register(conn.sock, mask, conn)
+        else:
+            self._selector.modify(conn.sock, mask, conn)
+        self._masks[fileno] = mask
+
+    def _sweep_deadlines(self, now: float) -> None:
+        expired = [
+            conn
+            for conn in self._connections.values()
+            if conn.timed_out(now) is not None
+        ]
+        for conn in expired:
+            if self._obs is not None:
+                self._obs.registry.counter("http.connections.timed_out").inc()
+            self._close_connection(conn)
+
+    def _close_connection(self, conn: EventedConnection) -> None:
+        fileno = conn.sock.fileno()
+        if self._connections.pop(fileno, None) is None:
+            return
+        if self._masks.pop(fileno, 0):
+            assert self._selector is not None
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        self._note_connection_closed()
+
+    def _teardown(self) -> None:
+        for conn in list(self._connections.values()):
+            self._close_connection(conn)
+        if self._selector is not None:
+            self._selector.close()
+        for sock in (self._listen_sock, self._wakeup_recv, self._wakeup_send):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass

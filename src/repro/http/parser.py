@@ -70,6 +70,13 @@ class ChannelReader:
 def read_request(reader: ChannelReader) -> HttpRequest:
     """Read one complete HTTP request from the channel."""
     head = reader.read_until(_HEAD_END, MAX_HEAD_BYTES)
+    method, path, version, headers = _parse_request_head(head)
+    body = _read_body(reader, headers, is_request=True)
+    return HttpRequest(method, path, headers, body, version)
+
+
+def _parse_request_head(head: bytes) -> tuple[str, str, str, Headers]:
+    """Validate a request head: ``(method, path, version, headers)``."""
     request_line, headers = _parse_head(head)
     parts = request_line.split(" ")
     if len(parts) != 3:
@@ -77,8 +84,7 @@ def read_request(reader: ChannelReader) -> HttpRequest:
     method, path, version = parts
     if version not in ("HTTP/1.1", "HTTP/1.0"):
         raise HttpError(f"unsupported HTTP version '{version}'", status=400)
-    body = _read_body(reader, headers, is_request=True)
-    return HttpRequest(method, path, headers, body, version)
+    return method, path, version, headers
 
 
 def read_response(reader: ChannelReader) -> HttpResponse:
@@ -194,6 +200,178 @@ def _read_chunked(reader: ChannelReader) -> bytes:
         terminator = reader.read_exact(2)
         if terminator != _CRLF:
             raise HttpError("chunk not terminated by CRLF", status=400)
+
+
+class RequestParser:
+    """Incremental *push-mode* HTTP/1.1 request parser.
+
+    Where :class:`ChannelReader`/:func:`read_request` *pull* bytes from
+    a blocking channel, this parser is *fed* chunks as they arrive —
+    the shape the evented protocol stage needs: the event loop hands it
+    whatever ``recv`` returned and asks for any completed request.
+
+    Framing (``Content-Length`` and ``chunked``), limits and error
+    statuses match :func:`read_request` exactly; both share the head
+    parsing and content-decoding helpers.  A malformed or oversized
+    message raises :class:`~repro.errors.HttpError` from
+    :meth:`next_request`, after which the connection must be closed
+    (framing state is unrecoverable).
+    """
+
+    _HEAD = 0  # accumulating the request head
+    _BODY = 1  # fixed-length body
+    _CHUNK_SIZE = 2  # chunked: expecting a size line
+    _CHUNK_DATA = 3  # chunked: expecting size+CRLF bytes of data
+    _TRAILER = 4  # chunked: consuming trailer lines
+
+    __slots__ = (
+        "_buffer",
+        "_state",
+        "_head",
+        "_body",
+        "_body_remaining",
+        "_requests_parsed",
+    )
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._state = self._HEAD
+        self._head: tuple[str, str, str, Headers] | None = None
+        self._body = bytearray()
+        self._body_remaining = 0
+        self._requests_parsed = 0
+
+    @property
+    def requests_parsed(self) -> int:
+        return self._requests_parsed
+
+    @property
+    def has_buffered_data(self) -> bool:
+        """True when bytes are buffered (a partial or pipelined message)."""
+        return bool(self._buffer) or self._state != self._HEAD
+
+    def feed(self, data: bytes) -> None:
+        """Buffer one chunk as read off the wire."""
+        self._buffer.extend(data)
+
+    def next_request(self) -> HttpRequest | None:
+        """The next complete request, or ``None`` until more bytes arrive.
+
+        Raises :class:`~repro.errors.HttpError` on malformed framing.
+        """
+        while True:
+            if self._state == self._HEAD:
+                index = self._buffer.find(_HEAD_END)
+                if index == -1:
+                    if len(self._buffer) > MAX_HEAD_BYTES:
+                        raise HttpError(
+                            f"message head exceeds {MAX_HEAD_BYTES} bytes",
+                            status=413,
+                        )
+                    return None
+                head = bytes(self._buffer[: index + len(_HEAD_END)])
+                del self._buffer[: index + len(_HEAD_END)]
+                self._head = _parse_request_head(head)
+                headers = self._head[3]
+                encoding = headers.get_token("Transfer-Encoding")
+                if encoding == "chunked":
+                    self._body = bytearray()
+                    self._state = self._CHUNK_SIZE
+                    continue
+                if encoding and encoding != "identity":
+                    raise HttpError(
+                        f"unsupported transfer encoding '{encoding}'", status=400
+                    )
+                length_text = headers.get("Content-Length")
+                if length_text is None:
+                    if headers.get("Content-Type"):
+                        raise HttpError(
+                            "request has a body but no Content-Length", status=411
+                        )
+                    return self._complete(b"")
+                try:
+                    length = int(length_text)
+                    if length < 0:
+                        raise ValueError
+                except ValueError:
+                    raise HttpError(
+                        f"bad Content-Length '{length_text}'", status=400
+                    ) from None
+                if length > MAX_BODY_BYTES:
+                    raise HttpError(
+                        f"body of {length} bytes exceeds limit", status=413
+                    )
+                self._body_remaining = length
+                self._state = self._BODY
+                continue
+
+            if self._state == self._BODY:
+                if len(self._buffer) < self._body_remaining:
+                    return None
+                body = bytes(self._buffer[: self._body_remaining])
+                del self._buffer[: self._body_remaining]
+                return self._complete(body)
+
+            if self._state == self._CHUNK_SIZE:
+                line_end = self._buffer.find(_CRLF)
+                if line_end == -1:
+                    if len(self._buffer) > 1024:
+                        raise HttpError("chunk size line too long", status=400)
+                    return None
+                size_text = bytes(self._buffer[:line_end]).strip().split(b";")[0]
+                del self._buffer[: line_end + len(_CRLF)]
+                try:
+                    size = int(size_text, 16)
+                except ValueError:
+                    raise HttpError(
+                        f"bad chunk size {size_text!r}", status=400
+                    ) from None
+                if size == 0:
+                    self._state = self._TRAILER
+                    continue
+                if len(self._body) + size > MAX_BODY_BYTES:
+                    raise HttpError("chunked body exceeds limit", status=413)
+                self._body_remaining = size
+                self._state = self._CHUNK_DATA
+                continue
+
+            if self._state == self._CHUNK_DATA:
+                need = self._body_remaining + len(_CRLF)
+                if len(self._buffer) < need:
+                    return None
+                self._body.extend(self._buffer[: self._body_remaining])
+                terminator = bytes(
+                    self._buffer[self._body_remaining : need]
+                )
+                del self._buffer[:need]
+                if terminator != _CRLF:
+                    raise HttpError("chunk not terminated by CRLF", status=400)
+                self._state = self._CHUNK_SIZE
+                continue
+
+            assert self._state == self._TRAILER
+            line_end = self._buffer.find(_CRLF)
+            if line_end == -1:
+                if len(self._buffer) > MAX_HEAD_BYTES:
+                    raise HttpError("trailer section too long", status=413)
+                return None
+            line = bytes(self._buffer[: line_end + len(_CRLF)])
+            del self._buffer[: line_end + len(_CRLF)]
+            if line == _CRLF:
+                return self._complete(bytes(self._body))
+            # non-empty trailer line: consumed and ignored (parity with
+            # _read_chunked)
+
+    def _complete(self, body: bytes) -> HttpRequest:
+        assert self._head is not None
+        method, path, version, headers = self._head
+        body = _decode_content(body, headers, is_request=True)
+        self._head = None
+        self._body = bytearray()
+        self._body_remaining = 0
+        self._state = self._HEAD
+        self._requests_parsed += 1
+        return HttpRequest(method, path, headers, body, version)
 
 
 def encode_chunked(body: bytes, chunk_size: int = 8192) -> bytes:

@@ -10,18 +10,28 @@ differ in what happens *inside* that callable:
   processing coupled in one thread;
 * staged architecture (Fig. 2): the callable parses, hands work to the
   application-stage pool and parks until the response is assembled.
+
+Everything that is not thread-per-connection I/O — the admin surface,
+compression negotiation, response wire coding, connection counters —
+lives in :class:`~repro.http.core.HttpServerCore`, shared with the
+event-loop backend in :mod:`repro.http.evented`.
 """
 
 from __future__ import annotations
 
-import contextlib
-import json
 import threading
 import time
-from typing import Callable, Iterator
+from typing import Callable
 
 from repro.errors import HttpError, TransportError
-from repro.http.compression import CompressionPolicy, choose_encoding, compress
+from repro.http.compression import CompressionPolicy
+from repro.http.core import (
+    ADMIN_PATHS,
+    TRACE_PATH_PREFIX,
+    HttpServerCore,
+    chunked_head as _chunked_head,
+    error_response as _error_response,
+)
 from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.http.parser import ChannelReader, ConnectionClosedCleanly, read_request
 from repro.obs.trace import (
@@ -35,13 +45,10 @@ from repro.transport.base import Address, Channel, Listener, ListenerClosed, Tra
 
 App = Callable[[HttpRequest], HttpResponse]
 
-ADMIN_PATHS = ("/metrics", "/healthz", "/traces", "/slo")
-
-#: ``GET /trace/<id>`` serves one retained trace's span tree.
-TRACE_PATH_PREFIX = "/trace/"
+__all__ = ["ADMIN_PATHS", "TRACE_PATH_PREFIX", "App", "HttpServer"]
 
 
-class HttpServer:
+class HttpServer(HttpServerCore):
     """Accepts connections and runs one handler thread per connection.
 
     Connection threads come from an unbounded-but-recycled set: the
@@ -100,30 +107,25 @@ class HttpServer:
         Compression runs before chunking, so both compose.  ``None``
         (the default) keeps the seed wire format byte-for-byte.
         """
-        self._app = app
-        self._obs = observability
-        self._slo_config = slo_config
-        # Monotonic anchor: /healthz uptime is an interval measurement.
-        self._started_at = time.monotonic()
-        self._transport = transport
-        self._bind_address = address
-        self._server_header = server_header
-        self._chunk_over = chunk_responses_over
-        self._chunk_size = chunk_size
-        self._compression = compression
+        super().__init__(
+            app,
+            transport=transport,
+            address=address,
+            server_header=server_header,
+            chunk_responses_over=chunk_responses_over,
+            chunk_size=chunk_size,
+            observability=observability,
+            compression=compression,
+            slo_config=slo_config,
+        )
         self._connection_slots = (
             threading.Semaphore(max_connections) if max_connections else None
         )
-        self.max_concurrent_connections = 0
-        self._current_connections = 0
         self._listener: Listener | None = None
         self._accept_thread: threading.Thread | None = None
         self._connection_threads: set[threading.Thread] = set()
         self._threads_lock = threading.Lock()
         self._stopping = threading.Event()
-        self.connections_accepted = 0
-        self.requests_served = 0
-        self._counter_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -149,15 +151,6 @@ class HttpServer:
             threads = list(self._connection_threads)
         for thread in threads:
             thread.join(timeout=join_timeout)
-
-    @contextlib.contextmanager
-    def running(self) -> Iterator[Address]:
-        """Context manager: start, yield the bound address, stop."""
-        address = self.start()
-        try:
-            yield address
-        finally:
-            self.stop()
 
     @property
     def address(self) -> Address:
@@ -186,14 +179,7 @@ class HttpServer:
                 if self._stopping.is_set():
                     return
                 continue
-            with self._counter_lock:
-                self.connections_accepted += 1
-                self._current_connections += 1
-                if self._current_connections > self.max_concurrent_connections:
-                    self.max_concurrent_connections = self._current_connections
-                active = self._current_connections
-            if self._obs is not None:
-                self._obs.registry.gauge("http.connections.active").set(active)
+            self._note_connection_opened()
             thread = threading.Thread(
                 target=self._serve_connection,
                 args=(channel,),
@@ -228,8 +214,7 @@ class HttpServer:
                 if obs is not None:
                     admin = self._admin_response(request)
                     if admin is not None:
-                        with self._counter_lock:
-                            self.requests_served += 1
+                        self._note_request_served()
                         keep_alive = request.keep_alive and not self._stopping.is_set()
                         self._maybe_compress(request, admin)
                         self._send(channel, admin, close=not keep_alive)
@@ -268,8 +253,7 @@ class HttpServer:
                 finally:
                     if obs is not None:
                         deactivate()
-                with self._counter_lock:
-                    self.requests_served += 1
+                self._note_request_served()
                 self._maybe_compress(request, response)
 
                 keep_alive = request.keep_alive and not self._stopping.is_set()
@@ -292,167 +276,20 @@ class HttpServer:
                     return
         finally:
             channel.close()
-            with self._counter_lock:
-                self._current_connections -= 1
-                active = self._current_connections
-            if obs is not None:
-                obs.registry.gauge("http.connections.active").set(active)
+            self._note_connection_closed()
             self._release_slot()
             with self._threads_lock:
                 self._connection_threads.discard(threading.current_thread())
-
-    # -- admin surface ------------------------------------------------------
-
-    def _admin_response(self, request: HttpRequest) -> HttpResponse | None:
-        """The admin surface: ``GET /metrics`` / ``/healthz`` /
-        ``/traces`` / ``/trace/<id>`` / ``/slo``; None otherwise.
-
-        ``/metrics`` defaults to the JSON snapshot;
-        ``/metrics?format=prometheus`` renders the text exposition
-        format a stock Prometheus can scrape.  ``/traces?slowest=N``
-        lists retained trace summaries, ``/trace/<id>`` one trace's
-        span tree, ``/slo`` the live budget verdict.
-        """
-        if request.method != "GET":
-            return None
-        path, _, query = request.path.partition("?")
-        if path not in ADMIN_PATHS and not path.startswith(TRACE_PATH_PREFIX):
-            return None
-        assert self._obs is not None
-        status = 200
-        if path == "/healthz":
-            payload = self.health_snapshot()
-        elif path == "/traces":
-            status, payload = self._traces_payload(query)
-        elif path.startswith(TRACE_PATH_PREFIX):
-            status, payload = self._trace_payload(path[len(TRACE_PATH_PREFIX):])
-        elif path == "/slo":
-            status, payload = self._slo_payload()
-        elif "format=prometheus" in query.split("&"):
-            from repro.obs.prometheus import CONTENT_TYPE, render_prometheus
-
-            return HttpResponse(
-                200,
-                Headers({"Content-Type": CONTENT_TYPE}),
-                render_prometheus(self._obs.registry).encode("utf-8"),
-            )
-        else:
-            payload = self._obs.metrics_snapshot()
-        return HttpResponse(
-            status,
-            Headers({"Content-Type": "application/json"}),
-            json.dumps(payload, indent=2).encode("utf-8"),
-        )
-
-    def _traces_payload(self, query: str) -> tuple[int, dict]:
-        store = self._obs.store if self._obs is not None else None
-        if store is None:
-            return 404, {"error": "span store not enabled"}
-        slowest = 20
-        for part in query.split("&"):
-            name, _, value = part.partition("=")
-            if name == "slowest" and value.isdigit():
-                slowest = int(value)
-        return 200, {"traces": store.slowest(slowest), "stats": store.stats()}
-
-    def _trace_payload(self, trace_id: str) -> tuple[int, dict]:
-        store = self._obs.store if self._obs is not None else None
-        if store is None:
-            return 404, {"error": "span store not enabled"}
-        tree = store.get(trace_id)
-        if tree is None:
-            return 404, {"error": f"trace {trace_id!r} not retained"}
-        return 200, tree
-
-    def _slo_payload(self) -> tuple[int, dict]:
-        if self._slo_config is None:
-            return 404, {"error": "no slo config loaded"}
-        from repro.obs.slo import evaluate_snapshot, summarize
-
-        checks = evaluate_snapshot(
-            self._slo_config, self._obs.metrics_snapshot()
-        )
-        return 200, summarize(checks)
-
-    def health_snapshot(self) -> dict:
-        """The ``/healthz`` document: liveness plus connection counters."""
-        with self._counter_lock:
-            return {
-                "status": "ok",
-                "uptime_s": round(time.monotonic() - self._started_at, 3),
-                "connections_accepted": self.connections_accepted,
-                "current_connections": self._current_connections,
-                "max_concurrent_connections": self.max_concurrent_connections,
-                "requests_served": self.requests_served,
-            }
 
     def _release_slot(self) -> None:
         if self._connection_slots is not None:
             self._connection_slots.release()
 
-    def _maybe_compress(self, request: HttpRequest, response: HttpResponse) -> None:
-        """Content-code the response in place when negotiation allows it.
-
-        Identity is kept for small bodies, for codings the client did
-        not accept, for already-coded responses, and when coding would
-        not actually shrink the body (incompressible payloads).
-        """
-        policy = self._compression
-        if (
-            policy is None
-            or len(response.body) < policy.min_size
-            or "Content-Encoding" in response.headers
-        ):
-            return
-        encoding = choose_encoding(
-            request.headers.get("Accept-Encoding"), policy
-        )
-        if encoding is None:
-            return
-        raw_size = len(response.body)
-        coded = compress(response.body, encoding, level=policy.level)
-        if len(coded) >= raw_size:
-            return
-        response.body = coded
-        response.headers.set("Content-Encoding", encoding)
-        response.headers.set("Vary", "Accept-Encoding")
-        if self._obs is not None:
-            registry = self._obs.registry
-            registry.counter("compress.responses").inc()
-            registry.counter("compress.bytes_saved").inc(raw_size - len(coded))
-
     def _send(self, channel: Channel, response: HttpResponse, *, close: bool) -> None:
-        response.headers.set("Server", self._server_header)
-        response.headers.set("Connection", "close" if close else "keep-alive")
         try:
-            if self._chunk_over is not None and len(response.body) > self._chunk_over:
-                channel.sendall(_chunked_head(response))
-                body = response.body
-                for offset in range(0, len(body), self._chunk_size):
-                    chunk = body[offset : offset + self._chunk_size]
-                    channel.sendall(
-                        f"{len(chunk):x}\r\n".encode("ascii") + chunk + b"\r\n"
-                    )
-                channel.sendall(b"0\r\n\r\n")
-            else:
-                channel.sendall(response.to_bytes())
+            # one sendall per payload: the shaped transport prices each
+            # sendall, so chunked framing keeps its per-frame cost
+            for payload in self._response_payloads(response, close=close):
+                channel.sendall(payload)
         except TransportError:
             pass
-
-
-def _chunked_head(response: HttpResponse) -> bytes:
-    headers = response.headers.copy()
-    headers.remove("Content-Length")
-    headers.set("Transfer-Encoding", "chunked")
-    lines = [f"{response.version} {response.status} {response.reason}"]
-    lines.extend(f"{name}: {value}" for name, value in headers.items())
-    return "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
-
-
-def _error_response(exc: HttpError) -> HttpResponse:
-    status = exc.status or 400
-    return HttpResponse(
-        status,
-        Headers({"Content-Type": "text/plain"}),
-        str(exc).encode("utf-8"),
-    )

@@ -8,6 +8,7 @@
 """
 
 from repro.server.common_arch import CommonSoapServer
+from repro.server.config import ServerConfig, build_server
 from repro.server.container import ServiceContainer
 from repro.server.endpoint import SoapEndpoint
 from repro.server.handlers import Handler, HandlerChain, MessageContext
@@ -29,6 +30,7 @@ __all__ = [
     "HandlerChain",
     "MessageContext",
     "SecurityVerifyHandler",
+    "ServerConfig",
     "ServiceContainer",
     "ServiceDefinition",
     "SoapEndpoint",
@@ -36,6 +38,7 @@ __all__ = [
     "StagedSoapServer",
     "TaskFuture",
     "ThreadPool",
+    "build_server",
     "operation",
     "service_from_functions",
     "service_from_object",

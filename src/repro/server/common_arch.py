@@ -11,18 +11,16 @@ synchronously in the HTTP connection thread, one after another.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator
+import warnings
+from typing import Any, Iterator
 
-from repro.http.compression import CompressionPolicy
-from repro.http.server import HttpServer
-from repro.obs.trace import Observability, span as obs_span
-from repro.soap.sercache import ResponseTemplateCache
+from repro.obs.trace import span as obs_span
+from repro.server.config import ServerConfig, build_http_server, config_from_legacy
 from repro.server.container import ServiceContainer, entry_fault
 from repro.server.endpoint import SoapEndpoint
-from repro.server.handlers import HandlerChain, MessageContext
 from repro.server.service import ServiceDefinition
 from repro.soap.fault import timeout_fault
-from repro.transport.base import Address, Transport
+from repro.transport.base import Address
 from repro.transport.tcp import TcpTransport
 from repro.xmlcore.tree import Element
 
@@ -34,40 +32,47 @@ class CommonSoapServer:
 
     def __init__(
         self,
-        services: list[ServiceDefinition],
+        services: list[ServiceDefinition] | None = None,
         *,
-        transport: Transport | None = None,
-        address: Address = ("127.0.0.1", 0),
-        chain: HandlerChain | None = None,
-        chunk_responses_over: int | None = None,
-        observability: Observability | None = None,
-        serialization_cache: ResponseTemplateCache | None = None,
-        compression: CompressionPolicy | None = None,
-        slo_config: dict | None = None,
+        config: ServerConfig | None = None,
+        **legacy: Any,
     ) -> None:
+        """Build from ``config=``; the old keyword signature still
+        works but warns (use :func:`repro.server.build_server`)."""
+        if config is not None:
+            if services is not None or legacy:
+                raise TypeError(
+                    "pass either config= or the legacy keyword "
+                    "arguments, not both"
+                )
+        else:
+            warnings.warn(
+                "repro.server.CommonSoapServer(services, ...) is deprecated; "
+                "use repro.server.build_server(ServerConfig("
+                "architecture='common', ...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = config_from_legacy("common", services, legacy)
+        if config.transport is None:
+            config = config.replace(transport=TcpTransport())
+        self.config = config
+        observability = config.observability
         self.observability = observability
-        self.serialization_cache = serialization_cache
+        self.serialization_cache = config.serialization_cache
         self.container = ServiceContainer(
-            services,
+            list(config.services),
             registry=observability.registry if observability is not None else None,
         )
         self.endpoint = SoapEndpoint(
             self.container,
             self._execute,
-            chain=chain,
+            chain=config.chain,
             observability=observability,
-            serialization_cache=serialization_cache,
+            serialization_cache=config.serialization_cache,
         )
-        self.transport = transport if transport is not None else TcpTransport()
-        self.http = HttpServer(
-            self.endpoint,
-            transport=self.transport,
-            address=address,
-            chunk_responses_over=chunk_responses_over,
-            observability=observability,
-            compression=compression,
-            slo_config=slo_config,
-        )
+        self.transport = config.transport
+        self.http = build_http_server(self.endpoint, config)
 
     def _execute(
         self, entries: list[Element], context: MessageContext

@@ -21,22 +21,19 @@ last worker finishes, then assemble the response in arrival order.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator
+import warnings
+from typing import Any, Iterator
 
 from repro.errors import PoolSaturatedError
-from repro.http.compression import CompressionPolicy
-from repro.http.server import HttpServer
-from repro.soap.sercache import ResponseTemplateCache
 from repro.obs import trace as obs_trace
-from repro.obs.trace import Observability
+from repro.server.config import ServerConfig, build_http_server, config_from_legacy
 from repro.server.container import ServiceContainer, entry_fault
 from repro.server.endpoint import SoapEndpoint
-from repro.server.handlers import HandlerChain, MessageContext
 from repro.server.service import ServiceDefinition
 from repro.server.stage import Stage
 from repro.server.threadpool import CompletionLatch
 from repro.soap.fault import SoapFault, busy_fault, timeout_fault
-from repro.transport.base import Address, Transport
+from repro.transport.base import Address
 from repro.transport.tcp import TcpTransport
 from repro.xmlcore.tree import Element
 
@@ -51,23 +48,36 @@ class StagedSoapServer:
 
     def __init__(
         self,
-        services: list[ServiceDefinition],
+        services: list[ServiceDefinition] | None = None,
         *,
-        transport: Transport | None = None,
-        address: Address = ("127.0.0.1", 0),
-        chain: HandlerChain | None = None,
-        app_workers: int = DEFAULT_APP_WORKERS,
-        app_queue_limit: int | None = None,
-        chunk_responses_over: int | None = None,
-        observability: Observability | None = None,
-        serialization_cache: ResponseTemplateCache | None = None,
-        compression: CompressionPolicy | None = None,
-        slo_config: dict | None = None,
+        config: ServerConfig | None = None,
+        **legacy: Any,
     ) -> None:
+        """Build from ``config=``; the old keyword signature still
+        works but warns (use :func:`repro.server.build_server`)."""
+        if config is not None:
+            if services is not None or legacy:
+                raise TypeError(
+                    "pass either config= or the legacy keyword "
+                    "arguments, not both"
+                )
+        else:
+            warnings.warn(
+                "repro.server.StagedSoapServer(services, ...) is deprecated; "
+                "use repro.server.build_server(ServerConfig("
+                "architecture='staged', ...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = config_from_legacy("staged", services, legacy)
+        if config.transport is None:
+            config = config.replace(transport=TcpTransport())
+        self.config = config
+        observability = config.observability
         self.observability = observability
-        self.serialization_cache = serialization_cache
+        self.serialization_cache = config.serialization_cache
         self.container = ServiceContainer(
-            services,
+            list(config.services),
             registry=observability.registry if observability is not None else None,
         )
         # app_queue_limit bounds the application stage's backlog: once
@@ -75,27 +85,19 @@ class StagedSoapServer:
         # a Server.Busy fault instead of queueing unboundedly.
         self.app_stage = Stage(
             "application",
-            app_workers,
+            config.app_workers,
             registry=observability.registry if observability is not None else None,
-            max_queue=app_queue_limit,
+            max_queue=config.app_queue_limit,
         )
         self.endpoint = SoapEndpoint(
             self.container,
             self._execute,
-            chain=chain,
+            chain=config.chain,
             observability=observability,
-            serialization_cache=serialization_cache,
+            serialization_cache=config.serialization_cache,
         )
-        self.transport = transport if transport is not None else TcpTransport()
-        self.http = HttpServer(
-            self.endpoint,
-            transport=self.transport,
-            address=address,
-            chunk_responses_over=chunk_responses_over,
-            observability=observability,
-            compression=compression,
-            slo_config=slo_config,
-        )
+        self.transport = config.transport
+        self.http = build_http_server(self.endpoint, config)
 
     def _execute(
         self, entries: list[Element], context: MessageContext
@@ -144,8 +146,13 @@ class StagedSoapServer:
 
         if len(waited) == 1:
             # Nothing to overlap: keep a single waited request on the
-            # protocol thread and spare a context switch (the common
-            # fast path).
+            # calling thread and spare a context switch (the common
+            # fast path).  On the threaded backend that is the HTTP
+            # connection thread; on the evented backend it is a bounded
+            # http-handler stage worker — never the event loop — so the
+            # fast path stays safe under SEDA's "nothing heavy on the
+            # loop" rule and the app stage still bounds overlapped
+            # packs.
             index, entry = waited[0]
             with obs_trace.span("execute", detail=entry.local_name):
                 results[index] = self.container.execute_entry(entry)

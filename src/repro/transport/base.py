@@ -82,6 +82,23 @@ class Transport(ABC):
     def connect(self, address: Address, timeout: float | None = None) -> Channel:
         """Open an outbound channel to ``address``."""
 
+    def selectable_listen(self, address: Address) -> Any:
+        """Bind a *non-blocking* listening socket usable with
+        :mod:`selectors` — the capability the evented HTTP backend
+        requires.
+
+        Returns a bound, listening ``socket.socket`` already in
+        non-blocking mode.  The default raises: queue-backed transports
+        have no file descriptors to select on.  Wrapper transports
+        (shaped, chaos) delegate to their base transport — their
+        perturbations act on *client-initiated* channels and blocking
+        sendall timing, which the event loop does not use.
+        """
+        raise TransportError(
+            f"{type(self).__name__} cannot host the evented backend: "
+            "it needs a selectable (socket) transport"
+        )
+
 
 class ListenerClosed(TransportError):
     """accept() on a closed listener."""

@@ -159,6 +159,10 @@ class ChaosTransport(Transport):
         """Server side is untouched: chaos only hits outbound requests."""
         return self.base.listen(address)
 
+    def selectable_listen(self, address: Address):
+        """Server side is untouched: delegate to the base transport."""
+        return self.base.selectable_listen(address)
+
     def connect(self, address: Address, timeout: float | None = None) -> Channel:
         """An outbound channel whose sends roll the injection dice."""
         return ChaosChannel(self.base.connect(address, timeout), self)

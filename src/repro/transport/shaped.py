@@ -67,6 +67,15 @@ class ShapedTransport(Transport):
         """Listener whose accepted channels transmit on the downlink."""
         return ShapedListener(self.base.listen(address), self.downlink)
 
+    def selectable_listen(self, address: Address):
+        """Delegate to the base transport's selectable socket.
+
+        The event loop writes directly to non-blocking sockets, so
+        server->client (downlink) shaping does not apply on the evented
+        backend; uplink shaping of client sends still does.
+        """
+        return self.base.selectable_listen(address)
+
     def connect(self, address: Address, timeout: float | None = None) -> Channel:
         # Pay the TCP handshake before the real (instant) loopback connect.
         """Pay the emulated handshake, then connect for real."""

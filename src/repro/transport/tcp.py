@@ -115,6 +115,19 @@ class TcpTransport(Transport):
             raise TransportError(f"cannot listen on {address}: {exc}") from exc
         return TcpListener(sock, io_timeout=self._io_timeout)
 
+    def selectable_listen(self, address: Address) -> socket.socket:
+        """Bind a non-blocking listening socket for the event loop."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind(tuple(address))
+            sock.listen(self._backlog)
+        except OSError as exc:
+            sock.close()
+            raise TransportError(f"cannot listen on {address}: {exc}") from exc
+        sock.setblocking(False)
+        return sock
+
     def connect(self, address: Address, timeout: float | None = None) -> Channel:
         """Open a TCP connection to ``(host, port)``."""
         try:

@@ -1,0 +1,44 @@
+"""Negative corpus: the loop-safe idioms the rule must accept.
+
+The file is named ``evented.py`` because no-blocking-call-on-event-loop
+scopes itself to that filename.
+"""
+
+
+def _recv_nonblocking(sock, max_bytes=65536):
+    try:
+        return sock.recv(max_bytes)  # allowed: inside the named wrapper
+    except BlockingIOError:
+        return None
+
+
+def _send_nonblocking(sock, data):
+    try:
+        return sock.send(data)  # allowed: inside the named wrapper
+    except BlockingIOError:
+        return 0
+
+
+def _accept_nonblocking(sock):
+    try:
+        return sock.accept()  # allowed: inside the named wrapper
+    except BlockingIOError:
+        return None
+
+
+def _run_loop(selector, stage, lock, completions):
+    for key, _mask in selector.select(0.2):
+        data = _recv_nonblocking(key.fileobj, 65536)
+        if not data:
+            continue
+        if lock.acquire(timeout=0.5):  # bounded acquire is fine
+            try:
+                stage.submit(work, data)  # fire-and-forget: results come
+            finally:  # back via the completion queue
+                lock.release()
+        while completions:
+            _send_nonblocking(key.fileobj, completions.popleft())
+
+
+def work(data):
+    return data

@@ -1,0 +1,29 @@
+"""Positive corpus: blocking calls inside an event-loop module.
+
+The file is named ``evented.py`` because no-blocking-call-on-event-loop
+scopes itself to that filename.
+"""
+
+import time
+
+
+def _run_loop(selector, stage, lock):
+    for key, _mask in selector.select():
+        sock = key.fileobj
+        data = sock.recv(65536)  # raw recv on the loop
+        if not data:
+            continue
+        sock.sendall(data)  # raw sendall on the loop
+        time.sleep(0.01)  # the selector timeout is the only legal wait
+        lock.acquire()  # no timeout: parks the loop behind a worker
+        reply = stage.submit(work, data).result()  # self-deadlock
+        sock.send(reply)  # raw send on the loop
+
+
+def _accept_ready(listener):
+    conn, _peer = listener.accept()  # raw accept outside the wrapper
+    return conn
+
+
+def work(data):
+    return data

@@ -86,6 +86,27 @@ class TestPositiveFixtures:
         assert len(findings) == 2  # pass body + docstring-only body
         assert all(f.path == "server/swallow_pos.py" for f in findings)
 
+    def test_no_blocking_call_on_event_loop(self):
+        from repro.analysis.rules import NoBlockingCallOnEventLoop
+
+        # run the loop rule alone: the corpus deliberately also trips
+        # no-direct-sleep-random, which is not under test here
+        findings = corpus_findings(
+            "loop_pos/evented.py", rules=[NoBlockingCallOnEventLoop()]
+        )
+        assert {f.rule_id for f in findings} == {"no-blocking-call-on-event-loop"}
+        messages = "\n".join(f.message for f in findings)
+        assert ".recv()" in messages
+        assert ".sendall()" in messages
+        assert ".send()" in messages
+        assert ".accept()" in messages
+        assert "time.sleep()" in messages
+        assert ".acquire() without a timeout" in messages
+        assert ".submit(...).result()" in messages
+        # recv + sendall + sleep + acquire + submit().result() + send + accept
+        assert len(findings) == 7
+        assert all(f.severity == "error" for f in findings)
+
 
 @pytest.mark.parametrize(
     "name",
@@ -99,6 +120,7 @@ class TestPositiveFixtures:
         "span_store_neg.py",
         "bare_except_neg.py",
         "server/swallow_neg.py",
+        "loop_neg/evented.py",
     ],
 )
 def test_negative_fixture_is_clean(name):
@@ -124,6 +146,17 @@ class TestScoping:
         assert check_source(source, path="resilience/policy.py", rules=rule) == []
         assert check_source(source, path="transport/chaos.py", rules=rule) == []
         assert check_source(source, path="apps/echo.py", rules=rule) != []
+
+    def test_loop_rule_only_patrols_the_evented_module(self):
+        # The same blocking calls are legal anywhere but evented.py —
+        # the threaded backend blocks by design.
+        source = (FIXTURES / "loop_pos" / "evented.py").read_text()
+        from repro.analysis import check_source
+        from repro.analysis.rules import NoBlockingCallOnEventLoop
+
+        rule = [NoBlockingCallOnEventLoop()]
+        assert check_source(source, path="http/server.py", rules=rule) == []
+        assert check_source(source, path="http/evented.py", rules=rule) != []
 
     def test_suppression_pragmas_silence_everything(self):
         assert corpus_findings("suppressed.py", rules=default_rules()) == []

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps.call import main as call_main, parse_call, parse_value, split_calls
-from repro.apps.serve import build_server
+from repro.apps.serve import build_demo_server
 from repro.errors import ReproError
 
 
@@ -49,7 +49,7 @@ class TestValueParsing:
 
 @pytest.fixture(scope="module")
 def demo_server():
-    server, metrics = build_server("127.0.0.1", 0)
+    server, metrics = build_demo_server("127.0.0.1", 0)
     address = server.start()
     yield f"{address[0]}:{address[1]}", server, metrics
     server.stop()

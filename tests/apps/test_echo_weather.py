@@ -14,9 +14,9 @@ from repro.core.dispatcher import spi_server_handlers
 from repro.core.packformat import unpack_parallel_method
 from repro.errors import SoapFaultError
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.soap.envelope import Envelope
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 
 class TestEchoPayload:
@@ -92,12 +92,7 @@ class TestFigure4:
 
     def test_figure4_executes_against_weather_server(self):
         transport = InProcTransport()
-        server = StagedSoapServer(
-            [make_weather_service()],
-            transport=transport,
-            address="weather",
-            chain=HandlerChain(spi_server_handlers()),
-        )
+        server = build_server(ServerConfig(services=[make_weather_service()], architecture="staged", transport=transport, address="weather", chain=HandlerChain(spi_server_handlers())))
         with server.running() as address:
             proxy = ServiceProxy(
                 transport, address, namespace=WEATHER_NS, service_name="GlobalWeather"
@@ -112,9 +107,7 @@ class TestFigure4:
 class TestWeatherOverHttp:
     def test_end_to_end_call(self):
         transport = InProcTransport()
-        server = StagedSoapServer(
-            [make_weather_service()], transport=transport, address="weather-http"
-        )
+        server = build_server(ServerConfig(services=[make_weather_service()], architecture="staged", transport=transport, address="weather-http"))
         with server.running() as address:
             proxy = ServiceProxy(
                 transport, address, namespace=WEATHER_NS, service_name="GlobalWeather"

@@ -19,9 +19,9 @@ from repro.client.proxy import ServiceProxy
 from repro.core.dispatcher import spi_server_handlers
 from repro.errors import SoapFaultError
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.soap.fault import ClientFaultCause
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 
 def wait_done(store, job_id, timeout=10.0):
@@ -104,12 +104,7 @@ class TestJobStore:
 def grid_env():
     transport = InProcTransport()
     service = make_grid_service(workers=4, work_units=10)
-    server = StagedSoapServer(
-        [service],
-        transport=transport,
-        address="grid",
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    server = build_server(ServerConfig(services=[service], architecture="staged", transport=transport, address="grid", chain=HandlerChain(spi_server_handlers())))
     with server.running() as address:
         yield transport, address, server, service
     service.job_store.shutdown()

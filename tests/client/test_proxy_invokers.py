@@ -8,8 +8,8 @@ from repro.errors import InvocationError, SoapFaultError
 from repro.client.invoker import Call, SerialInvoker, ThreadedInvoker
 from repro.client.proxy import ServiceProxy
 from repro.server.service import service_from_functions
-from repro.server.staged_arch import StagedSoapServer
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 NS = "urn:svc:echo"
 
@@ -35,7 +35,7 @@ def make_server(transport, address="proxy-server"):
             {"echo": echo, "reverse": reverse, "slow": slow, "fail": fail},
         )
     ]
-    return StagedSoapServer(services, transport=transport, address=address)
+    return build_server(ServerConfig(services=services, architecture="staged", transport=transport, address=address))
 
 
 @pytest.fixture

@@ -10,8 +10,8 @@ from repro.core.adaptive import AdaptiveAutoPacker, WindowController
 from repro.core.dispatcher import spi_server_handlers
 from repro.errors import PackError
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 
 class TestWindowController:
@@ -82,12 +82,7 @@ class TestWindowController:
 @pytest.fixture
 def proxy():
     transport = InProcTransport()
-    server = StagedSoapServer(
-        [make_echo_service()],
-        transport=transport,
-        address="adaptive",
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="adaptive", chain=HandlerChain(spi_server_handlers())))
     with server.running() as address:
         proxy = ServiceProxy(
             transport, address, namespace=ECHO_NS, service_name="EchoService",

@@ -11,8 +11,8 @@ from repro.core.dispatcher import spi_server_handlers
 from repro.errors import PackError, SoapFaultError
 from repro.server.handlers import HandlerChain
 from repro.server.service import service_from_functions
-from repro.server.staged_arch import StagedSoapServer
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 NS = "urn:svc:echo"
 
@@ -27,12 +27,7 @@ def env():
     def fail(reason: str) -> str:
         raise RuntimeError(reason)
 
-    server = StagedSoapServer(
-        [service_from_functions("EchoService", NS, {"echo": echo, "fail": fail})],
-        transport=transport,
-        address="autopack",
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    server = build_server(ServerConfig(services=[service_from_functions("EchoService", NS, {"echo": echo, "fail": fail})], architecture="staged", transport=transport, address="autopack", chain=HandlerChain(spi_server_handlers())))
     with server.running() as address:
         proxy = ServiceProxy(
             transport, address, namespace=NS, service_name="EchoService",

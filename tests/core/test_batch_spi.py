@@ -12,8 +12,8 @@ from repro.core.spi import connect
 from repro.errors import PackError, SoapFaultError
 from repro.server.handlers import HandlerChain
 from repro.server.service import service_from_functions
-from repro.server.staged_arch import StagedSoapServer
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 NS = "urn:svc:echo"
 
@@ -32,12 +32,7 @@ def make_server(transport, address="spi-server"):
     services = [
         service_from_functions("EchoService", NS, {"echo": echo, "slow": slow, "fail": fail})
     ]
-    return StagedSoapServer(
-        services,
-        transport=transport,
-        address=address,
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    return build_server(ServerConfig(services=services, architecture="staged", transport=transport, address=address, chain=HandlerChain(spi_server_handlers())))
 
 
 @pytest.fixture
@@ -189,11 +184,7 @@ class TestServerWithoutSpiHandlers:
         def echo(payload: str) -> str:
             return payload
 
-        server = StagedSoapServer(
-            [service_from_functions("EchoService", NS, {"echo": echo})],
-            transport=transport,
-            address="nospi",
-        )
+        server = build_server(ServerConfig(services=[service_from_functions("EchoService", NS, {"echo": echo})], architecture="staged", transport=transport, address="nospi"))
         with server.running() as address:
             proxy = ServiceProxy(transport, address, namespace=NS, service_name="EchoService")
             batch = PackBatch(proxy)

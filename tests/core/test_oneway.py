@@ -17,10 +17,9 @@ from repro.core.oneway import (
     mark_one_way,
 )
 from repro.core.spi import connect
-from repro.server.common_arch import CommonSoapServer
 from repro.server.handlers import HandlerChain
 from repro.server.service import service_from_functions
-from repro.server.staged_arch import StagedSoapServer
+from repro.server import ServerConfig, build_server
 from repro.soap.constants import REQUEST_ID_ATTR
 from repro.soap.serializer import serialize_rpc_request
 from repro.transport.inproc import InProcTransport
@@ -66,25 +65,26 @@ class _SlowSink:
         return "done"
 
 
-def make_env(server_cls):
+def make_env(architecture):
     transport = InProcTransport()
     sink = _SlowSink()
     service = service_from_functions(
         "Sink", "urn:sink", {"notify": sink.notify, "ping": lambda: "pong"}
     )
-    server = server_cls(
-        [service],
+    server = build_server(ServerConfig(
+        services=[service],
+        architecture=architecture,
         transport=transport,
         address="oneway",
         chain=HandlerChain(spi_server_handlers()),
-    )
+    ))
     return transport, server, sink
 
 
 class TestStagedOneWay:
     @pytest.fixture
     def env(self):
-        transport, server, sink = make_env(StagedSoapServer)
+        transport, server, sink = make_env("staged")
         with server.running() as address:
             proxy = ServiceProxy(transport, address, namespace="urn:sink", service_name="Sink")
             yield proxy, server, sink
@@ -153,7 +153,7 @@ class TestStagedOneWay:
 
 class TestCommonArchOneWay:
     def test_executes_synchronously_but_acks(self):
-        transport, server, sink = make_env(CommonSoapServer)
+        transport, server, sink = make_env("common")
         with server.running() as address:
             proxy = ServiceProxy(transport, address, namespace="urn:sink", service_name="Sink")
             batch = PackBatch(proxy)

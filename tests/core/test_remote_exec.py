@@ -14,9 +14,9 @@ from repro.core.remote_exec import (
 from repro.errors import PackError, SoapFaultError
 from repro.server.container import ServiceContainer
 from repro.server.service import service_from_functions
-from repro.server.staged_arch import StagedSoapServer
 from repro.soap.fault import ClientFaultCause
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 CALC_NS = "urn:svc:calc"
 TEXT_NS = "urn:svc:text"
@@ -107,9 +107,7 @@ class TestEndToEnd:
     @pytest.fixture
     def env(self):
         transport = InProcTransport()
-        server = StagedSoapServer(
-            calc_services(), transport=transport, address="remote-exec"
-        )
+        server = build_server(ServerConfig(services=calc_services(), architecture="staged", transport=transport, address="remote-exec"))
         # the runner executes against the server's own container, so
         # plans can reach every co-deployed service
         server.container.deploy(make_plan_runner_service(server.container))

@@ -7,19 +7,14 @@ from repro.core.remote_exec import make_plan_runner_service
 from repro.core.spi import SpiClient, connect
 from repro.core.dispatcher import spi_server_handlers
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 
 @pytest.fixture(scope="module")
 def env():
     transport = InProcTransport()
-    server = StagedSoapServer(
-        [make_echo_service()],
-        transport=transport,
-        address="facade",
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="facade", chain=HandlerChain(spi_server_handlers())))
     server.container.deploy(make_plan_runner_service(server.container))
     with server.running() as address:
         yield transport, address, server

@@ -7,8 +7,8 @@ from repro.client.proxy import ServiceProxy
 from repro.http.connection import HttpConnection
 from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.http.server import HttpServer
-from repro.server.staged_arch import StagedSoapServer
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 
 def echo_app(request):
@@ -79,12 +79,7 @@ class TestChunkedResponses:
 class TestChunkedSoapServer:
     def test_soap_stack_works_over_chunked_responses(self):
         transport = InProcTransport()
-        server = StagedSoapServer(
-            [make_echo_service()],
-            transport=transport,
-            address="chunked-soap",
-            chunk_responses_over=256,
-        )
+        server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="chunked-soap", chunk_responses_over=256))
         with server.running() as address:
             proxy = ServiceProxy(
                 transport, address, namespace=ECHO_NS, service_name="EchoService"

@@ -1,0 +1,327 @@
+"""Event-loop protocol stage: parser, connection state machine, server.
+
+The connection tests drive :class:`EventedConnection` directly with a
+fake socket and hand-rolled ``now`` values — no threads, no clocks —
+which is the point of the state machine being pure with respect to
+time.  A handful of real-socket tests then cover the loop itself.
+"""
+
+import collections
+import socket
+
+import pytest
+
+from repro.errors import HttpError
+from repro.http.evented import (
+    MAX_PIPELINED,
+    EventedConnection,
+    EventedHttpServer,
+    _ResponseSlot,
+)
+from repro.http.message import Headers, HttpResponse
+from repro.http.parser import MAX_HEAD_BYTES, RequestParser
+from repro.transport.tcp import TcpTransport
+
+
+class FakeSocket:
+    """Scripted socket: recv pops chunks, send honours an accept budget."""
+
+    def __init__(self, chunks=(), accept=None):
+        self.chunks = collections.deque(chunks)
+        #: per-send byte budgets; None = accept everything
+        self.accept = collections.deque(accept) if accept is not None else None
+        self.sent = bytearray()
+
+    def recv(self, max_bytes):
+        if not self.chunks:
+            raise BlockingIOError
+        return self.chunks.popleft()
+
+    def send(self, data):
+        if self.accept is None:
+            self.sent += data
+            return len(data)
+        if not self.accept:
+            raise BlockingIOError
+        budget = self.accept.popleft()
+        taken = min(budget, len(data))
+        self.sent += bytes(data[:taken])
+        return taken
+
+
+SIMPLE = b"POST /svc HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello"
+
+
+class TestRequestParser:
+    def test_byte_by_byte_feed(self):
+        parser = RequestParser()
+        for byte in SIMPLE[:-1]:
+            parser.feed(bytes([byte]))
+            assert parser.next_request() is None
+        parser.feed(SIMPLE[-1:])
+        request = parser.next_request()
+        assert request is not None
+        assert (request.method, request.path) == ("POST", "/svc")
+        assert request.body == b"hello"
+        assert parser.requests_parsed == 1
+        assert not parser.has_buffered_data
+
+    def test_pipelined_requests_in_one_feed(self):
+        parser = RequestParser()
+        parser.feed(SIMPLE + SIMPLE)
+        first = parser.next_request()
+        second = parser.next_request()
+        assert first.body == second.body == b"hello"
+        assert parser.next_request() is None
+        assert parser.requests_parsed == 2
+
+    def test_chunked_body_with_trailer(self):
+        parser = RequestParser()
+        parser.feed(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"5\r\nhello\r\n6\r\n world\r\n0\r\nX-Trailer: v\r\n\r\n"
+        )
+        request = parser.next_request()
+        assert request.body == b"hello world"
+
+    def test_chunked_split_mid_chunk(self):
+        parser = RequestParser()
+        parser.feed(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel")
+        assert parser.next_request() is None
+        assert parser.has_buffered_data
+        parser.feed(b"lo\r\n0\r\n\r\n")
+        assert parser.next_request().body == b"hello"
+
+    def test_bad_content_length_is_400(self):
+        parser = RequestParser()
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        with pytest.raises(HttpError) as err:
+            parser.next_request()
+        assert err.value.status == 400
+
+    def test_body_without_length_is_411(self):
+        parser = RequestParser()
+        parser.feed(b"POST / HTTP/1.1\r\nContent-Type: text/xml\r\n\r\n")
+        with pytest.raises(HttpError) as err:
+            parser.next_request()
+        assert err.value.status == 411
+
+    def test_oversized_head_is_413(self):
+        parser = RequestParser()
+        parser.feed(b"POST / HTTP/1.1\r\nX-Pad: " + b"x" * MAX_HEAD_BYTES)
+        with pytest.raises(HttpError) as err:
+            parser.next_request()
+        assert err.value.status == 413
+
+    def test_get_without_body_completes_at_head(self):
+        parser = RequestParser()
+        parser.feed(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        request = parser.next_request()
+        assert request.method == "GET"
+        assert request.body == b""
+
+
+def make_conn(sock, *, now=0.0, idle_timeout=None, write_timeout=None):
+    return EventedConnection(
+        sock, now=now, idle_timeout=idle_timeout, write_timeout=write_timeout
+    )
+
+
+def queue_response(conn, payload, *, now, close_after=False):
+    """What the server does when a worker finishes: fill + pump."""
+    slot = _ResponseSlot()
+    conn.slots.append(slot)
+    slot.fill(payload, close_after=close_after)
+    return conn.pump_ready(now)
+
+
+class TestEventedConnection:
+    def test_reads_complete_request(self):
+        conn = make_conn(FakeSocket([SIMPLE]))
+        requests = conn.on_readable(now=1.0)
+        assert [r.body for r in requests] == [b"hello"]
+        assert conn.parse_started is None  # nothing half-parsed remains
+
+    def test_pipelined_burst_returns_all_requests(self):
+        conn = make_conn(FakeSocket([SIMPLE + SIMPLE + SIMPLE]))
+        assert len(conn.on_readable(now=0.0)) == 3
+
+    def test_partial_write_resumes_where_it_stopped(self):
+        sock = FakeSocket(accept=[4])
+        conn = make_conn(sock, write_timeout=30.0)
+        assert queue_response(conn, b"ABCDEFGH", now=1.0)
+        assert conn.flush(now=1.0) is False  # kernel took 4, then blocked
+        assert bytes(sock.sent) == b"ABCD"
+        assert conn.write_started == 1.0
+        sock.accept.append(100)
+        assert conn.flush(now=2.0) is True
+        assert bytes(sock.sent) == b"ABCDEFGH"
+        assert conn.write_started is None
+
+    def test_stalled_peer_blows_write_deadline(self):
+        conn = make_conn(FakeSocket(accept=[]), write_timeout=5.0)
+        queue_response(conn, b"stuck", now=10.0)
+        conn.flush(now=10.0)
+        assert conn.timed_out(now=14.9) is None
+        assert conn.timed_out(now=15.1) == "write"
+
+    def test_slow_loris_idle_anchor_is_parse_start(self):
+        # Trickling one header fragment per second must NOT keep the
+        # connection alive: the idle anchor is when the request started
+        # arriving, not the last trickled byte.
+        sock = FakeSocket([b"POST / HT"])
+        conn = make_conn(sock, idle_timeout=10.0)
+        assert conn.on_readable(now=0.0) == []
+        assert conn.parse_started == 0.0
+        for second in range(1, 9):
+            sock.chunks.append(b"x")  # more header bytes, never finishing
+            conn.on_readable(now=float(second))
+        assert conn.last_activity == 8.0
+        assert conn.parse_started == 0.0  # anchor did not move
+        assert conn.timed_out(now=9.9) is None
+        assert conn.timed_out(now=10.1) == "idle"
+
+    def test_idle_between_requests_anchors_at_last_activity(self):
+        sock = FakeSocket([SIMPLE])
+        conn = make_conn(sock, idle_timeout=10.0)
+        conn.on_readable(now=5.0)
+        assert conn.timed_out(now=14.9) is None
+        assert conn.timed_out(now=15.1) == "idle"
+
+    def test_no_idle_timeout_while_response_pending(self):
+        conn = make_conn(FakeSocket([SIMPLE]), idle_timeout=1.0)
+        conn.on_readable(now=0.0)
+        slot = _ResponseSlot()
+        conn.slots.append(slot)  # dispatched, worker still running
+        assert conn.timed_out(now=100.0) is None
+
+    def test_out_of_order_fills_write_in_request_order(self):
+        conn = make_conn(FakeSocket())
+        first, second = _ResponseSlot(), _ResponseSlot()
+        conn.slots.extend([first, second])
+        second.fill(b"SECOND", close_after=False)
+        assert conn.pump_ready(now=0.0) is False  # head of line not done
+        first.fill(b"FIRST", close_after=False)
+        assert conn.pump_ready(now=0.0) is True
+        assert bytes(conn.outbuf) == b"FIRSTSECOND"
+
+    def test_close_after_slot_shuts_reading(self):
+        conn = make_conn(FakeSocket())
+        queue_response(conn, b"bye", now=0.0, close_after=True)
+        assert conn.close_after_write
+        assert conn.reading_shut
+
+    def test_clean_eof_finishes_connection(self):
+        conn = make_conn(FakeSocket([b""]))
+        assert conn.on_readable(now=0.0) is None
+        assert not conn.close_after_write
+        assert conn.finished
+
+    def test_eof_mid_message_marks_drop(self):
+        conn = make_conn(FakeSocket([b"POST / HTTP/1.1\r\nContent-L", b""]))
+        assert conn.on_readable(now=0.0) is None
+        assert conn.close_after_write
+
+    def test_framing_error_raises_and_shuts_reading(self):
+        conn = make_conn(FakeSocket([b"NOT HTTP\r\n\r\n"]))
+        with pytest.raises(HttpError):
+            conn.on_readable(now=0.0)
+        assert conn.reading_shut
+
+    def test_pipelining_cap_drops_read_interest(self):
+        conn = make_conn(FakeSocket())
+        assert conn.want_read()
+        conn.slots.extend(_ResponseSlot() for _ in range(MAX_PIPELINED))
+        assert not conn.want_read()
+
+
+def echo_app(request):
+    return HttpResponse(
+        200, Headers({"Content-Type": "text/plain"}), request.body
+    )
+
+
+def recv_response(sock, buffer=None):
+    """Read one Content-Length-framed response off a blocking socket.
+
+    Pass the same ``buffer`` for every read on a connection — pipelined
+    responses arrive back to back, so bytes past the current response
+    must survive into the next call.
+    """
+    if buffer is None:
+        buffer = bytearray()
+    while b"\r\n\r\n" not in buffer:
+        buffer += sock.recv(65536)
+    head_end = buffer.find(b"\r\n\r\n") + 4
+    head = bytes(buffer[: head_end - 4])
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            length = int(value.strip())
+    while len(buffer) < head_end + length:
+        buffer += sock.recv(65536)
+    body = bytes(buffer[head_end : head_end + length])
+    del buffer[: head_end + length]
+    return head, body
+
+
+class TestEventedHttpServer:
+    def test_keep_alive_and_pipelining_over_real_sockets(self):
+        server = EventedHttpServer(
+            echo_app, transport=TcpTransport(), address=("127.0.0.1", 0)
+        )
+        with server.running() as (host, port):
+            with socket.create_connection((host, port), timeout=5) as sock:
+                # two requests in one write: pipelined, answered in order
+                buffer = bytearray()
+                sock.sendall(SIMPLE + SIMPLE)
+                head1, body1 = recv_response(sock, buffer)
+                head2, body2 = recv_response(sock, buffer)
+                assert body1 == body2 == b"hello"
+                assert b"keep-alive" in head1
+                # the same connection serves a third request afterwards
+                sock.sendall(SIMPLE)
+                _, body3 = recv_response(sock, buffer)
+                assert body3 == b"hello"
+        assert server.connections_accepted == 1
+        assert server.requests_served == 3
+
+    def test_accept_overload_sheds_with_canned_503(self):
+        server = EventedHttpServer(
+            echo_app,
+            transport=TcpTransport(),
+            address=("127.0.0.1", 0),
+            max_connections=1,
+        )
+        with server.running() as (host, port):
+            with socket.create_connection((host, port), timeout=5) as first:
+                first.sendall(SIMPLE)
+                recv_response(first)  # the budgeted connection works
+                with socket.create_connection((host, port), timeout=5) as second:
+                    head, _body = recv_response(second)  # shed before parse
+                    assert head.startswith(b"HTTP/1.1 503")
+        assert server.accept_overload_shed == 1
+
+    def test_idle_connection_is_closed_by_the_loop(self):
+        server = EventedHttpServer(
+            echo_app,
+            transport=TcpTransport(),
+            address=("127.0.0.1", 0),
+            idle_timeout=0.3,
+        )
+        with server.running() as (host, port):
+            with socket.create_connection((host, port), timeout=5) as sock:
+                assert sock.recv(65536) == b""  # loop closes us, no request
+
+    def test_malformed_request_answers_error_then_closes(self):
+        server = EventedHttpServer(
+            echo_app, transport=TcpTransport(), address=("127.0.0.1", 0)
+        )
+        with server.running() as (host, port):
+            with socket.create_connection((host, port), timeout=5) as sock:
+                sock.sendall(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+                head, _body = recv_response(sock)
+                assert head.startswith(b"HTTP/1.1 400")
+                assert b"Connection: close" in head
+                assert sock.recv(65536) == b""

@@ -25,12 +25,12 @@ from repro.http.compression import CompressionPolicy
 from repro.obs import Observability
 from repro.resilience.policy import CallPolicy
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.soap.sercache import ResponseTemplateCache
 from repro.transport.chaos import ChaosTransport
 from repro.transport.inproc import InProcTransport
 
 from repro.bench.workloads import echo_testbed
+from repro.server import ServerConfig, build_server
 
 
 def full_stack_testbed(observability):
@@ -93,14 +93,7 @@ class TestRetryInterplay:
         loop starts, never mid-loop."""
         obs = Observability()
         transport = ChaosTransport(InProcTransport(), drop_rate=0.5, seed=7)
-        server = StagedSoapServer(
-            [make_echo_service()],
-            transport=transport,
-            address="cache-chaos",
-            chain=HandlerChain(spi_server_handlers()),
-            serialization_cache=ResponseTemplateCache(),
-            observability=obs,
-        )
+        server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="cache-chaos", chain=HandlerChain(spi_server_handlers()), serialization_cache=ResponseTemplateCache(), observability=obs))
         address = server.start()
         try:
             cache = ResponseCache(CachePolicy(ttl=None), registry=obs.registry)

@@ -17,18 +17,13 @@ from repro.errors import HttpError, ReproError, TransportError
 from repro.http.connection import HttpConnection
 from repro.http.message import HttpRequest
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.soap.constants import SOAP_CONTENT_TYPE
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 
 def make_server(transport, address):
-    return StagedSoapServer(
-        [make_echo_service()],
-        transport=transport,
-        address=address,
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    return build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address=address, chain=HandlerChain(spi_server_handlers())))
 
 
 class TestConnectionFailures:

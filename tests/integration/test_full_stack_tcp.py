@@ -15,20 +15,15 @@ from repro.client.proxy import ServiceProxy
 from repro.core.batch import PackBatch, PackedInvoker
 from repro.core.dispatcher import spi_server_handlers
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.transport.tcp import TcpTransport
 from repro.resilience.policy import CallPolicy
+from repro.server import ServerConfig, build_server
 
 
 @pytest.fixture(scope="module")
 def tcp_env():
     transport = TcpTransport()
-    server = StagedSoapServer(
-        [make_echo_service()],
-        transport=transport,
-        address=("127.0.0.1", 0),
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address=("127.0.0.1", 0), chain=HandlerChain(spi_server_handlers())))
     address = server.start()
     yield transport, address, server
     server.stop()

@@ -10,11 +10,18 @@ Exercises the ISSUE's acceptance scenarios over real wire bytes:
 * a ``CallPolicy`` retry budget converges through a chaos transport
   dropping requests, with retry/shed counters visible in the metrics
   registry and at ``GET /metrics``.
+
+Every scenario runs on both protocol backends: the resilience ladder
+is a contract of the server, not of one I/O discipline.  The threaded
+backend keeps the in-process transport (byte-for-byte the historical
+suite); the evented backend needs real sockets, so it runs on loopback
+TCP.
 """
 
 import json
 import time
 
+import pytest
 
 from repro.apps.echo import ECHO_NS, ECHO_SERVICE, make_echo_service
 from repro.client.proxy import ServiceProxy
@@ -26,32 +33,56 @@ from repro.http.connection import HttpConnection
 from repro.http.message import Headers, HttpRequest
 from repro.obs import Observability
 from repro.resilience.policy import CallPolicy
-from repro.server.common_arch import CommonSoapServer
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.soap.serializer import build_request_envelope
 from repro.transport.chaos import ChaosTransport
 from repro.transport.inproc import InProcTransport
+from repro.transport.tcp import TcpTransport
+from repro.server import ServerConfig, build_server
 
 
-def start_staged(transport, *, app_workers, app_queue_limit=None, observability=None):
-    server = StagedSoapServer(
-        [make_echo_service()],
+@pytest.fixture(params=["threaded", "evented"])
+def backend(request):
+    """Both protocol backends must satisfy the same resilience ladder."""
+    return request.param
+
+
+def make_transport(backend):
+    return InProcTransport() if backend == "threaded" else TcpTransport()
+
+
+def bind_address(backend):
+    return "resilience-e2e" if backend == "threaded" else ("127.0.0.1", 0)
+
+
+def start_server(
+    transport,
+    backend,
+    *,
+    architecture="staged",
+    app_workers=4,
+    app_queue_limit=None,
+    observability=None,
+):
+    server = build_server(ServerConfig(
+        services=[make_echo_service()],
+        architecture=architecture,
+        backend=backend,
         transport=transport,
-        address="resilience-e2e",
+        address=bind_address(backend),
         chain=HandlerChain(spi_server_handlers()),
         app_workers=app_workers,
         app_queue_limit=app_queue_limit,
         observability=observability,
-    )
-    server.start()
-    return server
+    ))
+    address = server.start()
+    return server, address
 
 
-def make_proxy(transport, *, policy=None, tracer=None):
+def make_proxy(transport, address, *, policy=None, tracer=None):
     return ServiceProxy(
         transport,
-        "resilience-e2e",
+        address,
         namespace=ECHO_NS,
         service_name=ECHO_SERVICE,
         policy=policy,
@@ -60,15 +91,17 @@ def make_proxy(transport, *, policy=None, tracer=None):
 
 
 class TestDeadlineEnforcement:
-    def test_staged_unfinished_entries_get_timeout_faults(self):
+    def test_staged_unfinished_entries_get_timeout_faults(self, backend):
         """Single worker + a 500ms op + a 250ms budget: the protocol
         thread answers at the deadline with per-entry timeout faults
         rather than waiting out the slow operation."""
-        transport = InProcTransport()
+        transport = make_transport(backend)
         obs = Observability()
-        server = start_staged(transport, app_workers=1, observability=obs)
+        server, address = start_server(
+            transport, backend, app_workers=1, observability=obs
+        )
         try:
-            proxy = make_proxy(transport)
+            proxy = make_proxy(transport, address)
             started = time.monotonic()
             batch = PackBatch(proxy, policy=CallPolicy(timeout=0.25))
             slow = batch.call("delayedEcho", payload="slow", delay_ms=500)
@@ -88,20 +121,14 @@ class TestDeadlineEnforcement:
         finally:
             server.stop()
 
-    def test_common_arch_skips_entries_past_the_deadline(self):
+    def test_common_arch_skips_entries_past_the_deadline(self, backend):
         """Sequential execution (Fig. 1): the first entry eats the whole
         budget, so later entries are skipped with Server.Timeout — they
         never execute."""
-        transport = InProcTransport()
-        server = CommonSoapServer(
-            [make_echo_service()],
-            transport=transport,
-            address="resilience-e2e",
-            chain=HandlerChain(spi_server_handlers()),
-        )
-        server.start()
+        transport = make_transport(backend)
+        server, address = start_server(transport, backend, architecture="common")
         try:
-            proxy = make_proxy(transport)
+            proxy = make_proxy(transport, address)
             batch = PackBatch(proxy, policy=CallPolicy(timeout=0.2))
             first = batch.call("delayedEcho", payload="hog", delay_ms=300)
             second = batch.call("echo", payload="late-a")
@@ -122,14 +149,15 @@ class TestDeadlineEnforcement:
 
 
 class TestLoadShedding:
-    def test_saturated_stage_sheds_entries_but_siblings_answer(self):
-        transport = InProcTransport()
+    def test_saturated_stage_sheds_entries_but_siblings_answer(self, backend):
+        transport = make_transport(backend)
         obs = Observability()
-        server = start_staged(
-            transport, app_workers=1, app_queue_limit=1, observability=obs
+        server, address = start_server(
+            transport, backend, app_workers=1, app_queue_limit=1,
+            observability=obs,
         )
         try:
-            proxy = make_proxy(transport)
+            proxy = make_proxy(transport, address)
             batch = PackBatch(proxy)
             futures = [
                 batch.call("delayedEcho", payload=f"p{i}", delay_ms=150)
@@ -155,16 +183,17 @@ class TestLoadShedding:
         finally:
             server.stop()
 
-    def test_oneway_shed_returns_http_503(self):
+    def test_oneway_shed_returns_http_503(self, backend):
         """A whole-message shed is visible at the HTTP layer: a one-way
         request against a saturated stage gets 503 + Server.Busy."""
-        transport = InProcTransport()
+        transport = make_transport(backend)
         obs = Observability()
-        server = start_staged(
-            transport, app_workers=1, app_queue_limit=1, observability=obs
+        server, address = start_server(
+            transport, backend, app_workers=1, app_queue_limit=1,
+            observability=obs,
         )
         try:
-            proxy = make_proxy(transport)
+            proxy = make_proxy(transport, address)
 
             def prime(tag):
                 # fire-and-forget casts occupy the worker without
@@ -183,7 +212,7 @@ class TestLoadShedding:
                 ECHO_NS, "echo", {"payload": "shed me"}
             )
             mark_one_way(envelope.body_entries[0])
-            with HttpConnection(transport, "resilience-e2e") as conn:
+            with HttpConnection(transport, address) as conn:
                 response = conn.request(
                     HttpRequest(
                         "POST",
@@ -198,19 +227,20 @@ class TestLoadShedding:
         finally:
             server.stop()
 
-    def test_shed_counters_visible_at_metrics_endpoint(self):
-        transport = InProcTransport()
+    def test_shed_counters_visible_at_metrics_endpoint(self, backend):
+        transport = make_transport(backend)
         obs = Observability()
-        server = start_staged(
-            transport, app_workers=1, app_queue_limit=1, observability=obs
+        server, address = start_server(
+            transport, backend, app_workers=1, app_queue_limit=1,
+            observability=obs,
         )
         try:
-            proxy = make_proxy(transport)
+            proxy = make_proxy(transport, address)
             batch = PackBatch(proxy)
             for i in range(6):
                 batch.call("delayedEcho", payload=f"m{i}", delay_ms=100)
             batch.flush()
-            with HttpConnection(transport, "resilience-e2e") as conn:
+            with HttpConnection(transport, address) as conn:
                 response = conn.request(
                     HttpRequest("GET", "/metrics", Headers({"Host": "t"}))
                 )
@@ -224,17 +254,19 @@ class TestLoadShedding:
 
 
 class TestRetryConvergence:
-    def test_policy_converges_over_chaos_with_visible_counters(self):
+    def test_policy_converges_over_chaos_with_visible_counters(self, backend):
         """The ISSUE's acceptance scenario: CallPolicy(retries=...)
         against a transport dropping ~30% of requests converges, and the
         client's retry counter records the recoveries."""
-        chaos = ChaosTransport(InProcTransport(), drop_rate=0.3, seed=2026)
+        chaos = ChaosTransport(make_transport(backend), drop_rate=0.3, seed=2026)
         obs = Observability()
         client_obs = Observability()
-        server = start_staged(chaos.base, app_workers=4, observability=obs)
+        server, address = start_server(
+            chaos.base, backend, app_workers=4, observability=obs
+        )
         try:
             policy = CallPolicy(retries=4, backoff_base=0.001, backoff_max=0.005)
-            proxy = make_proxy(chaos, policy=policy, tracer=client_obs.tracer)
+            proxy = make_proxy(chaos, address, policy=policy, tracer=client_obs.tracer)
             results = [proxy.call("echo", payload=f"c{i}") for i in range(12)]
             assert results == [f"c{i}" for i in range(12)]
             assert chaos.stats.dropped > 0
@@ -247,13 +279,15 @@ class TestRetryConvergence:
         finally:
             server.stop()
 
-    def test_retries_also_absorb_real_server_sheds(self):
+    def test_retries_also_absorb_real_server_sheds(self, backend):
         """Busy faults from a genuinely saturated stage are retryable:
         a packed batch retried under policy eventually lands everything."""
-        transport = InProcTransport()
-        server = start_staged(transport, app_workers=1, app_queue_limit=1)
+        transport = make_transport(backend)
+        server, address = start_server(
+            transport, backend, app_workers=1, app_queue_limit=1
+        )
         try:
-            proxy = make_proxy(transport)
+            proxy = make_proxy(transport, address)
             pending = {f"r{i}" for i in range(6)}
             for _ in range(12):  # bounded retry loop driven by the client
                 batch = PackBatch(proxy)

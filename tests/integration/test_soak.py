@@ -17,8 +17,8 @@ from repro.core.dispatcher import spi_server_handlers
 from repro.diagnostics import PackMetricsHandler
 from repro.errors import SoapFaultError
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 CLIENTS = 8
 ITERATIONS = 12
@@ -28,13 +28,7 @@ ITERATIONS = 12
 def soak_env():
     transport = InProcTransport()
     metrics = PackMetricsHandler()
-    server = StagedSoapServer(
-        [make_echo_service()],
-        transport=transport,
-        address="soak",
-        chain=HandlerChain([metrics, *spi_server_handlers()]),
-        app_workers=8,
-    )
+    server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="soak", chain=HandlerChain([metrics, *spi_server_handlers()]), app_workers=8))
     with server.running() as address:
         yield transport, address, server, metrics
 

@@ -16,6 +16,19 @@ from repro.obs import FLAG_FAULT, FLAG_SHED, Observability, SpanStore
 from repro.resilience.policy import CallPolicy
 
 
+@pytest.fixture(params=["threaded", "evented"])
+def backend(request):
+    """The span store is fed by both protocol backends; the evented
+    loop needs real sockets, so it runs on the loopback profile."""
+    return request.param
+
+
+def bed_kwargs(backend):
+    """echo_testbed keyword arguments for the given protocol backend."""
+    profile = "inproc" if backend == "threaded" else "loopback"
+    return {"profile": profile, "backend": backend}
+
+
 def store_testbed(**store_kwargs):
     store = SpanStore(rng=random.Random(7), **store_kwargs)
     obs = Observability(span_store=store)
@@ -31,14 +44,14 @@ def count_name(node, name):
 class TestPackedTraceTree:
     @pytest.mark.parametrize("architecture", ["staged", "common"])
     def test_trace_route_returns_one_execute_child_per_pack_entry(
-        self, architecture
+        self, architecture, backend
     ):
         """A packed Parallel_Method call renders as a ``server.handle``
         tree carrying one ``execute`` child span per pack entry."""
         store, obs = store_testbed(sample_rate=1.0)
         m = 8
         with echo_testbed(
-            profile="inproc", architecture=architecture, observability=obs
+            architecture=architecture, observability=obs, **bed_kwargs(backend)
         ) as bed:
             proxy = bed.make_proxy()
             invoker = make_invoker("our-approach", proxy)
@@ -69,9 +82,9 @@ class TestPackedTraceTree:
         executes = [c for c in handle["children"] if c["name"] == "execute"]
         assert all(c["detail"] == "echo" for c in executes)
 
-    def test_traces_route_lists_slowest_with_stats(self):
+    def test_traces_route_lists_slowest_with_stats(self, backend):
         store, obs = store_testbed(sample_rate=1.0)
-        with echo_testbed(profile="inproc", observability=obs) as bed:
+        with echo_testbed(observability=obs, **bed_kwargs(backend)) as bed:
             proxy = bed.make_proxy()
             invoker = make_invoker("our-approach", proxy)
             invoker.invoke_all(echo_calls(4, 10), CallPolicy(timeout=60))
@@ -92,9 +105,9 @@ class TestPackedTraceTree:
         assert doc["stats"]["kept"] >= 1
         assert missing.status == 404
 
-    def test_routes_404_without_a_store(self):
+    def test_routes_404_without_a_store(self, backend):
         obs = Observability()  # no span store attached
-        with echo_testbed(profile="inproc", observability=obs) as bed:
+        with echo_testbed(observability=obs, **bed_kwargs(backend)) as bed:
             with HttpConnection(bed.transport, bed.address) as conn:
                 listing = conn.request(
                     HttpRequest("GET", "/traces", Headers({"Host": "t"}))
@@ -103,12 +116,12 @@ class TestPackedTraceTree:
 
 
 class TestSeededChaosRetention:
-    def test_every_fault_trace_survives_sampling(self):
+    def test_every_fault_trace_survives_sampling(self, backend):
         """With sampling at its harshest (rate 0), a seeded run mixing
         boring echoes with faulting calls retains *every* fault trace."""
         store, obs = store_testbed(sample_rate=0.0)
         fault_ids = []
-        with echo_testbed(profile="inproc", observability=obs) as bed:
+        with echo_testbed(observability=obs, **bed_kwargs(backend)) as bed:
             proxy = bed.make_proxy()
             for i in range(40):
                 proxy.call("echo", payload=f"x{i}")
@@ -121,15 +134,15 @@ class TestSeededChaosRetention:
         assert stats["dropped"] > 0, "sampling never engaged — test is vacuous"
         assert set(fault_ids) <= set(store.flagged_ids([FLAG_FAULT]))
 
-    def test_shed_pack_entries_flag_the_trace_under_overload(self):
+    def test_shed_pack_entries_flag_the_trace_under_overload(self, backend):
         """Partial-success packs answer HTTP 200; the per-entry
         Server.Busy faults must still flag the trace for retention."""
         store, obs = store_testbed(sample_rate=0.0)
         with echo_testbed(
-            profile="inproc",
             app_workers=1,
             app_queue_limit=2,
             observability=obs,
+            **bed_kwargs(backend),
         ) as bed:
             proxy = bed.make_proxy()
             batch = PackBatch(proxy)

@@ -17,10 +17,9 @@ from repro.client.proxy import ServiceProxy
 from repro.core.batch import PackBatch
 from repro.core.dispatcher import spi_server_handlers
 from repro.errors import SoapFaultError
-from repro.server.common_arch import CommonSoapServer
 from repro.server.handlers import HandlerChain
 from repro.server.service import service_from_functions
-from repro.server.staged_arch import StagedSoapServer
+from repro.server import ServerConfig, build_server
 from repro.transport.inproc import InProcTransport
 
 FLAKY_NS = "urn:repro:flaky"
@@ -37,14 +36,15 @@ def make_flaky_service():
     return service_from_functions("FlakyService", FLAKY_NS, {"flakyEcho": flaky_echo})
 
 
-def _start(arch_cls):
+def _start(architecture):
     transport = InProcTransport()
-    server = arch_cls(
-        [make_flaky_service()],
+    server = build_server(ServerConfig(
+        services=[make_flaky_service()],
+        architecture=architecture,
         transport=transport,
-        address=f"flaky-{arch_cls.architecture}",
+        address=f"flaky-{architecture}",
         chain=HandlerChain(spi_server_handlers()),
-    )
+    ))
     address = server.start()
     proxy = ServiceProxy(
         transport,
@@ -56,7 +56,7 @@ def _start(arch_cls):
     return server, proxy
 
 
-@pytest.fixture(scope="module", params=[CommonSoapServer, StagedSoapServer])
+@pytest.fixture(scope="module", params=["common", "staged"])
 def flaky_proxy(request):
     server, proxy = _start(request.param)
     yield proxy

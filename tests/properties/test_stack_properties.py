@@ -17,9 +17,9 @@ from repro.client.proxy import ServiceProxy
 from repro.core.batch import PackedInvoker
 from repro.core.dispatcher import spi_server_handlers
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.transport.inproc import InProcTransport
 from repro.resilience.policy import CallPolicy
+from repro.server import ServerConfig, build_server
 
 payload_lists = st.lists(
     st.text(
@@ -34,12 +34,7 @@ payload_lists = st.lists(
 @pytest.fixture(scope="module")
 def stack():
     transport = InProcTransport()
-    server = StagedSoapServer(
-        [make_echo_service()],
-        transport=transport,
-        address="prop-stack",
-        chain=HandlerChain(spi_server_handlers()),
-    )
+    server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="prop-stack", chain=HandlerChain(spi_server_handlers())))
     address = server.start()
     proxy = ServiceProxy(
         transport, address, namespace=ECHO_NS, service_name="EchoService",

@@ -11,10 +11,9 @@ from repro.soap.constants import SOAP_CONTENT_TYPE
 from repro.soap.deserializer import parse_response_envelope
 from repro.soap.envelope import Envelope
 from repro.soap.serializer import build_request_envelope, serialize_rpc_request
-from repro.server.common_arch import CommonSoapServer
 from repro.server.service import service_from_functions
-from repro.server.staged_arch import StagedSoapServer
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 NS = "urn:svc:echo"
 
@@ -49,8 +48,12 @@ def call(transport, address, envelope: Envelope):
 @pytest.fixture(params=["common", "staged"])
 def server(request):
     transport = InProcTransport()
-    cls = CommonSoapServer if request.param == "common" else StagedSoapServer
-    srv = cls(make_services(), transport=transport, address="soap-server")
+    srv = build_server(ServerConfig(
+        services=make_services(),
+        architecture=request.param,
+        transport=transport,
+        address="soap-server",
+    ))
     with srv.running() as address:
         yield srv, transport, address
 
@@ -113,9 +116,7 @@ class TestStagedConcurrency:
         operation time on the staged server (paper's server-side
         concurrency claim), not Mx."""
         transport = InProcTransport()
-        srv = StagedSoapServer(
-            make_services(), transport=transport, address="staged", app_workers=8
-        )
+        srv = build_server(ServerConfig(services=make_services(), architecture="staged", transport=transport, address="staged", app_workers=8))
         with srv.running() as address:
             envelope = Envelope()
             for i in range(6):
@@ -132,7 +133,7 @@ class TestStagedConcurrency:
 
     def test_common_arch_is_serial(self):
         transport = InProcTransport()
-        srv = CommonSoapServer(make_services(), transport=transport, address="common")
+        srv = build_server(ServerConfig(services=make_services(), architecture="common", transport=transport, address="common"))
         with srv.running() as address:
             envelope = Envelope()
             for i in range(4):
@@ -146,14 +147,14 @@ class TestStagedConcurrency:
 
     def test_staged_single_entry_stays_on_protocol_thread(self):
         transport = InProcTransport()
-        srv = StagedSoapServer(make_services(), transport=transport, address="fastpath")
+        srv = build_server(ServerConfig(services=make_services(), architecture="staged", transport=transport, address="fastpath"))
         with srv.running() as address:
             call(transport, address, build_request_envelope(NS, "echo", {"payload": "x"}))
         assert srv.app_stage.stats.events == 0
 
     def test_mixed_success_and_fault_entries(self):
         transport = InProcTransport()
-        srv = StagedSoapServer(make_services(), transport=transport, address="mixed")
+        srv = build_server(ServerConfig(services=make_services(), architecture="staged", transport=transport, address="mixed"))
         with srv.running() as address:
             envelope = Envelope()
             envelope.add_body(serialize_rpc_request(NS, "echo", {"payload": "good"}))

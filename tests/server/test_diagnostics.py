@@ -13,8 +13,8 @@ from repro.diagnostics import (
     TracingHandler,
 )
 from repro.server.handlers import HandlerChain
-from repro.server.staged_arch import StagedSoapServer
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 
 class TestHistogram:
@@ -66,12 +66,7 @@ def instrumented_server():
     metrics = PackMetricsHandler()
     tracing = TracingHandler()
     chain = HandlerChain([metrics, *spi_server_handlers(), tracing])
-    server = StagedSoapServer(
-        [make_echo_service()],
-        transport=transport,
-        address="diag",
-        chain=chain,
-    )
+    server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="diag", chain=chain))
     with server.running() as address:
         proxy = ServiceProxy(transport, address, namespace=ECHO_NS, service_name="EchoService")
         yield proxy, metrics, tracing

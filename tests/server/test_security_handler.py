@@ -9,9 +9,9 @@ from repro.core.dispatcher import spi_server_handlers
 from repro.errors import SoapFaultError
 from repro.server.handlers import HandlerChain
 from repro.server.security_handler import SecurityVerifyHandler
-from repro.server.staged_arch import StagedSoapServer
 from repro.soap.wssecurity import Credentials
 from repro.transport.inproc import InProcTransport
+from repro.server import ServerConfig, build_server
 
 SECRETS = {"alice": b"alice-secret", "bob": b"bob-secret"}
 ALICE = Credentials("alice", SECRETS["alice"])
@@ -24,12 +24,7 @@ def secured_env(request):
     required = request.param
     transport = InProcTransport()
     verify = SecurityVerifyHandler(SECRETS.get, required=required)
-    server = StagedSoapServer(
-        [make_echo_service()],
-        transport=transport,
-        address="secured",
-        chain=HandlerChain([verify, *spi_server_handlers()]),
-    )
+    server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="secured", chain=HandlerChain([verify, *spi_server_handlers()])))
     with server.running() as address:
         yield transport, address, verify, required
 

@@ -1,0 +1,146 @@
+"""The unified ServerConfig API: facade, validation, legacy shims."""
+
+import warnings
+
+import pytest
+
+from repro.apps.echo import make_echo_service
+from repro.errors import TransportError
+from repro.http.evented import EventedHttpServer
+from repro.http.server import HttpServer
+from repro.server import ServerConfig, build_server
+from repro.server.common_arch import CommonSoapServer
+from repro.server.staged_arch import StagedSoapServer
+from repro.transport.inproc import InProcTransport
+
+
+class TestServerConfig:
+    def test_defaults(self):
+        config = ServerConfig()
+        assert config.architecture == "staged"
+        assert config.backend == "threaded"
+        assert config.protocol_queue_limit == 1024
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValueError, match="architecture"):
+            ServerConfig(architecture="actor-model")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ServerConfig(backend="asyncio")
+
+    def test_replace_returns_modified_copy(self):
+        config = ServerConfig()
+        evented = config.replace(backend="evented")
+        assert config.backend == "threaded"
+        assert evented.backend == "evented"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ServerConfig().backend = "evented"
+
+
+class TestBuildServer:
+    def test_architecture_selects_server_class(self):
+        services = [make_echo_service()]
+        staged = build_server(ServerConfig(services=services))
+        common = build_server(
+            ServerConfig(services=services, architecture="common")
+        )
+        assert isinstance(staged, StagedSoapServer)
+        assert isinstance(common, CommonSoapServer)
+
+    def test_backend_selects_http_class(self):
+        services = [make_echo_service()]
+        threaded = build_server(ServerConfig(services=services))
+        evented = build_server(
+            ServerConfig(services=services, backend="evented")
+        )
+        assert isinstance(threaded.http, HttpServer)
+        assert isinstance(evented.http, EventedHttpServer)
+
+    def test_server_carries_its_config(self):
+        # a missing transport is normalized to TcpTransport; everything
+        # else comes through unchanged on server.config
+        config = ServerConfig(services=[make_echo_service()], app_workers=7)
+        server = build_server(config)
+        assert server.config.app_workers == 7
+        assert server.config.transport is not None
+
+    def test_evented_on_inproc_fails_at_start(self):
+        # InProc transport has no selectable socket; the evented loop
+        # must refuse loudly, not hang.
+        server = build_server(ServerConfig(
+            services=[make_echo_service()],
+            backend="evented",
+            transport=InProcTransport(),
+            address="nope",
+        ))
+        with pytest.raises(TransportError, match="selectable"):
+            server.start()
+
+    def test_both_backends_serve_the_full_matrix(self):
+        # (architecture x backend) all build; socket backends all start.
+        from repro.transport.tcp import TcpTransport
+
+        for architecture in ("common", "staged"):
+            for backend in ("threaded", "evented"):
+                server = build_server(ServerConfig(
+                    services=[make_echo_service()],
+                    architecture=architecture,
+                    backend=backend,
+                    transport=TcpTransport(),
+                ))
+                with server.running() as address:
+                    assert address[1] > 0
+
+
+class TestLegacyConstructors:
+    def test_staged_constructor_warns(self):
+        with pytest.warns(DeprecationWarning, match="build_server"):
+            server = StagedSoapServer(
+                [make_echo_service()],
+                transport=InProcTransport(),
+                address="legacy-staged",
+            )
+        assert server.config.architecture == "staged"
+
+    def test_common_constructor_warns(self):
+        with pytest.warns(DeprecationWarning, match="build_server"):
+            server = CommonSoapServer(
+                [make_echo_service()],
+                transport=InProcTransport(),
+                address="legacy-common",
+            )
+        assert server.config.architecture == "common"
+
+    def test_legacy_kwargs_still_work_end_to_end(self):
+        with pytest.warns(DeprecationWarning):
+            server = StagedSoapServer(
+                [make_echo_service()],
+                transport=InProcTransport(),
+                address="legacy-e2e",
+                app_workers=4,
+            )
+        with server.running():
+            pass
+
+    def test_config_and_legacy_kwargs_conflict(self):
+        with pytest.raises(TypeError, match="either"):
+            StagedSoapServer(
+                [make_echo_service()],
+                config=ServerConfig(services=[make_echo_service()]),
+                transport=InProcTransport(),
+            )
+
+    def test_unknown_legacy_kwarg_raises_type_error(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="bogus_knob"):
+                StagedSoapServer([make_echo_service()], bogus_knob=1)
+
+    def test_common_rejects_staged_only_kwargs(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="app_workers"):
+                CommonSoapServer([make_echo_service()], app_workers=4)

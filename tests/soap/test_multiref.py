@@ -7,6 +7,7 @@ from repro.soap.deserializer import parse_rpc_request
 from repro.soap.envelope import Envelope
 from repro.soap.multiref import has_multirefs, resolve_multirefs
 from repro.xmlcore import parse
+from repro.server import ServerConfig, build_server
 
 AXIS_MULTIREF = """<?xml version="1.0" encoding="UTF-8"?>
 <soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/"
@@ -114,15 +115,12 @@ class TestEndToEnd:
         from repro.apps.echo import make_echo_service
         from repro.http.connection import HttpConnection
         from repro.http.message import Headers, HttpRequest
-        from repro.server.staged_arch import StagedSoapServer
         from repro.soap.constants import SOAP_CONTENT_TYPE
         from repro.soap.deserializer import parse_response_envelope
         from repro.transport.inproc import InProcTransport
 
         transport = InProcTransport()
-        server = StagedSoapServer(
-            [make_echo_service()], transport=transport, address="multiref"
-        )
+        server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="multiref"))
         with server.running() as address:
             request = HttpRequest(
                 "POST",
