@@ -32,10 +32,10 @@ explosion.  Three shed rungs, outermost first:
 3. the app-stage per-entry sheds of the staged architecture
    (unchanged — entries inside a pack fault individually).
 
-Per-connection read-idle and write-stall deadlines are enforced from
-the loop with an injectable monotonic clock, so the slow-loris tests
-drive :class:`EventedConnection` directly with a fake socket and fake
-time.
+Per-connection read-idle, write-stall, and handler deadlines are
+enforced from the loop with an injectable monotonic clock, so the
+slow-loris tests drive :class:`EventedConnection` directly with a fake
+socket and fake time.
 """
 
 from __future__ import annotations
@@ -129,12 +129,15 @@ class _ResponseSlot:
     a half-filled slot.
     """
 
-    __slots__ = ("payload", "close_after", "done")
+    __slots__ = ("payload", "close_after", "done", "dispatched_at")
 
-    def __init__(self) -> None:
+    def __init__(self, dispatched_at: float = 0.0) -> None:
         self.payload = b""
         self.close_after = False
         self.done = False
+        #: monotonic time the request was dispatched — the handler
+        #: deadline measures from here until ``done``
+        self.dispatched_at = dispatched_at
 
     def fill(self, payload: bytes, *, close_after: bool) -> None:
         self.payload = payload
@@ -157,6 +160,7 @@ class EventedConnection:
         "slots",
         "idle_timeout",
         "write_timeout",
+        "handler_timeout",
         "last_activity",
         "write_started",
         "parse_started",
@@ -171,6 +175,7 @@ class EventedConnection:
         now: float,
         idle_timeout: float | None = None,
         write_timeout: float | None = None,
+        handler_timeout: float | None = None,
     ) -> None:
         self.sock = sock
         self.parser = RequestParser()
@@ -179,6 +184,7 @@ class EventedConnection:
         self.slots: collections.deque[_ResponseSlot] = collections.deque()
         self.idle_timeout = idle_timeout
         self.write_timeout = write_timeout
+        self.handler_timeout = handler_timeout
         self.last_activity = now
         #: monotonic time the current outbuf started waiting, or None
         self.write_started: float | None = None
@@ -197,6 +203,12 @@ class EventedConnection:
         goes*: either a clean EOF (pending writes still flush) or a
         framing error (an error response is already queued with
         ``close_after``).
+
+        A framing error raises :class:`HttpError` with the batch's
+        valid prefix attached as ``exc.parsed_requests`` — a pipelined
+        burst where request 3 is malformed still gets requests 1 and 2
+        answered (in order, before the error) exactly like the
+        threaded backend.
         """
         requests: list[HttpRequest] = []
         while True:
@@ -217,8 +229,9 @@ class EventedConnection:
             try:
                 while (request := self.parser.next_request()) is not None:
                     requests.append(request)
-            except HttpError:
+            except HttpError as exc:
                 self.reading_shut = True
+                exc.parsed_requests = requests
                 raise
         if requests:
             self.parse_started = (
@@ -257,6 +270,10 @@ class EventedConnection:
                 return False
             del self.outbuf[:sent]
             self.last_activity = now
+            # the write deadline measures *stall*, not total transfer
+            # time: any progress re-arms it, so a slow-but-draining
+            # reader of a large response is never killed
+            self.write_started = now
         self.write_started = None
         return True
 
@@ -265,7 +282,11 @@ class EventedConnection:
     def timed_out(self, now: float) -> str | None:
         """The deadline this connection has blown, or ``None``.
 
-        ``"write"`` — the peer stopped reading mid-response;
+        ``"write"`` — the peer made no read progress since the last
+        successful send (a stall, not a total-transfer budget);
+        ``"handler"`` — the oldest dispatched request has gone
+        unanswered past the handler deadline (a dropped completion or
+        a wedged worker must not leak the connection forever);
         ``"idle"`` — no request bytes within the idle window (covers
         slow-loris: trickling a header forever resets nothing once the
         window is measured from *our* last useful progress).
@@ -276,6 +297,13 @@ class EventedConnection:
             and now - self.write_started > self.write_timeout
         ):
             return "write"
+        if (
+            self.handler_timeout is not None
+            and self.slots
+            and not self.slots[0].done
+            and now - self.slots[0].dispatched_at > self.handler_timeout
+        ):
+            return "handler"
         if self.idle_timeout is not None and not self.slots and not self.outbuf:
             # mid-request the anchor is when the request STARTED arriving
             # — a slow-loris trickling header bytes resets nothing
@@ -335,6 +363,7 @@ class EventedHttpServer(HttpServerCore):
         protocol_queue_limit: int | None = 1024,
         idle_timeout: float | None = 30.0,
         write_timeout: float | None = 30.0,
+        handler_timeout: float | None = 60.0,
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         """``max_connections`` here is the *accept-overload budget*:
@@ -346,10 +375,12 @@ class EventedHttpServer(HttpServerCore):
         ``http-handler`` stage between loop and app (rung 2: a full
         handler queue sheds whole messages with 503).
 
-        ``idle_timeout`` / ``write_timeout`` are the per-connection
-        deadlines the loop enforces; ``clock`` is the monotonic source
-        for both deadlines *and* span timestamps (``perf_counter`` by
-        default, matching the tracer's timebase; injectable for tests).
+        ``idle_timeout`` / ``write_timeout`` / ``handler_timeout`` are
+        the per-connection deadlines the loop enforces (read-idle,
+        write-stall, and dispatched-but-unanswered request); ``clock``
+        is the monotonic source for both deadlines *and* span
+        timestamps (``perf_counter`` by default, matching the tracer's
+        timebase; injectable for tests).
         """
         super().__init__(
             app,
@@ -367,6 +398,7 @@ class EventedHttpServer(HttpServerCore):
         self._protocol_queue_limit = protocol_queue_limit
         self._idle_timeout = idle_timeout
         self._write_timeout = write_timeout
+        self._handler_timeout = handler_timeout
         self._clock = clock
         self.accept_overload_shed = 0
         self._listen_sock: socket.socket | None = None
@@ -508,6 +540,7 @@ class EventedHttpServer(HttpServerCore):
                 now=now,
                 idle_timeout=self._idle_timeout,
                 write_timeout=self._write_timeout,
+                handler_timeout=self._handler_timeout,
             )
             self._connections[sock.fileno()] = conn
             self._register(conn, selectors.EVENT_READ)
@@ -559,8 +592,21 @@ class EventedHttpServer(HttpServerCore):
             try:
                 requests = conn.on_readable(now)
             except HttpError as exc:
+                # answer the batch's valid prefix first — the error
+                # response must not be misattributed to a request that
+                # parsed fine (threaded-backend parity).  reading_shut
+                # is held False while the prefix dispatches: an admin
+                # or shed response fills-and-flushes synchronously, and
+                # must not see `finished` and close the connection
+                # before the error slot below exists.
+                conn.reading_shut = False
+                try:
+                    for request in getattr(exc, "parsed_requests", ()):
+                        self._dispatch(conn, request, now)
+                finally:
+                    conn.reading_shut = True
                 self._queue_error(conn, exc, now)
-                self._update_interest(conn)
+                self._flush_now(conn, now)
                 return
             if requests:
                 for request in requests:
@@ -584,7 +630,7 @@ class EventedHttpServer(HttpServerCore):
                 self._note_request_served()
                 self._maybe_compress(request, admin)
                 self._complete_slot(
-                    conn, self._new_slot(conn), request, admin, now=now
+                    conn, self._new_slot(conn, now), request, admin, now=now
                 )
                 return
             trace_id = request.headers.get(TRACE_HTTP_HEADER) or new_trace_id()
@@ -596,7 +642,7 @@ class EventedHttpServer(HttpServerCore):
                 detail=request.path,
             )
             obs.registry.counter("http.requests").inc()
-        slot = self._new_slot(conn)
+        slot = self._new_slot(conn, now)
         assert self._stage is not None
         try:
             self._stage.submit(
@@ -617,8 +663,8 @@ class EventedHttpServer(HttpServerCore):
                 obs.store.complete(trace_id, http_status=response.status)
             self._complete_slot(conn, slot, request, response, now=now)
 
-    def _new_slot(self, conn: EventedConnection) -> _ResponseSlot:
-        slot = _ResponseSlot()
+    def _new_slot(self, conn: EventedConnection, now: float) -> _ResponseSlot:
+        slot = _ResponseSlot(dispatched_at=now)
         conn.slots.append(slot)
         return slot
 
@@ -627,7 +673,7 @@ class EventedHttpServer(HttpServerCore):
     ) -> None:
         """A framing error: answer what we can, then close."""
         response = error_response(exc)
-        slot = self._new_slot(conn)
+        slot = self._new_slot(conn, now)
         slot.fill(
             b"".join(self._response_payloads(response, close=True)),
             close_after=True,
@@ -717,15 +763,17 @@ class EventedHttpServer(HttpServerCore):
     # -- completions + write-back ---------------------------------------
 
     def _drain_completions(self, now: float) -> None:
+        # No dedup: a worker may append the same connection again AFTER
+        # an earlier pump_ready inspected its slots in this very drain,
+        # and skipping that entry would consume the completion unpumped
+        # (wakeup byte already drained, response never written — the
+        # connection would hang forever).  pump_ready is idempotent and
+        # O(1) when nothing is ready, so duplicates are cheap.
         pending = self._completions
-        seen: set[int] = set()
         while pending:
             conn = pending.popleft()
-            if id(conn) in seen:
-                continue
-            seen.add(id(conn))
-            if conn.sock.fileno() not in self._connections:
-                continue  # closed while the worker ran
+            if self._connections.get(conn.sock.fileno()) is not conn:
+                continue  # closed (or fd reused) while the worker ran
             if conn.pump_ready(now):
                 self._flush_now(conn, now)
 

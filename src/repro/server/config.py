@@ -54,7 +54,8 @@ class ServerConfig:
       ``max_connections`` (threaded: accept gate; evented: the
       accept-overload shed budget), and the evented-only
       ``protocol_workers`` / ``protocol_queue_limit`` handler stage
-      plus ``idle_timeout`` / ``write_timeout`` loop deadlines;
+      plus ``idle_timeout`` / ``write_timeout`` / ``handler_timeout``
+      loop deadlines;
     * **wire** — ``chunk_responses_over`` / ``chunk_size`` (HPDC-11
       chunking), ``compression``;
     * **observability** — ``observability``, ``serialization_cache``,
@@ -74,6 +75,7 @@ class ServerConfig:
     max_connections: int | None = None
     idle_timeout: float | None = 30.0
     write_timeout: float | None = 30.0
+    handler_timeout: float | None = 60.0
     chunk_responses_over: int | None = None
     chunk_size: int = 8192
     compression: CompressionPolicy | None = None
@@ -135,6 +137,7 @@ def build_http_server(app: Callable, config: ServerConfig) -> HttpServerCore:
             protocol_queue_limit=config.protocol_queue_limit,
             idle_timeout=config.idle_timeout,
             write_timeout=config.write_timeout,
+            handler_timeout=config.handler_timeout,
             **common,
         )
     else:

@@ -121,9 +121,15 @@ class TestRequestParser:
         assert request.body == b""
 
 
-def make_conn(sock, *, now=0.0, idle_timeout=None, write_timeout=None):
+def make_conn(
+    sock, *, now=0.0, idle_timeout=None, write_timeout=None, handler_timeout=None
+):
     return EventedConnection(
-        sock, now=now, idle_timeout=idle_timeout, write_timeout=write_timeout
+        sock,
+        now=now,
+        idle_timeout=idle_timeout,
+        write_timeout=write_timeout,
+        handler_timeout=handler_timeout,
     )
 
 
@@ -164,6 +170,44 @@ class TestEventedConnection:
         conn.flush(now=10.0)
         assert conn.timed_out(now=14.9) is None
         assert conn.timed_out(now=15.1) == "write"
+
+    def test_write_deadline_measures_stall_not_total_transfer(self):
+        # A slow-but-progressing reader must NOT be killed: every byte
+        # of progress re-arms the write deadline, so only a genuine
+        # stall (no progress for write_timeout) blows it.
+        sock = FakeSocket(accept=[1])
+        conn = make_conn(sock, write_timeout=5.0)
+        queue_response(conn, b"ABCD", now=0.0)
+        assert conn.flush(now=0.0) is False  # 1 byte, then blocked
+        for tick in (4.0, 8.0):  # total elapsed far exceeds 5s
+            sock.accept.append(1)
+            assert conn.timed_out(now=tick) is None
+            assert conn.flush(now=tick) is False
+        assert conn.write_started == 8.0  # anchored at last progress
+        assert conn.timed_out(now=12.9) is None
+        assert conn.timed_out(now=13.1) == "write"
+
+    def test_unfilled_slot_blows_handler_deadline(self):
+        # A dispatched request whose slot is never filled (dropped
+        # completion, wedged worker) must not wedge the connection
+        # forever: the handler deadline reclaims it.
+        conn = make_conn(FakeSocket(), handler_timeout=10.0)
+        slot = _ResponseSlot(dispatched_at=2.0)
+        conn.slots.append(slot)
+        assert conn.timed_out(now=11.9) is None
+        assert conn.timed_out(now=12.1) == "handler"
+        slot.fill(b"late", close_after=False)  # answered: deadline off
+        assert conn.timed_out(now=12.1) is None
+
+    def test_framing_error_carries_parsed_valid_prefix(self):
+        # Pipelined batch where request 2 is malformed: the HttpError
+        # must surface request 1 so the server answers it first.
+        bad = b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"
+        conn = make_conn(FakeSocket([SIMPLE + bad]))
+        with pytest.raises(HttpError) as err:
+            conn.on_readable(now=0.0)
+        assert [r.body for r in err.value.parsed_requests] == [b"hello"]
+        assert conn.reading_shut
 
     def test_slow_loris_idle_anchor_is_parse_start(self):
         # Trickling one header fragment per second must NOT keep the
@@ -313,6 +357,54 @@ class TestEventedHttpServer:
         with server.running() as (host, port):
             with socket.create_connection((host, port), timeout=5) as sock:
                 assert sock.recv(65536) == b""  # loop closes us, no request
+
+    def test_pipelined_valid_then_malformed_answers_valid_first(self):
+        # One write carrying a valid request then a malformed one: the
+        # valid request is answered 200 before the 400, matching the
+        # threaded backend (the error must not be misattributed).
+        server = EventedHttpServer(
+            echo_app, transport=TcpTransport(), address=("127.0.0.1", 0)
+        )
+        with server.running() as (host, port):
+            with socket.create_connection((host, port), timeout=5) as sock:
+                sock.sendall(
+                    SIMPLE + b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"
+                )
+                buffer = bytearray()
+                head1, body1 = recv_response(sock, buffer)
+                assert head1.startswith(b"HTTP/1.1 200")
+                assert body1 == b"hello"
+                head2, _body = recv_response(sock, buffer)
+                assert head2.startswith(b"HTTP/1.1 400")
+                assert b"Connection: close" in head2
+                assert sock.recv(65536) == b""
+        assert server.requests_served == 1
+
+    def test_pipelined_admin_then_malformed_answers_admin_first(self):
+        # Same batch shape, but the valid request is answered
+        # synchronously on the loop (admin path, obs enabled): the
+        # connection must stay open until the error slot is queued —
+        # flushing the admin response must not read as `finished`.
+        from repro.obs.trace import Observability
+
+        server = EventedHttpServer(
+            echo_app,
+            transport=TcpTransport(),
+            address=("127.0.0.1", 0),
+            observability=Observability(),
+        )
+        with server.running() as (host, port):
+            with socket.create_connection((host, port), timeout=5) as sock:
+                sock.sendall(
+                    b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+                    b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"
+                )
+                buffer = bytearray()
+                head1, _body = recv_response(sock, buffer)
+                assert head1.startswith(b"HTTP/1.1 200")
+                head2, _body = recv_response(sock, buffer)
+                assert head2.startswith(b"HTTP/1.1 400")
+                assert sock.recv(65536) == b""
 
     def test_malformed_request_answers_error_then_closes(self):
         server = EventedHttpServer(
