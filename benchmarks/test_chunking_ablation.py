@@ -18,6 +18,7 @@ from repro.apps.echo import ECHO_NS, ECHO_SERVICE, make_echo_payload, make_echo_
 from repro.client.proxy import ServiceProxy
 from repro.transport.tcp import TcpTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 PAYLOAD = make_echo_payload(1_000_000)
 
@@ -32,10 +33,10 @@ def echo_server(request):
 
 
 def big_echo(transport, address):
-    proxy = ServiceProxy(
+    proxy = build_proxy(ClientConfig(
         transport, address, namespace=ECHO_NS, service_name=ECHO_SERVICE,
         reuse_connections=True,
-    )
+    ))
     try:
         result = proxy.call("echo", payload=PAYLOAD)
         assert len(result) == len(PAYLOAD)

@@ -17,6 +17,7 @@ from repro.client.proxy import ServiceProxy
 from repro.core.dispatcher import spi_server_handlers
 from repro.server.handlers import HandlerChain
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 JOBS = 10
 
@@ -33,10 +34,10 @@ def grid_env():
 
 
 def campaign(transport, address, use_packing):
-    proxy = ServiceProxy(
+    proxy = build_proxy(ClientConfig(
         transport, address, namespace=GRID_NS, service_name=GRID_SERVICE,
         reuse_connections=True,
-    )
+    ))
     monitor = GridMonitor(proxy, use_packing=use_packing)
     try:
         job_ids = monitor.submit_batch([f"frame-{use_packing}-{i}" for i in range(JOBS)])

@@ -36,6 +36,7 @@ from repro.core.remote_exec import (
 from repro.core.dispatcher import spi_server_handlers
 from repro.server.handlers import HandlerChain
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 M = 16
 
@@ -120,10 +121,10 @@ def pipeline_env():
 
 
 def serial_pipeline(transport, address):
-    airline = ServiceProxy(
+    airline = build_proxy(ClientConfig(
         transport, address, namespace=airline_ns("AirChina"), service_name="AirChinaAirline"
-    )
-    credit = ServiceProxy(transport, address, namespace=CREDIT_NS, service_name="CreditCard")
+    ))
+    credit = build_proxy(ClientConfig(transport, address, namespace=CREDIT_NS, service_name="CreditCard"))
     try:
         reservation = airline.call("reserveFlight", flightId="AirChina-PEK-SHA-0")
         auth = credit.call("authorizePayment", account="ACCT-1", amount=480)
@@ -137,9 +138,9 @@ def serial_pipeline(transport, address):
 
 def remote_exec_pipeline(transport, address):
     executor = RemoteExecutor(
-        ServiceProxy(
+        build_proxy(ClientConfig(
             transport, address, namespace=REMOTE_EXEC_NS, service_name=REMOTE_EXEC_SERVICE
-        )
+        ))
     )
     plan = ExecutionPlan()
     reserve = plan.step(

@@ -21,6 +21,7 @@ from repro.client.proxy import ServiceProxy
 from repro.apps.echo import ECHO_NS, ECHO_SERVICE
 from repro.server.handlers import HandlerChain
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 M = 16
 DELAY_MS = 5
@@ -38,9 +39,9 @@ def sized_bed(request):
 
 
 def packed_point(transport, address):
-    proxy = ServiceProxy(
+    proxy = build_proxy(ClientConfig(
         transport, address, namespace=ECHO_NS, service_name=ECHO_SERVICE
-    )
+    ))
     calls = Call.many("delayedEcho", [{"payload": "x", "delay_ms": DELAY_MS}] * M)
     try:
         return PackedInvoker(proxy).invoke_all(calls, BENCH_POLICY)

@@ -16,16 +16,17 @@ from repro.core.autopack import AutoPacker
 from repro.client.proxy import ServiceProxy
 from repro.server import HandlerChain, ServerConfig, build_server
 from repro.transport import TcpTransport
+from repro.client.config import ClientConfig, build_proxy
 
 
 def main() -> None:
     transport = TcpTransport()
     server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address=("127.0.0.1", 0), chain=HandlerChain(spi_server_handlers())))
     with server.running() as address:
-        proxy = ServiceProxy(
+        proxy = build_proxy(ClientConfig(
             transport, address, namespace=ECHO_NS, service_name="EchoService",
             reuse_connections=True,
-        )
+        ))
 
         with AutoPacker(proxy, max_batch=32, max_delay=0.02) as packer:
             results = {}

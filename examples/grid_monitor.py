@@ -16,16 +16,17 @@ from repro.client.proxy import ServiceProxy
 from repro.core import spi_server_handlers
 from repro.server import HandlerChain, ServerConfig, build_server
 from repro.transport import TcpTransport
+from repro.client.config import ClientConfig, build_proxy
 
 JOBS = 12
 
 
 def monitor_run(transport, address, server, use_packing: bool) -> None:
     label = "packed (SPI)" if use_packing else "serial      "
-    proxy = ServiceProxy(
+    proxy = build_proxy(ClientConfig(
         transport, address, namespace=GRID_NS, service_name=GRID_SERVICE,
         reuse_connections=True,
-    )
+    ))
     monitor = GridMonitor(proxy, use_packing=use_packing)
 
     before_msgs = server.endpoint.stats.soap_messages

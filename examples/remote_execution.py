@@ -19,6 +19,7 @@ from repro.core.remote_exec import (
 from repro.client.proxy import ServiceProxy
 from repro.transport import TcpTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 
 def main() -> None:
@@ -28,10 +29,10 @@ def main() -> None:
 
     with server.running() as address:
         executor = RemoteExecutor(
-            ServiceProxy(
+            build_proxy(ClientConfig(
                 transport, address,
                 namespace=REMOTE_EXEC_NS, service_name=REMOTE_EXEC_SERVICE,
-            )
+            ))
         )
 
         # reserve a flight and pay for it: two dependent calls, ONE round trip

@@ -17,6 +17,7 @@ from repro.errors import SoapFaultError
 from repro.server import HandlerChain, SecurityVerifyHandler, ServerConfig, build_server
 from repro.soap.wssecurity import Credentials, security_header_overhead
 from repro.transport import TcpTransport
+from repro.client.config import ClientConfig, build_proxy
 
 SECRETS = {"alice": b"alice-shared-secret"}
 
@@ -31,17 +32,17 @@ def main() -> None:
           f"(+{security_header_overhead(alice, include_certificate=True)} with X.509 token)")
 
     with server.running() as address:
-        signed = ServiceProxy(
+        signed = build_proxy(ClientConfig(
             transport, address, namespace=ECHO_NS, service_name="EchoService",
             credentials=alice,
-        )
-        anonymous = ServiceProxy(
+        ))
+        anonymous = build_proxy(ClientConfig(
             transport, address, namespace=ECHO_NS, service_name="EchoService",
-        )
-        mallory = ServiceProxy(
+        ))
+        mallory = build_proxy(ClientConfig(
             transport, address, namespace=ECHO_NS, service_name="EchoService",
             credentials=Credentials("alice", b"wrong-guess"),
-        )
+        ))
 
         print("\nsigned single call     :", signed.call("echo", payload="hello, signed"))
 

@@ -662,6 +662,70 @@ class NoBlockingCallOnEventLoop(Rule):
             )
 
 
+# -- no-wallclock-in-hedge ----------------------------------------------
+
+#: ``time`` functions the hedge/limiter modules may only reach through
+#: their injected-clock seams.  Referencing one as a *default value*
+#: (``clock=time.monotonic``) is the seam itself and stays legal; calling
+#: one inline bypasses the injection and breaks replayable tests.
+_WALLCLOCK_FUNCTIONS = frozenset({"time", "sleep", "monotonic", "perf_counter"})
+
+
+class NoWallclockInHedge(Rule):
+    """An inline clock read (or sleep) in the hedge/limiter modules.
+
+    Hedged requests and the AIMD limiter are *timing policies*: their
+    tests replay storms and races deterministically by injecting the
+    clock (``AdaptiveLimiter(clock=...)``, rollup-driven triggers) and
+    never sleeping.  A single inline ``time.time()``/``time.sleep()``
+    there makes every hedging test flaky, so those two modules are held
+    to a stricter standard than the general resilience exemption:
+    ``time.*`` may appear only as an injectable default
+    (``clock=time.monotonic``), never as a call.
+    """
+
+    id = "no-wallclock-in-hedge"
+    severity = SEVERITY_ERROR
+    fix_hint = (
+        "take the clock as a constructor argument (clock=time.monotonic as "
+        "the default is fine) and call the injected seam; never call "
+        "time.time/sleep/monotonic/perf_counter inline in hedge/limiter code"
+    )
+    rationale = (
+        "hedge triggers and AIMD cooldowns are timing policies whose tests "
+        "replay deterministically only if every clock read goes through an "
+        "injected seam; one inline wall-clock call makes them flaky"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+    only_parts = frozenset({"hedge.py", "limiter.py"})
+    exempt_parts = frozenset({"tests"})
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterator[Finding]:
+        """Flag inline ``time.*`` calls and from-imports of its functions."""
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in _WALLCLOCK_FUNCTIONS:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            f"from time import {alias.name} in hedge/limiter "
+                            "code; inject the clock instead",
+                        )
+            return
+        assert isinstance(node, ast.Call)
+        chain = dotted_name(node.func)
+        if chain is not None and chain.startswith("time."):
+            name = chain.split(".", 1)[1]
+            if name in _WALLCLOCK_FUNCTIONS:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    f"inline {chain}() in hedge/limiter code; call the "
+                    "injected clock seam instead",
+                )
+
+
 # -- no-bare-except / no-swallowed-fault --------------------------------
 
 
@@ -762,6 +826,7 @@ def lint_rules() -> list[Rule]:
         NoUnboundedCache(),
         NoUnboundedSpanStore(),
         NoBlockingCallOnEventLoop(),
+        NoWallclockInHedge(),
         NoBareExcept(),
         NoSwallowedFault(),
     ]

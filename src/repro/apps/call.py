@@ -24,6 +24,7 @@ from repro.client.proxy import ServiceProxy
 from repro.core.batch import PackBatch
 from repro.errors import ReproError
 from repro.transport.tcp import TcpTransport
+from repro.client.config import ClientConfig, build_proxy
 
 
 def parse_value(text: str) -> Any:
@@ -99,11 +100,11 @@ def main(argv: list[str] | None = None) -> int:
     if not calls:
         parser.error("no calls given")
 
-    proxy = ServiceProxy(
+    proxy = build_proxy(ClientConfig(
         TcpTransport(), (host, port),
         namespace=args.namespace,
         service_name=args.namespace.rsplit(":", 1)[-1],
-    )
+    ))
     try:
         if args.pack:
             batch = PackBatch(proxy)

@@ -39,6 +39,7 @@ from repro.server.handlers import HandlerChain
 from repro.server.service import ServiceDefinition, service_from_functions
 from repro.soap.fault import ClientFaultCause
 from repro.transport.base import Address, Transport
+from repro.client.config import ClientConfig, build_proxy
 
 AIRLINE_NAMES = ("AirChina", "DragonAir", "EastPacific")
 HOTEL_NAMES = ("GrandBeijing", "LakeView", "RedLantern")
@@ -391,13 +392,13 @@ class TravelAgent:
         key = f"{address}|{namespace}"
         proxy = self._proxies.get(key)
         if proxy is None:
-            proxy = ServiceProxy(
+            proxy = build_proxy(ClientConfig(
                 self.transport,
                 address,
                 namespace=namespace,
                 service_name=namespace.rsplit(":", 1)[-1],
                 reuse_connections=self.reuse_connections,
-            )
+            ))
             self._proxies[key] = proxy
         return proxy
 

@@ -13,6 +13,7 @@ Usage::
     python -m repro.bench xml [--smoke] [--record LABEL]
     python -m repro.bench e2e [--smoke] [--record LABEL] [--check-overhead PCT]
                               [--check-regression PCT] [--shed-smoke]
+                              [--hedge-smoke] [--hedge-only]
                               [--connections N] [--soak-seconds S] [--soak-only]
                               [--backend threaded|evented]
 
@@ -93,6 +94,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="e2e experiment: overload a tiny staged deployment and exit 1 "
         "unless it sheds with Server.Busy faults and a one-way HTTP 503",
+    )
+    parser.add_argument(
+        "--hedge-smoke",
+        action="store_true",
+        help="e2e experiment: add the adaptive-resilience rail — seeded "
+        "chaos must show hedging cutting p99 within its token budget and "
+        "the AIMD window collapsing then reopening through a busy storm",
+    )
+    parser.add_argument(
+        "--hedge-only",
+        action="store_true",
+        help="e2e experiment: run just the --hedge-smoke rail and its "
+        "assertions, skipping the latency shapes and gates (CI smoke)",
     )
     parser.add_argument(
         "--connections",
@@ -195,6 +209,16 @@ def _run_e2e(args) -> int:
 
     if args.shed_smoke:
         return _run_shed_smoke(e2e, backend=args.backend or "threaded")
+    hedge = None
+    hedge_failures: list[str] = []
+    if args.hedge_smoke or args.hedge_only:
+        hedge = e2e.run_hedge_smoke(smoke=args.smoke)
+        print(e2e.render_hedge(hedge))
+        hedge_failures = e2e.check_hedge(hedge)
+        for failure in hedge_failures:
+            print(f"FAIL: {failure}")
+        if args.hedge_only:
+            return 1 if hedge_failures else 0
     soak = None
     soak_failures: list[str] = []
     if args.connections:
@@ -212,6 +236,8 @@ def _run_e2e(args) -> int:
     results = e2e.run_e2e_bench(smoke=args.smoke)
     if soak is not None:
         results["c10k"] = soak
+    if hedge is not None:
+        results["hedge_smoke"] = hedge
     # cache-warm latency and bytes-on-wire rails ride on fig7; they
     # must land before gating so the bytes gate sees the current run
     e2e.add_cache_rails(results, smoke=args.smoke)
@@ -284,7 +310,7 @@ def _run_e2e(args) -> int:
                 )
             if not regression["ok"]:
                 return 1
-    return 1 if soak_failures else 0
+    return 1 if (soak_failures or hedge_failures) else 0
 
 
 def _run_shed_smoke(e2e, *, backend: str = "threaded") -> int:

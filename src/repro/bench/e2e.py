@@ -498,6 +498,9 @@ def load_trajectory(path: str | Path = BENCH_JSON) -> dict:
             "sketch_bench": "per-observation record cost, sketch vs fixed-bucket histogram",
             "c10k": "keep-alive connection soak: N concurrent connections, "
             "requests/rps/p50/p99 and the reuse ratio (requests per accept)",
+            "hedge_smoke": "seeded-chaos resilience rail: p99 with hedging "
+            "off vs on, hedge rate vs its token budget, and the AIMD "
+            "window's collapse/reopen through a busy storm",
         },
         "entries": [],
     }
@@ -825,6 +828,216 @@ def render_soak(rail: dict) -> str:
         f"{rail['soak_seconds']}s = {rail['rps']} rps, "
         f"p50 {rail['p50_ms']} ms, p99 {rail['p99_ms']} ms, "
         f"reuse x{rail['reuse']}, {rail['errors']} errors"
+    )
+
+
+# -- PR-9 rail: hedged-request tail cut + AIMD limiter convergence --------
+
+
+def run_hedge_smoke(
+    *,
+    calls: int = 400,
+    delay_rate: float = 0.05,
+    delay_s: float = 0.05,
+    seed: int = 42,
+    smoke: bool = False,
+) -> dict:
+    """Seeded-chaos proof of the PR-9 adaptive client resilience claims.
+
+    Three phases, all on the in-process transport with a seeded
+    :class:`~repro.transport.chaos.ChaosTransport` (so the injected
+    stragglers and busy storms replay identically run to run):
+
+    * **tail cut** — the same seeded 5%-straggler workload is run twice,
+      hedging off then on; hedging must cut p99 (the stragglers' delay)
+      while leaving p50 alone;
+    * **budget** — the hedge rate over the run must stay within the
+      policy's token budget (``budget_rate`` of traffic plus the burst);
+    * **limiter convergence** — a ``busy_rate=0.9`` storm must collapse
+      the AIMD window multiplicatively; after the storm lifts, a
+      concurrent recovery wave must be gated locally (fast retryable
+      faults, no wire) while additive increase reopens the window.
+
+    Returns the observed numbers; :func:`check_hedge` turns them into
+    CI assertions.
+    """
+    from repro.client.invoker import Call, ThreadedInvoker
+    from repro.errors import SoapFaultError
+    from repro.resilience.hedge import HedgePolicy
+    from repro.resilience.limiter import AdaptiveLimiter
+    from repro.transport.chaos import ChaosTransport
+
+    if smoke:
+        calls = min(calls, 160)
+    hedge = HedgePolicy(quantile=0.9, budget_rate=0.05, budget_burst=4.0)
+    # the first ``min_samples`` calls cannot hedge (cold rollup), so the
+    # measured window starts after an untimed warmup — the same warmup
+    # in both runs, so the seeded chaos sequences stay comparable
+    warmup = 2 * hedge.min_samples
+
+    def tail_run(hedged: bool) -> tuple[float, float, int, int]:
+        """One pass over the seeded-straggler workload; p50/p99 + counters."""
+        with echo_testbed(profile="inproc", architecture="staged") as bed:
+            chaos = ChaosTransport(
+                bed.transport,
+                delay_rate=delay_rate,
+                delay_s=delay_s,
+                seed=seed,
+            )
+            proxy = bed.make_proxy(
+                transport=chaos, hedge=hedge if hedged else None
+            )
+            latencies: list[float] = []
+            for index in range(warmup + calls):
+                start = time.perf_counter()
+                proxy.echo(payload=f"tail{index}")
+                if index >= warmup:
+                    latencies.append(time.perf_counter() - start)
+            hedges = proxy.metrics.counter("client.hedges").value
+            wins = proxy.metrics.counter("client.hedge_wins").value
+            proxy.close()
+        ordered = sorted(latencies)
+        p50 = ordered[len(ordered) // 2]
+        p99 = ordered[int(len(ordered) * 0.99)]
+        return p50, p99, hedges, wins
+
+    off_p50, off_p99, _, _ = tail_run(hedged=False)
+    on_p50, on_p99, hedges, wins = tail_run(hedged=True)
+
+    # -- limiter convergence under a seeded busy storm --------------------
+    storm_calls = 40 if smoke else 60
+    recovery_m = 16
+    limiter = AdaptiveLimiter(initial=32.0)
+    with echo_testbed(profile="inproc", architecture="staged") as bed:
+        chaos = ChaosTransport(bed.transport, busy_rate=0.9, seed=seed)
+        proxy = bed.make_proxy(transport=chaos, limiter=limiter)
+        storm_sheds = 0
+        for index in range(storm_calls):
+            try:
+                proxy.echo(payload=f"storm{index}")
+            except SoapFaultError:
+                storm_sheds += 1
+        collapsed = limiter.limit
+        chaos.busy_rate = 0.0  # the server recovers...
+        # ...and a concurrent wave pushes through the collapsed window:
+        # excess callers are gated locally with fast retryable faults,
+        # the retry machinery backs them off, and additive increase
+        # reopens the window as successes land
+        recovery_policy = CallPolicy(
+            retries=12, backoff_base=0.005, backoff_max=0.1, jitter=0.0
+        )
+        invoker = ThreadedInvoker(proxy, policy=recovery_policy)
+        recovered_calls = 0
+        recovery_failures = 0
+        futures = invoker.submit_all(
+            Call.many(
+                "echo", [{"payload": f"cover{i}"} for i in range(recovery_m)]
+            )
+        )
+        for future in futures:
+            try:
+                future.result(timeout=30)
+            except Exception:
+                recovery_failures += 1
+            else:
+                recovered_calls += 1
+        recovered = limiter.limit
+        snapshot = limiter.snapshot()
+        gated = proxy.metrics.counter("client.limiter.gated").value
+        proxy.close()
+
+    return {
+        "calls": calls,
+        "delay_rate": delay_rate,
+        "delay_ms": round(delay_s * 1e3, 1),
+        "seed": seed,
+        "p50_off_ms": round(off_p50 * 1e3, 3),
+        "p99_off_ms": round(off_p99 * 1e3, 3),
+        "p50_on_ms": round(on_p50 * 1e3, 3),
+        "p99_on_ms": round(on_p99 * 1e3, 3),
+        "tail_cut_pct": round((1.0 - on_p99 / off_p99) * 100.0, 2)
+        if off_p99
+        else 0.0,
+        "hedges": hedges,
+        "hedge_wins": wins,
+        "hedge_rate_pct": round(hedges / (warmup + calls) * 100.0, 2),
+        "hedge_budget_pct": round(
+            (hedge.budget_rate + hedge.budget_burst / (warmup + calls))
+            * 100.0,
+            2,
+        ),
+        "limiter": {
+            "initial": 32.0,
+            "storm_calls": storm_calls,
+            "storm_sheds": storm_sheds,
+            "collapsed_limit": round(collapsed, 2),
+            "recovered_limit": round(recovered, 2),
+            "gated": gated,
+            "overloads": snapshot["overloads"],
+            "decreases": snapshot["decreases"],
+            "recovered_calls": recovered_calls,
+            "recovery_failures": recovery_failures,
+        },
+    }
+
+
+def check_hedge(rail: dict) -> list[str]:
+    """The hedge-smoke rail's CI assertions; returns failure descriptions.
+
+    * hedging fired and cut p99 on the seeded straggler workload;
+    * the hedge rate stayed within the policy's token budget;
+    * the busy storm collapsed the AIMD window, the recovery wave was
+      gated locally, and additive increase reopened the window with
+      every recovery call eventually succeeding.
+    """
+    failures: list[str] = []
+    if rail["hedges"] == 0:
+        failures.append("no hedge fired on the seeded straggler workload")
+    if rail["p99_on_ms"] >= 0.5 * rail["p99_off_ms"]:
+        failures.append(
+            f"hedging did not cut p99 in half: {rail['p99_on_ms']} ms on vs "
+            f"{rail['p99_off_ms']} ms off"
+        )
+    if rail["hedge_rate_pct"] > rail["hedge_budget_pct"]:
+        failures.append(
+            f"hedge rate {rail['hedge_rate_pct']}% exceeds the budget "
+            f"{rail['hedge_budget_pct']}%"
+        )
+    limiter = rail["limiter"]
+    if limiter["collapsed_limit"] >= limiter["initial"]:
+        failures.append(
+            f"busy storm did not collapse the window: limit "
+            f"{limiter['collapsed_limit']} vs initial {limiter['initial']}"
+        )
+    if limiter["gated"] == 0:
+        failures.append("recovery wave was never gated locally")
+    if limiter["recovered_limit"] <= limiter["collapsed_limit"]:
+        failures.append(
+            f"window did not reopen after the storm: "
+            f"{limiter['recovered_limit']} vs collapsed "
+            f"{limiter['collapsed_limit']}"
+        )
+    if limiter["recovery_failures"]:
+        failures.append(
+            f"{limiter['recovery_failures']} recovery calls never converged"
+        )
+    return failures
+
+
+def render_hedge(rail: dict) -> str:
+    """Two-line summary of the hedge-smoke rail."""
+    limiter = rail["limiter"]
+    return (
+        f"hedge smoke: {rail['calls']} calls @ {rail['delay_rate']:.0%} "
+        f"stragglers of {rail['delay_ms']} ms -> p99 {rail['p99_off_ms']} ms "
+        f"off vs {rail['p99_on_ms']} ms hedged ({rail['tail_cut_pct']:.1f}% "
+        f"tail cut), {rail['hedges']} hedges ({rail['hedge_rate_pct']}% <= "
+        f"budget {rail['hedge_budget_pct']}%), {rail['hedge_wins']} wins\n"
+        f"limiter: storm shed {limiter['storm_sheds']}/{limiter['storm_calls']} "
+        f"-> window {limiter['initial']} -> {limiter['collapsed_limit']}, "
+        f"recovery gated {limiter['gated']} locally, reopened to "
+        f"{limiter['recovered_limit']} with {limiter['recovered_calls']} calls "
+        f"converged"
     )
 
 

@@ -17,6 +17,7 @@ from typing import Iterator
 
 from repro.apps.echo import ECHO_NS, ECHO_SERVICE, make_echo_payload, make_echo_service
 from repro.client.cache import ResponseCache
+from repro.client.config import ClientConfig, build_proxy
 from repro.client.invoker import (
     Call,
     Invoker,
@@ -25,6 +26,8 @@ from repro.client.invoker import (
     ThreadedInvoker,
 )
 from repro.client.proxy import ServiceProxy
+from repro.resilience.hedge import HedgePolicy
+from repro.resilience.limiter import AdaptiveLimiter
 from repro.core.batch import PackedInvoker
 from repro.core.dispatcher import spi_server_handlers
 from repro.diagnostics import PackMetricsHandler
@@ -83,6 +86,9 @@ class Testbed:
         response_cache: ResponseCache | None = None,
         accept_encoding: str | None = None,
         request_compression: CompressionPolicy | None = None,
+        hedge: HedgePolicy | None = None,
+        limiter: AdaptiveLimiter | None = None,
+        transport: Transport | None = None,
     ) -> ServiceProxy:
         """A fresh client proxy for this deployment.
 
@@ -92,13 +98,16 @@ class Testbed:
         The PR-6 knobs pass straight through: ``response_cache``
         (client-side parameterized response cache), ``accept_encoding``
         (offer response compression), ``request_compression`` (compress
-        request bodies).
+        request bodies).  The PR-9 knobs too: ``hedge`` (tail-at-scale
+        hedged requests), ``limiter`` (AIMD adaptive concurrency), and
+        ``transport`` (override the wire, e.g. wrap it in a
+        :class:`~repro.transport.chaos.ChaosTransport`).
         """
         if tracer is None and self.observability is not None:
             tracer = self.observability.tracer
-        return ServiceProxy(
-            self.transport,
-            self.address,
+        return build_proxy(ClientConfig(
+            transport=transport if transport is not None else self.transport,
+            address=self.address,
             namespace=ECHO_NS,
             service_name=ECHO_SERVICE,
             reuse_connections=reuse_connections,
@@ -106,7 +115,9 @@ class Testbed:
             response_cache=response_cache,
             accept_encoding=accept_encoding,
             request_compression=request_compression,
-        )
+            hedge=hedge,
+            limiter=limiter,
+        ))
 
 
 @contextlib.contextmanager

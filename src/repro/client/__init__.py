@@ -6,7 +6,8 @@ from repro.client.cache import (
     ResponseCache,
     response_cache_key,
 )
-from repro.client.futures import InvocationFuture, wait_all
+from repro.client.config import ClientConfig, build_proxy, config_from_legacy
+from repro.client.futures import CompletionWatcher, InvocationFuture, wait_all
 from repro.client.invoker import (
     Call,
     Invoker,
@@ -20,6 +21,8 @@ __all__ = [
     "CachePolicy",
     "Call",
     "ClientCacheStats",
+    "ClientConfig",
+    "CompletionWatcher",
     "InvocationFuture",
     "Invoker",
     "KeepAliveSerialInvoker",
@@ -27,6 +30,8 @@ __all__ = [
     "SerialInvoker",
     "ServiceProxy",
     "ThreadedInvoker",
+    "build_proxy",
+    "config_from_legacy",
     "response_cache_key",
     "wait_all",
 ]

@@ -84,6 +84,39 @@ class InvocationFuture:
             callback(self)
 
 
+class CompletionWatcher:
+    """Hand out racing futures' completions one at a time.
+
+    The hedged-request race in :mod:`repro.client.proxy` needs "whichever
+    attempt finishes next, or None after ``timeout``" — exactly the shape
+    ``Event.wait`` cannot give across several futures.  Each watched
+    future pushes itself onto a Condition-guarded queue via its done
+    callback; :meth:`next_completed` pops in completion order.
+    """
+
+    __slots__ = ("_cond", "_completed")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._completed: list[InvocationFuture] = []
+
+    def watch(self, future: InvocationFuture) -> None:
+        """Enqueue ``future``'s completion (immediately if already done)."""
+        future.add_done_callback(self._on_done)
+
+    def _on_done(self, future: InvocationFuture) -> None:
+        with self._cond:
+            self._completed.append(future)
+            self._cond.notify_all()
+
+    def next_completed(self, timeout: float | None = None) -> InvocationFuture | None:
+        """The next future to complete, or None if ``timeout`` elapses."""
+        with self._cond:
+            if not self._cond.wait_for(lambda: bool(self._completed), timeout):
+                return None
+            return self._completed.pop(0)
+
+
 def wait_all(futures: list[InvocationFuture], timeout: float | None = None) -> list[Any]:
     """Results of every future, in order; first failure propagates."""
     return [future.result(timeout) for future in futures]

@@ -77,7 +77,15 @@ class Invoker:
             if policy is None and timeout is not None:
                 policy = CallPolicy.from_legacy_timeout(timeout)
         effective = policy if policy is not None else self.policy
-        wait = effective.timeout if effective is not None else None
+        # the future wait is the whole-call budget: a retrying policy's
+        # per-attempt timeout would undercut its own deadline
+        wait = None
+        if effective is not None:
+            wait = (
+                effective.deadline
+                if effective.deadline is not None
+                else effective.timeout
+            )
         return [future.result(wait) for future in self.submit_all(calls, policy)]
 
     def _effective_policy(self, policy: CallPolicy | None) -> CallPolicy | None:
@@ -127,20 +135,15 @@ class KeepAliveSerialInvoker(Invoker):
     name = "serial-keepalive"
 
     def __init__(self, proxy: ServiceProxy, *, policy: CallPolicy | None = None) -> None:
-        from repro.client.proxy import ServiceProxy as _Proxy
+        from repro.client.config import build_proxy
 
         self.policy = policy
         if proxy.reuse_connections:
             self.proxy = proxy
             self._owned = False
         else:
-            self.proxy = _Proxy(
-                proxy.transport,
-                proxy.address,
-                namespace=proxy.namespace,
-                service_name=proxy.service_name,
-                reuse_connections=True,
-                policy=proxy.policy,
+            self.proxy = build_proxy(
+                proxy.config.replace(reuse_connections=True)
             )
             self._owned = True
 

@@ -1,26 +1,63 @@
-"""Dynamic service proxy — the classic one-call-one-message client."""
+"""Dynamic service proxy — the classic one-call-one-message client.
+
+PR-9 made this the *adaptive* client: every exchange feeds a
+per-(service, operation) rollup, and three resilience mechanisms read
+it back:
+
+* **hedged requests** — once the first attempt outlives the operation's
+  own latency quantile, a speculative second attempt races it
+  (first response wins, the loser's connection is abandoned);
+* **AIMD concurrency limiting** — an :class:`AdaptiveLimiter` gates
+  calls locally with a fast retryable fault when the window is full,
+  halving the window on ``Server.Busy`` sheds and growing it additively
+  on success;
+* **deadline-rebased I/O timeouts** — each attempt's channel timeout is
+  the remaining whole-call budget, so a hung server cannot consume
+  later attempts' time.
+
+Construction goes through :class:`~repro.client.config.ClientConfig` +
+:func:`~repro.client.config.build_proxy`; the legacy keyword
+constructor still works behind a ``DeprecationWarning``.
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any
+import threading
+import time
+import warnings
+from typing import Any, Callable
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.soap.wssecurity import Credentials
-
-from repro.client.cache import ResponseCache, response_cache_key
-from repro.errors import HttpError, InvocationError, ReproError
-from repro.http.compression import CompressionPolicy, compress
+from repro.client.cache import response_cache_key
+from repro.client.config import ClientConfig, config_from_legacy
+from repro.client.futures import CompletionWatcher, InvocationFuture
+from repro.errors import (
+    FAULTCODE_SERVER_BUSY,
+    FAULTCODE_SERVER_TIMEOUT,
+    HttpError,
+    InvocationError,
+    ReproError,
+    SoapFaultError,
+    TransportError,
+    is_retryable_faultcode,
+)
+from repro.http.compression import compress
 from repro.http.connection import ConnectionPool, HttpConnection
 from repro.http.message import Headers, HttpRequest
+from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import (
     OBS_NS,
     TRACE_HEADER_TAG,
     TRACE_HTTP_HEADER,
     TRACE_ID_ATTR,
-    Tracer,
     new_trace_id,
 )
 from repro.resilience.deadline import attach_deadline
+from repro.resilience.hedge import HedgeBudget, HedgePolicy, hedge_trigger
+from repro.resilience.limiter import (
+    OUTCOME_ERROR,
+    OUTCOME_OVERLOAD,
+    OUTCOME_SUCCESS,
+)
 from repro.resilience.policy import (
     CallPolicy,
     DEFAULT_POLICY,
@@ -33,10 +70,29 @@ from repro.soap.deserializer import parse_response_document
 from repro.soap.envelope import Envelope
 from repro.soap.fault import SoapFault
 from repro.soap.serializer import build_request_envelope
-from repro.transport.base import Address, Transport
-from repro.wsdl.model import WsdlService
 from repro.wsdl.parser import parse_wsdl
 from repro.xmlcore.tree import Element
+
+#: Client-side rollups are keyed under this service prefix so a shared
+#: registry (one tracer for client and server) never conflates the
+#: client's view of an operation with the server's own per-target row.
+CLIENT_ROLLUP_PREFIX = "client:"
+
+#: Wire-level grace on top of the logical attempt budget.  The server
+#: enforces the propagated deadline itself and answers AT it (rendering
+#: per-entry timeout faults), so the socket timeout must outlive the
+#: budget slightly — a wire timeout equal to the budget would cut the
+#: connection just as the server's deadline fault is being written.
+IO_GRACE_FRACTION = 0.25
+IO_GRACE_FLOOR_S = 0.05
+
+
+def _wire_timeout(budget: float | None) -> float | None:
+    """The channel I/O timeout for one attempt with ``budget`` seconds
+    of logical deadline left: the budget plus a grace margin."""
+    if budget is None:
+        return None
+    return budget + max(budget * IO_GRACE_FRACTION, IO_GRACE_FLOOR_S)
 
 
 def _body_is_cacheable(body: bytes) -> bool:
@@ -49,6 +105,26 @@ def _body_is_cacheable(body: bytes) -> bool:
     skipped insertion, never a wrong cache hit.
     """
     return b"Fault" not in body
+
+
+def _fault_class_of(error: BaseException) -> str | None:
+    """The rollup fault class for one failed attempt."""
+    if isinstance(error, SoapFaultError):
+        local = error.faultcode.rpartition(":")[2]
+        if local == FAULTCODE_SERVER_BUSY:
+            return "shed"
+        if local == FAULTCODE_SERVER_TIMEOUT:
+            return "timeout"
+        return "retryable" if is_retryable_faultcode(error.faultcode) else "fatal"
+    if isinstance(error, HttpError):
+        if error.status == 503:
+            return "shed"
+        if error.status == 504:
+            return "timeout"
+        return "fatal"
+    if isinstance(error, TransportError):
+        return "retryable"
+    return "fatal"
 
 
 class ServiceProxy:
@@ -64,76 +140,72 @@ class ServiceProxy:
       call, matching the paper's "No Optimization" client and its
       M-TCP-connections cost model;
     * ``reuse_connections=True`` goes through a keep-alive pool.
+
+    Construct with ``ServiceProxy(config=ClientConfig(...))`` (or the
+    :func:`~repro.client.config.build_proxy` facade); the legacy
+    keyword form maps onto a config via ``config_from_legacy`` behind a
+    ``DeprecationWarning``.
     """
 
     def __init__(
         self,
-        transport: Transport,
-        address: Address,
+        transport=None,
+        address=None,
         *,
-        namespace: str,
-        service_name: str = "Service",
-        path: str | None = None,
-        reuse_connections: bool = False,
-        interface: WsdlService | None = None,
-        extra_headers: list[Element] | None = None,
-        credentials: "Credentials | None" = None,
-        tracer: Tracer | None = None,
-        policy: CallPolicy | None = None,
-        response_cache: ResponseCache | None = None,
-        accept_encoding: str | None = None,
-        request_compression: CompressionPolicy | None = None,
+        config: ClientConfig | None = None,
+        **legacy: Any,
     ) -> None:
-        """``credentials``: when given, every outgoing envelope is signed
-        with a WS-Security UsernameToken over its (possibly packed)
-        body, so servers running a
-        :class:`~repro.server.security_handler.SecurityVerifyHandler`
-        accept it.  One signature covers an entire packed batch.
-
-        ``tracer``: when given, every exchange mints a trace id, records
-        a ``client.call`` span, and propagates the id both as an
-        ``X-Repro-Trace-Id`` HTTP header and a mustUnderstand=false SOAP
-        header entry (so it survives SPI packing and any transport that
-        strips custom HTTP headers).
-
-        ``policy``: the default :class:`~repro.resilience.CallPolicy`
-        for every exchange through this proxy — timeout/deadline
-        propagation, retry budget and backoff.  Defaults to the
-        seed-equivalent single-attempt policy.
-
-        ``response_cache``: when given, calls whose operation the
-        cache's :class:`~repro.client.cache.CachePolicy` admits are
-        answered from cache without touching the transport; misses go
-        through the full resilience path and (fault-free) bodies are
-        stored.  The consult wraps *outside* the retry loop, so a retry
-        can never observe — or produce — a cached body as a fresh
-        success.
-
-        ``accept_encoding``: advertised on every request (e.g.
-        ``"gzip, deflate"`` or
-        :attr:`CompressionPolicy.accept_header`); compressed responses
-        are decoded transparently inside the HTTP parser.
-
-        ``request_compression``: when given, request bodies at least
-        ``min_size`` bytes long are content-coded with the policy's
-        first coding (no negotiation upstream of the first response —
-        enable it only against servers known to decode)."""
-        self.transport = transport
-        self.address = address
-        self.namespace = namespace
-        self.service_name = service_name
-        self.path = path or f"/services/{service_name}"
-        self.reuse_connections = reuse_connections
-        self.interface = interface
-        self.extra_headers = list(extra_headers or [])
-        self.credentials = credentials
-        self.tracer = tracer
-        self.policy = policy if policy is not None else DEFAULT_POLICY
-        self.response_cache = response_cache
-        self.accept_encoding = accept_encoding
-        self.request_compression = request_compression
+        if config is not None:
+            if transport is not None or address is not None or legacy:
+                raise InvocationError(
+                    "ServiceProxy(config=...) takes no legacy arguments"
+                )
+        else:
+            warnings.warn(
+                "repro.client.ServiceProxy(transport, address, ...) is "
+                "deprecated; use build_proxy(ClientConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = config_from_legacy(transport, address, legacy)
+        self.config = config
+        self.transport = config.transport
+        self.address = config.address
+        self.namespace = config.namespace
+        self.service_name = config.service_name
+        self.path = config.path or f"/services/{config.service_name}"
+        self.reuse_connections = config.reuse_connections
+        self.interface = config.interface
+        self.extra_headers = list(config.extra_headers or ())
+        self.credentials = config.credentials
+        self.tracer = config.tracer
+        self.policy = config.policy if config.policy is not None else DEFAULT_POLICY
+        self.hedge = config.hedge
+        self.limiter = config.limiter
+        self.response_cache = config.response_cache
+        self.accept_encoding = config.accept_encoding
+        self.request_compression = config.request_compression
+        # the proxy's metric home: the tracer's registry when one is
+        # wired (so counters land next to the server's in /metrics),
+        # else a private registry that still feeds the hedge rollups
+        self.metrics = (
+            config.tracer.registry
+            if config.tracer is not None and config.tracer.registry is not None
+            else MetricsRegistry()
+        )
         self.last_trace_id: str | None = None
-        self._pool = ConnectionPool(transport) if reuse_connections else None
+        self._pool = ConnectionPool(config.transport) if config.reuse_connections else None
+        self._hedge_lock = threading.Lock()
+        self._hedge_budget: HedgeBudget | None = (
+            HedgeBudget.for_policy(config.hedge) if config.hedge is not None else None
+        )
+        self._limiter_gauge = (
+            self.metrics.gauge("client.limiter.limit")
+            if config.limiter is not None
+            else None
+        )
+        if self.limiter is not None:
+            self._limiter_gauge.set(self.limiter.limit)
         self.calls = 0
         self.connections_opened = 0
         self.retries = 0
@@ -144,20 +216,25 @@ class ServiceProxy:
     def from_wsdl(
         cls,
         document: str | bytes,
-        transport: Transport,
-        address: Address,
+        transport,
+        address,
         **kwargs: Any,
     ) -> "ServiceProxy":
-        """Build a proxy whose operations are checked against a WSDL."""
+        """Build a proxy whose operations are checked against a WSDL.
+
+        ``kwargs`` are :class:`ClientConfig` fields (``policy``,
+        ``hedge``, ``reuse_connections``, ...).
+        """
         service = parse_wsdl(document).service
-        return cls(
-            transport,
-            address,
+        config = ClientConfig(
+            transport=transport,
+            address=address,
             namespace=service.namespace,
             service_name=service.name,
             interface=service,
             **kwargs,
         )
+        return cls(config=config)
 
     # -- invocation --------------------------------------------------------------
 
@@ -195,6 +272,7 @@ class ServiceProxy:
         *,
         policy: CallPolicy | None = None,
         cache_key: tuple | None = None,
+        hedgeable: bool = True,
     ) -> Envelope:
         """Send a raw request envelope, return the raw response envelope.
 
@@ -203,9 +281,14 @@ class ServiceProxy:
         ``cache_key``: callers that know their envelope's semantic
         identity (e.g. the pack assembler) pass it to join the
         response cache; ``None`` bypasses caching.
+        ``hedgeable=False`` disarms hedging for envelopes that are not
+        safe to send twice (a pack carrying one-way casts).
         """
         return Envelope.parse(
-            self.exchange_raw(envelope, action, policy=policy, cache_key=cache_key),
+            self.exchange_raw(
+                envelope, action, policy=policy, cache_key=cache_key,
+                hedgeable=hedgeable,
+            ),
             server=True,
         )
 
@@ -216,6 +299,7 @@ class ServiceProxy:
         *,
         policy: CallPolicy | None = None,
         cache_key: tuple | None = None,
+        hedgeable: bool = True,
     ) -> bytes:
         """Like :meth:`exchange` but returns the undecoded response body.
 
@@ -230,6 +314,12 @@ class ServiceProxy:
         * the whole-call deadline is started and, when the policy says
           so, propagated as a ``<res:Deadline>`` SOAP header refreshed
           on every attempt;
+        * each attempt's channel I/O timeout is rebased to the remaining
+          whole-call budget (min of the per-attempt ``timeout`` and what
+          the deadline has left);
+        * the AIMD limiter gates the attempt before it touches the wire;
+        * once the live rollup has enough samples, a slow first attempt
+          is hedged with a speculative second (budget permitting);
         * 503/504 responses are decoded into their retryable
           :class:`~repro.errors.SoapFaultError` and — like transport
           drops — retried with backoff while budget remains.
@@ -238,19 +328,29 @@ class ServiceProxy:
         if cache is not None and cache_key is not None:
             body, _ = cache.get_or_fetch(
                 cache_key,
-                lambda: self._exchange_uncached(envelope, action, policy),
+                lambda: self._exchange_uncached(
+                    envelope, action, policy, hedgeable=hedgeable
+                ),
                 validate=_body_is_cacheable,
             )
             return body
-        return self._exchange_uncached(envelope, action, policy)
+        return self._exchange_uncached(envelope, action, policy, hedgeable=hedgeable)
 
     def _exchange_uncached(
         self,
         envelope: Envelope,
         action: str,
         policy: CallPolicy | None,
+        *,
+        hedgeable: bool = True,
     ) -> bytes:
         policy = policy if policy is not None else self.policy
+        hedge: HedgePolicy | None = None
+        if hedgeable:
+            hedge = policy.hedge_policy or self.hedge
+        rollup = self.metrics.rollup(
+            CLIENT_ROLLUP_PREFIX + self.namespace, action or "exchange"
+        )
         header_fields = {
             "Content-Type": SOAP_CONTENT_TYPE,
             SOAP_ACTION_HEADER: f'"{self.namespace}#{action}"',
@@ -274,34 +374,32 @@ class ServiceProxy:
             attach_security_header(envelope, self.credentials)
 
         def attempt(deadline: Deadline) -> bytes:
-            budget = policy.attempt_budget(deadline)
-            if budget is not None and policy.propagate_deadline:
-                # refreshed per attempt: each retry re-tells the server
-                # how much budget is actually left
-                attach_deadline(envelope, budget)
-            body = envelope.to_bytes()
-            request_headers = Headers(header_fields)
-            coding = self.request_compression
-            if coding is not None and len(body) >= coding.min_size:
-                coded = compress(body, coding.encodings[0], level=coding.level)
-                if len(coded) < len(body):
-                    if self.tracer is not None:
-                        self.tracer.registry.counter("compress.bytes_saved").inc(
-                            len(body) - len(coded)
-                        )
-                    body = coded
-                    request_headers.set("Content-Encoding", coding.encodings[0])
-            request = HttpRequest("POST", self.path, request_headers, body)
-            response = self._send_request(request)
-            if response.status in (503, 504):
-                # shed/timed-out server: surface the fault as its
-                # exception so the retry loop can classify it
-                raise self._decode_fault(response)
-            if response.status not in (200, 500):
-                # 500 carries a SOAP Fault the caller's parse surfaces
-                # properly; anything else is an HTTP-level failure.
-                response.raise_for_status()
-            return response.body
+            limiter = self.limiter
+            if limiter is not None and not limiter.try_acquire():
+                self.metrics.counter("client.limiter.gated").inc()
+                self._limiter_gauge.set(limiter.limit)
+                # a fast local fault wearing the server's own shed
+                # faultcode, so the normal retry machinery backs off
+                raise SoapFaultError(
+                    FAULTCODE_SERVER_BUSY,
+                    "client: adaptive concurrency limiter gated the call "
+                    "(local shed before the wire)",
+                )
+            outcome = OUTCOME_ERROR
+            try:
+                body = self._attempt_exchange(
+                    envelope, header_fields, policy, deadline, hedge, rollup
+                )
+                outcome = OUTCOME_SUCCESS
+                return body
+            except BaseException as exc:
+                if _fault_class_of(exc) == "shed":
+                    outcome = OUTCOME_OVERLOAD
+                raise
+            finally:
+                if limiter is not None:
+                    limiter.release(outcome)
+                    self._limiter_gauge.set(limiter.limit)
 
         state = RetryState()
 
@@ -325,9 +423,248 @@ class ServiceProxy:
                 in_flight.add(-1)
         return run()
 
+    # -- one physical attempt ------------------------------------------------
+
+    def _attempt_exchange(
+        self,
+        envelope: Envelope,
+        header_fields: dict,
+        policy: CallPolicy,
+        deadline: Deadline,
+        hedge: HedgePolicy | None,
+        rollup,
+    ) -> bytes:
+        budget = policy.attempt_budget(deadline)
+        # The wire timeout is armed only by a hard whole-call deadline:
+        # ``timeout`` alone is a soft budget the *server* enforces (and
+        # may legitimately over-run to finish an in-flight entry), so it
+        # must not cut the connection from the client side.
+        io_budget = budget if policy.deadline is not None else None
+        request = self._build_request(envelope, header_fields, policy, budget)
+        trigger = None
+        if hedge is not None:
+            self._hedge_budget_for(hedge).note_call()
+            trigger = hedge_trigger(hedge, rollup, budget)
+        if trigger is None:
+            return self._measured_send(request, io_budget, rollup)
+        return self._hedged_send(
+            request, io_budget, trigger, policy, envelope, header_fields,
+            deadline, rollup,
+        )
+
+    def _build_request(
+        self,
+        envelope: Envelope,
+        header_fields: dict,
+        policy: CallPolicy,
+        budget: float | None,
+    ) -> HttpRequest:
+        if budget is not None and policy.propagate_deadline:
+            # refreshed per attempt: each retry (and each hedge)
+            # re-tells the server how much budget is actually left
+            attach_deadline(envelope, budget)
+        body = envelope.to_bytes()
+        request_headers = Headers(header_fields)
+        coding = self.request_compression
+        if coding is not None and len(body) >= coding.min_size:
+            coded = compress(body, coding.encodings[0], level=coding.level)
+            if len(coded) < len(body):
+                self.metrics.counter("compress.bytes_saved").inc(
+                    len(body) - len(coded)
+                )
+                body = coded
+                request_headers.set("Content-Encoding", coding.encodings[0])
+        return HttpRequest("POST", self.path, request_headers, body)
+
+    def _measured_send(
+        self,
+        request: HttpRequest,
+        budget: float | None,
+        rollup,
+        *,
+        register_cancel: Callable[[Callable[[], None]], None] | None = None,
+        abandoned: Callable[[], bool] | None = None,
+    ) -> bytes:
+        """One wire attempt, observed into the client rollup.
+
+        ``abandoned``: hedge losers report True once the race is over —
+        their latency (an artifact of abandonment, not the server) is
+        not signal and must not poison the hedge trigger.
+        """
+        started = time.perf_counter()
+
+        def observe(fault_class: str | None) -> None:
+            if abandoned is not None and abandoned():
+                return
+            rollup.observe(time.perf_counter() - started, fault_class)
+
+        try:
+            response = self._timed_send(
+                request, budget, register_cancel=register_cancel
+            )
+        except BaseException as exc:
+            observe(_fault_class_of(exc))
+            raise
+        if response.status in (503, 504):
+            # shed/timed-out server: surface the fault as its
+            # exception so the retry loop can classify it
+            error = self._decode_fault(response)
+            observe(_fault_class_of(error))
+            raise error
+        if response.status not in (200, 500):
+            # 500 carries a SOAP Fault the caller's parse surfaces
+            # properly; anything else is an HTTP-level failure.
+            observe("fatal")
+            response.raise_for_status()
+        observe("fatal" if response.status == 500 else None)
+        return response.body
+
+    def _timed_send(
+        self,
+        request: HttpRequest,
+        budget: float | None,
+        *,
+        register_cancel: Callable[[Callable[[], None]], None] | None = None,
+    ):
+        """Send ``request`` with channel I/O bounded to ``budget``.
+
+        ``register_cancel`` hands the caller a handle that abandons the
+        in-flight exchange (closes its connection) — the hedge race uses
+        it to cut losers loose.
+        """
+        if self._pool is None:
+            self.connections_opened += 1
+            connection = HttpConnection(self.transport, self.address)
+            if register_cancel is not None:
+                register_cancel(connection.close)
+            with connection:
+                connection.set_io_timeout(_wire_timeout(budget))
+                return connection.request(request)
+        # pooled: retry once if a kept-alive connection turns out dead
+        for retry in (0, 1):
+            connection = self._pool.acquire(self.address)
+            if register_cancel is not None:
+                register_cancel(connection.close)
+            was_warm = connection.exchanges > 0
+            connection.set_io_timeout(_wire_timeout(budget))
+            try:
+                response = connection.request(request)
+            except (HttpError, TransportError):
+                connection.close()
+                if retry or not was_warm:
+                    raise
+                continue
+            connection.set_io_timeout(None)
+            self._pool.release(self.address, connection)
+            return response
+        raise HttpError("unreachable")  # pragma: no cover
+
+    def _hedged_send(
+        self,
+        request: HttpRequest,
+        io_budget: float | None,
+        trigger: float,
+        policy: CallPolicy,
+        envelope: Envelope,
+        header_fields: dict,
+        deadline: Deadline,
+        rollup,
+    ) -> bytes:
+        """Race the primary attempt against one speculative hedge.
+
+        The primary runs in a worker thread; if it has not completed
+        within ``trigger`` seconds (the rollup quantile) and the hedge
+        budget grants a token, a second attempt with a freshly rebased
+        deadline joins the race.  First success wins; the loser's
+        connection is closed and its late result discarded.
+        """
+        watcher = CompletionWatcher()
+        race_over = threading.Event()
+        attempts: list[InvocationFuture] = []
+        cancels: list[Callable[[], None]] = []
+
+        def launch(tag: str, req: HttpRequest, attempt_budget: float | None):
+            index = len(attempts)
+            future = InvocationFuture(tag)
+            cancels.append(lambda: None)
+
+            def register_cancel(cancel: Callable[[], None]) -> None:
+                cancels[index] = cancel
+
+            def runner() -> None:
+                try:
+                    future.resolve(
+                        self._measured_send(
+                            req,
+                            attempt_budget,
+                            rollup,
+                            register_cancel=register_cancel,
+                            abandoned=race_over.is_set,
+                        )
+                    )
+                except BaseException as exc:
+                    future.fail(exc)
+
+            attempts.append(future)
+            watcher.watch(future)
+            threading.Thread(
+                target=runner, name=f"hedge-{tag}", daemon=True
+            ).start()
+            return future
+
+        primary = launch("primary", request, io_budget)
+        first = watcher.next_completed(trigger)
+        if first is None and self._hedge_budget_for(None).try_spend():
+            self.metrics.counter("client.hedges").inc()
+            # the hedge's deadline header and I/O timeout are rebased to
+            # what is left NOW, not what the primary started with
+            hedge_budget = policy.attempt_budget(deadline)
+            hedge_request = self._build_request(
+                envelope, header_fields, policy, hedge_budget
+            )
+            launch("hedge", hedge_request,
+                   hedge_budget if policy.deadline is not None else None)
+
+        winner: InvocationFuture | None = None
+        pending = len(attempts)
+        future = first
+        while True:
+            if future is None:
+                future = watcher.next_completed(None)
+                continue
+            pending -= 1
+            if future.exception(timeout=0) is None:
+                winner = future
+                break
+            if pending == 0:
+                break
+            future = watcher.next_completed(None)
+        race_over.set()
+        for index, attempt_future in enumerate(attempts):
+            if attempt_future is not winner:
+                try:
+                    cancels[index]()
+                except Exception:
+                    pass  # abandoning a loser is best-effort
+        if winner is None:
+            raise primary.exception(timeout=0)
+        if len(attempts) > 1 and winner is attempts[1]:
+            self.metrics.counter("client.hedge_wins").inc()
+        return winner.result(timeout=0)
+
+    def _hedge_budget_for(self, hedge: HedgePolicy | None) -> HedgeBudget:
+        """The per-proxy hedge token bucket, created on first armed use
+        (rates come from the first hedge policy seen)."""
+        with self._hedge_lock:
+            bucket = self._hedge_budget
+            if bucket is None:
+                bucket = self._hedge_budget = (
+                    HedgeBudget.for_policy(hedge) if hedge is not None else HedgeBudget()
+                )
+        return bucket
+
     def _on_retry(self, retry_index: int, error: BaseException, delay: float) -> None:
-        if self.tracer is not None:
-            self.tracer.registry.counter("client.retries").inc()
+        self.metrics.counter("client.retries").inc()
 
     def _decode_fault(self, response) -> Exception:
         """The SoapFaultError carried by a 503/504 body (or an HttpError
@@ -342,13 +679,6 @@ class ServiceProxy:
         return HttpError(
             f"server returned HTTP {response.status}", status=response.status
         )
-
-    def _send_request(self, request: HttpRequest):
-        if self._pool is not None:
-            return self._pool.request(self.address, request)
-        with HttpConnection(self.transport, self.address) as connection:
-            self.connections_opened += 1
-            return connection.request(request)
 
     def fetch_wsdl(self) -> str:
         """GET this service's generated WSDL from the server."""

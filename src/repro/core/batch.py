@@ -48,6 +48,9 @@ class PackBatch:
         # calls poison cacheability (side effects, accept-only acks).
         self._call_keys: list[tuple] = []
         self._cacheable = True
+        # one-way casts are not idempotent: a hedged duplicate would
+        # execute the side effect twice, so the flush disarms hedging
+        self._has_cast = False
 
     def call(self, operation: str, /, **params: Any) -> InvocationFuture:
         """Queue one invocation; returns its future immediately."""
@@ -75,6 +78,7 @@ class PackBatch:
         if self._flushed:
             raise PackError("batch already flushed; create a new one")
         self._cacheable = False
+        self._has_cast = True
         return self._assembler.add_call(operation, params, one_way=True)
 
     def _note_call(self, namespace: str, operation: str, params: dict) -> None:
@@ -116,6 +120,7 @@ class PackBatch:
                 action="Parallel_Method",
                 policy=self._policy,
                 cache_key=self._pack_cache_key(),
+                hedgeable=not self._has_cast,
             )
         except BaseException as exc:
             # assembly or transport failure: no future may dangle

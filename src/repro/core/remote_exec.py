@@ -25,6 +25,7 @@ from repro.errors import PackError
 from repro.server.container import ServiceContainer
 from repro.server.service import ServiceDefinition, service_from_functions
 from repro.soap.fault import ClientFaultCause
+from repro.client.config import ClientConfig, build_proxy
 
 REMOTE_EXEC_NS = "urn:spi:remote-exec"
 REMOTE_EXEC_SERVICE = "SpiPlanRunner"
@@ -161,13 +162,13 @@ class RemoteExecutor:
 
     def __init__(self, proxy: ServiceProxy) -> None:
         if proxy.namespace != REMOTE_EXEC_NS:
-            proxy = ServiceProxy(
+            proxy = build_proxy(ClientConfig(
                 proxy.transport,
                 proxy.address,
                 namespace=REMOTE_EXEC_NS,
                 service_name=REMOTE_EXEC_SERVICE,
                 reuse_connections=proxy.reuse_connections,
-            )
+            ))
         self._proxy = proxy
 
     def execute(self, plan: ExecutionPlan) -> list[Any]:

@@ -25,6 +25,7 @@ from repro.core.batch import PackBatch
 from repro.core.remote_exec import ExecutionPlan, RemoteExecutor
 from repro.resilience.policy import CallPolicy
 from repro.transport.base import Address, Transport
+from repro.client.config import ClientConfig, build_proxy
 
 
 class SpiClient:
@@ -99,7 +100,7 @@ def connect(
     connections.  ``policy`` becomes the connection's default
     :class:`~repro.resilience.CallPolicy`.
     """
-    proxy = ServiceProxy(
+    proxy = build_proxy(ClientConfig(
         transport,
         address,
         namespace=namespace,
@@ -107,5 +108,5 @@ def connect(
         reuse_connections=reuse_connections,
         policy=policy,
         **proxy_kwargs,
-    )
+    ))
     return SpiClient(proxy)

@@ -17,7 +17,21 @@ class HttpConnection:
         self._channel = transport.connect(address, timeout=timeout)
         self._reader = ChannelReader(self._channel)
         self._closed = False
+        self._io_timeout_applied = False
         self.exchanges = 0
+
+    def set_io_timeout(self, timeout: float | None) -> None:
+        """Bound this connection's channel I/O (the deadline-rebase seam).
+
+        ``None`` restores the channel's default blocking behaviour, but
+        only if an explicit timeout was applied earlier — a pooled
+        connection whose transport set its own ``io_timeout`` at connect
+        time must not have it clobbered by a timeout-less caller.
+        """
+        if timeout is None and not self._io_timeout_applied:
+            return
+        self._channel.set_timeout(timeout)
+        self._io_timeout_applied = timeout is not None
 
     def request(self, request: HttpRequest) -> HttpResponse:
         """One request/response exchange; honours keep-alive."""

@@ -22,6 +22,8 @@ from repro.resilience.deadline import (
     deadline_header,
     extract_deadline,
 )
+from repro.resilience.hedge import HedgeBudget, HedgePolicy, hedge_trigger
+from repro.resilience.limiter import AdaptiveLimiter
 from repro.resilience.policy import (
     DEFAULT_POLICY,
     CallPolicy,
@@ -31,10 +33,13 @@ from repro.resilience.policy import (
 )
 
 __all__ = [
+    "AdaptiveLimiter",
     "CallPolicy",
     "DEADLINE_HEADER_TAG",
     "DEFAULT_POLICY",
     "Deadline",
+    "HedgeBudget",
+    "HedgePolicy",
     "REMAINING_MS_ATTR",
     "RESILIENCE_NS",
     "RetryState",
@@ -42,4 +47,5 @@ __all__ = [
     "deadline_header",
     "execute_with_policy",
     "extract_deadline",
+    "hedge_trigger",
 ]

@@ -17,8 +17,9 @@ futures pack path:
   with exponential backoff and full jitter between attempts;
 * ``retryable_faultcodes`` — which SOAP faultcodes are safe to retry
   (defaults to the taxonomy codes that promise "the work did not run");
-* ``hedging`` — reserved; must stay off (False) until a hedged
-  transport exists.
+* ``hedging`` — a :class:`~repro.resilience.hedge.HedgePolicy` arming
+  the tail-at-scale speculative second attempt (``False`` disables it;
+  the legacy ``True`` is a deprecated alias for the default policy).
 
 The retry loop itself is :func:`execute_with_policy`, deterministic
 under an injected ``rng``/``sleep``/``clock`` so the chaos-transport
@@ -29,6 +30,7 @@ from __future__ import annotations
 
 import random
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
@@ -39,6 +41,7 @@ from repro.errors import (
     SoapFaultError,
     TransportError,
 )
+from repro.resilience.hedge import HedgePolicy
 
 # Process-wide RNG for backoff jitter; tests inject their own seeded one.
 _JITTER_RNG = random.Random()
@@ -91,17 +94,31 @@ class CallPolicy:
     retryable_faultcodes: frozenset[str] = field(default=RETRYABLE_FAULTCODES)
     retry_transport_errors: bool = True
     propagate_deadline: bool = True
-    hedging: bool = False
+    hedging: "HedgePolicy | bool" = False
 
     def __post_init__(self) -> None:
         if self.retries < 0:
             raise InvocationError("CallPolicy.retries must be >= 0")
-        if self.hedging:
+        if self.hedging is True:
+            warnings.warn(
+                "repro.resilience.CallPolicy(hedging=True) is deprecated; "
+                "pass a HedgePolicy (hedging=HedgePolicy()) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            object.__setattr__(self, "hedging", HedgePolicy())
+        elif self.hedging is not False and not isinstance(self.hedging, HedgePolicy):
             raise InvocationError(
-                "CallPolicy.hedging is reserved and must stay off"
+                "CallPolicy.hedging must be False or a HedgePolicy "
+                f"(got {self.hedging!r})"
             )
         if not 0.0 <= self.jitter <= 1.0:
             raise InvocationError("CallPolicy.jitter must be within [0, 1]")
+
+    @property
+    def hedge_policy(self) -> HedgePolicy | None:
+        """The armed :class:`HedgePolicy`, or None when hedging is off."""
+        return self.hedging if isinstance(self.hedging, HedgePolicy) else None
 
     # -- derived helpers ---------------------------------------------------
 

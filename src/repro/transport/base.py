@@ -37,6 +37,18 @@ class Channel(ABC):
     def close(self) -> None:
         """Close both directions; idempotent."""
 
+    def set_timeout(self, timeout: float | None) -> None:
+        """Bound every subsequent blocking ``recv``/``sendall`` to
+        ``timeout`` seconds; ``None`` restores unbounded blocking.
+
+        The deadline-rebase seam: the client applies each attempt's
+        remaining whole-call budget here so a hung server surfaces as a
+        :class:`TransportError` instead of eating later attempts' time.
+        The default is a no-op for channels that cannot bound reads —
+        the whole-call deadline still bounds *retries* at the policy
+        layer.  Wrapper channels (shaped, chaos) must delegate.
+        """
+
     def __enter__(self) -> "Channel":
         return self
 

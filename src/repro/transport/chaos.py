@@ -113,6 +113,9 @@ class ChaosChannel(Channel):
             return b""
         return self._inner.recv(max_bytes)
 
+    def set_timeout(self, timeout: float | None) -> None:
+        self._inner.set_timeout(timeout)
+
     def close(self) -> None:
         self._inner.close()
 

@@ -32,7 +32,11 @@ class _QueueChannel(Channel):
         self._recv_buffer = b""
         self._closed = False
         self._peer_eof = False
+        self._timeout: float | None = None
         self._lock = threading.Lock()
+
+    def set_timeout(self, timeout: float | None) -> None:
+        self._timeout = timeout
 
     def sendall(self, data: bytes) -> None:
         if self._closed:
@@ -50,7 +54,12 @@ class _QueueChannel(Channel):
             return chunk
         if self._peer_eof:
             return b""
-        item = self._inbox.get()
+        try:
+            item = self._inbox.get(timeout=self._timeout)
+        except queue.Empty:
+            raise TransportError(
+                f"recv timed out after {self._timeout}s"
+            ) from None
         if item is _EOF:
             self._peer_eof = True
             return b""

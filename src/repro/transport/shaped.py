@@ -32,6 +32,9 @@ class ShapedChannel(Channel):
         # (which includes propagation), so recv passes straight through.
         return self._inner.recv(max_bytes)
 
+    def set_timeout(self, timeout: float | None) -> None:
+        self._inner.set_timeout(timeout)
+
     def close(self) -> None:
         self._inner.close()
 

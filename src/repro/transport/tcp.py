@@ -44,6 +44,14 @@ class TcpChannel(Channel):
         except OSError as exc:
             raise TransportError(f"recv failed: {exc}") from exc
 
+    def set_timeout(self, timeout: float | None) -> None:
+        if self._closed:
+            return
+        try:
+            self._sock.settimeout(timeout)
+        except OSError:
+            pass
+
     def close(self) -> None:
         if self._closed:
             return

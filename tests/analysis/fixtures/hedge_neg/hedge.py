@@ -1,0 +1,18 @@
+"""Negative corpus: a hedge module that honours the injected-clock seam.
+
+Referencing ``time.monotonic`` as a *default value* is the seam itself
+and must not flag; only inline calls do.
+"""
+
+import time
+
+
+class SeamedHedgeTimer:
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+
+    def trigger_elapsed(self, started):
+        return self._clock() - started
+
+    def stamp(self):
+        return self._clock()

@@ -1,0 +1,22 @@
+"""Positive corpus: inline wall-clock use inside a hedge module.
+
+The file is named ``hedge.py`` because no-wallclock-in-hedge scopes
+itself to the hedge/limiter filenames.
+"""
+
+import time
+from time import monotonic
+
+
+class LeakyHedgeTimer:
+    def trigger_elapsed(self, started):
+        return time.time() - started  # inline wall-clock read
+
+    def wait_for_trigger(self, trigger_s):
+        time.sleep(trigger_s)  # sleeping instead of racing futures
+
+    def stamp(self):
+        return time.monotonic()  # inline monotonic read
+
+    def measure(self):
+        return time.perf_counter()  # inline perf_counter read

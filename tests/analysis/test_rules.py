@@ -107,6 +107,25 @@ class TestPositiveFixtures:
         assert len(findings) == 7
         assert all(f.severity == "error" for f in findings)
 
+    def test_no_wallclock_in_hedge(self):
+        from repro.analysis.rules import NoWallclockInHedge
+
+        # run the hedge rule alone: the corpus deliberately also trips
+        # no-direct-sleep-random, which is not under test here
+        findings = corpus_findings(
+            "hedge_pos/hedge.py", rules=[NoWallclockInHedge()]
+        )
+        assert {f.rule_id for f in findings} == {"no-wallclock-in-hedge"}
+        messages = "\n".join(f.message for f in findings)
+        assert "from time import monotonic" in messages
+        assert "time.time()" in messages
+        assert "time.sleep()" in messages
+        assert "time.monotonic()" in messages
+        assert "time.perf_counter()" in messages
+        # one from-import + four inline calls
+        assert len(findings) == 5
+        assert all(f.severity == "error" for f in findings)
+
 
 @pytest.mark.parametrize(
     "name",
@@ -121,6 +140,7 @@ class TestPositiveFixtures:
         "bare_except_neg.py",
         "server/swallow_neg.py",
         "loop_neg/evented.py",
+        "hedge_neg/hedge.py",
     ],
 )
 def test_negative_fixture_is_clean(name):
@@ -157,6 +177,18 @@ class TestScoping:
         rule = [NoBlockingCallOnEventLoop()]
         assert check_source(source, path="http/server.py", rules=rule) == []
         assert check_source(source, path="http/evented.py", rules=rule) != []
+
+    def test_hedge_rule_only_patrols_hedge_and_limiter_modules(self):
+        # The same inline clock reads are legal elsewhere (subject only
+        # to the general wallclock/sleep rules, not this stricter one).
+        source = (FIXTURES / "hedge_pos" / "hedge.py").read_text()
+        from repro.analysis import check_source
+        from repro.analysis.rules import NoWallclockInHedge
+
+        rule = [NoWallclockInHedge()]
+        assert check_source(source, path="client/proxy.py", rules=rule) == []
+        assert check_source(source, path="resilience/hedge.py", rules=rule) != []
+        assert check_source(source, path="resilience/limiter.py", rules=rule) != []
 
     def test_suppression_pragmas_silence_everything(self):
         assert corpus_findings("suppressed.py", rules=default_rules()) == []

@@ -5,6 +5,7 @@ import pytest
 from repro.apps.call import main as call_main, parse_call, parse_value, split_calls
 from repro.apps.serve import build_demo_server
 from repro.errors import ReproError
+from repro.client.config import ClientConfig, build_proxy
 
 
 class TestValueParsing:
@@ -114,9 +115,9 @@ class TestServeAndCall:
         from repro.transport.tcp import TcpTransport
 
         host, _, port = address.partition(":")
-        proxy = ServiceProxy(
+        proxy = build_proxy(ClientConfig(
             TcpTransport(), (host, int(port)),
             namespace="urn:repro:weather", service_name="GlobalWeather",
-        )
+        ))
         document = proxy.fetch_wsdl()
         assert "GetWeather" in document

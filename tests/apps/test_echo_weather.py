@@ -17,6 +17,7 @@ from repro.server.handlers import HandlerChain
 from repro.soap.envelope import Envelope
 from repro.transport.inproc import InProcTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 
 class TestEchoPayload:
@@ -94,9 +95,9 @@ class TestFigure4:
         transport = InProcTransport()
         server = build_server(ServerConfig(services=[make_weather_service()], architecture="staged", transport=transport, address="weather", chain=HandlerChain(spi_server_handlers())))
         with server.running() as address:
-            proxy = ServiceProxy(
+            proxy = build_proxy(ClientConfig(
                 transport, address, namespace=WEATHER_NS, service_name="GlobalWeather"
-            )
+            ))
             response = proxy.exchange(figure4_envelope())
         results = unpack_parallel_method(response.first_body_entry())
         texts = [r.require("return").text for r in results]
@@ -109,9 +110,9 @@ class TestWeatherOverHttp:
         transport = InProcTransport()
         server = build_server(ServerConfig(services=[make_weather_service()], architecture="staged", transport=transport, address="weather-http"))
         with server.running() as address:
-            proxy = ServiceProxy(
+            proxy = build_proxy(ClientConfig(
                 transport, address, namespace=WEATHER_NS, service_name="GlobalWeather"
-            )
+            ))
             report = proxy.call("GetWeather", city="Honolulu", country="USA")
             assert "Honolulu" in report
             with pytest.raises(SoapFaultError):

@@ -22,6 +22,7 @@ from repro.server.handlers import HandlerChain
 from repro.soap.fault import ClientFaultCause
 from repro.transport.inproc import InProcTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 
 def wait_done(store, job_id, timeout=10.0):
@@ -113,7 +114,7 @@ def grid_env():
 class TestGridOverSoap:
     def test_full_lifecycle(self, grid_env):
         transport, address, _, _ = grid_env
-        proxy = ServiceProxy(transport, address, namespace=GRID_NS, service_name=GRID_SERVICE)
+        proxy = build_proxy(ClientConfig(transport, address, namespace=GRID_NS, service_name=GRID_SERVICE))
         job_id = proxy.call("submitJob", command="lifecycle", priority=3)
         deadline = time.monotonic() + 10
         while proxy.call("queryStatus", jobId=job_id)["state"] != DONE:
@@ -125,7 +126,7 @@ class TestGridOverSoap:
 
     def test_fault_over_wire(self, grid_env):
         transport, address, _, _ = grid_env
-        proxy = ServiceProxy(transport, address, namespace=GRID_NS, service_name=GRID_SERVICE)
+        proxy = build_proxy(ClientConfig(transport, address, namespace=GRID_NS, service_name=GRID_SERVICE))
         with pytest.raises(SoapFaultError, match="unknown job"):
             proxy.call("queryStatus", jobId="job-404")
         proxy.close()
@@ -135,10 +136,10 @@ class TestGridMonitor:
     @pytest.mark.parametrize("use_packing", [True, False])
     def test_submit_poll_fetch(self, grid_env, use_packing):
         transport, address, _, _ = grid_env
-        proxy = ServiceProxy(
+        proxy = build_proxy(ClientConfig(
             transport, address, namespace=GRID_NS, service_name=GRID_SERVICE,
             reuse_connections=True,
-        )
+        ))
         monitor = GridMonitor(proxy, use_packing=use_packing)
         commands = [f"task-{use_packing}-{i}" for i in range(6)]
         job_ids = monitor.submit_batch(commands)
@@ -154,10 +155,10 @@ class TestGridMonitor:
         """One poll sweep over N jobs = one SOAP message when packed,
         N messages serially — the grid-portal pattern SPI targets."""
         transport, address, server, _ = grid_env
-        proxy = ServiceProxy(
+        proxy = build_proxy(ClientConfig(
             transport, address, namespace=GRID_NS, service_name=GRID_SERVICE,
             reuse_connections=True,
-        )
+        ))
         packed = GridMonitor(proxy, use_packing=True)
         job_ids = packed.submit_batch([f"mon-{i}" for i in range(8)])
         packed.wait_all_done(job_ids, timeout=20)

@@ -10,6 +10,7 @@ from repro.client.proxy import ServiceProxy
 from repro.server.service import service_from_functions
 from repro.transport.inproc import InProcTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 NS = "urn:svc:echo"
 
@@ -43,9 +44,9 @@ def env():
     transport = InProcTransport()
     server = make_server(transport)
     with server.running() as address:
-        proxy = ServiceProxy(
+        proxy = build_proxy(ClientConfig(
             transport, address, namespace=NS, service_name="EchoService"
-        )
+        ))
         yield transport, address, proxy, server
         proxy.close()
 
@@ -80,13 +81,13 @@ class TestServiceProxy:
     def test_pooled_connections_reused(self, env):
         transport, address, _, server = env
         before = server.http.connections_accepted
-        pooled = ServiceProxy(
+        pooled = build_proxy(ClientConfig(
             transport,
             address,
             namespace=NS,
             service_name="EchoService",
             reuse_connections=True,
-        )
+        ))
         for _ in range(3):
             pooled.call("echo", payload="x")
         pooled.close()
@@ -214,10 +215,10 @@ class TestKeepAliveSerialInvoker:
         from repro.client.invoker import KeepAliveSerialInvoker
 
         transport, address, _, _ = env
-        pooled = ServiceProxy(
+        pooled = build_proxy(ClientConfig(
             transport, address, namespace=NS, service_name="EchoService",
             reuse_connections=True,
-        )
+        ))
         invoker = KeepAliveSerialInvoker(pooled)
         assert invoker.proxy is pooled
         assert invoker.invoke_all([Call("echo", {"payload": "y"})]) == ["y"]

@@ -12,6 +12,7 @@ from repro.errors import PackError
 from repro.server.handlers import HandlerChain
 from repro.transport.inproc import InProcTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 
 class TestWindowController:
@@ -84,10 +85,10 @@ def proxy():
     transport = InProcTransport()
     server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="adaptive", chain=HandlerChain(spi_server_handlers())))
     with server.running() as address:
-        proxy = ServiceProxy(
+        proxy = build_proxy(ClientConfig(
             transport, address, namespace=ECHO_NS, service_name="EchoService",
             reuse_connections=True,
-        )
+        ))
         yield proxy
         proxy.close()
 

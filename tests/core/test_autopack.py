@@ -13,6 +13,7 @@ from repro.server.handlers import HandlerChain
 from repro.server.service import service_from_functions
 from repro.transport.inproc import InProcTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 NS = "urn:svc:echo"
 
@@ -29,10 +30,10 @@ def env():
 
     server = build_server(ServerConfig(services=[service_from_functions("EchoService", NS, {"echo": echo, "fail": fail})], architecture="staged", transport=transport, address="autopack", chain=HandlerChain(spi_server_handlers())))
     with server.running() as address:
-        proxy = ServiceProxy(
+        proxy = build_proxy(ClientConfig(
             transport, address, namespace=NS, service_name="EchoService",
             reuse_connections=True,
-        )
+        ))
         yield proxy, server
         proxy.close()
 

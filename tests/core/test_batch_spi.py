@@ -14,6 +14,7 @@ from repro.server.handlers import HandlerChain
 from repro.server.service import service_from_functions
 from repro.transport.inproc import InProcTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 NS = "urn:svc:echo"
 
@@ -40,7 +41,7 @@ def env():
     transport = InProcTransport()
     server = make_server(transport)
     with server.running() as address:
-        proxy = ServiceProxy(transport, address, namespace=NS, service_name="EchoService")
+        proxy = build_proxy(ClientConfig(transport, address, namespace=NS, service_name="EchoService"))
         yield transport, address, proxy, server
         proxy.close()
 
@@ -116,7 +117,7 @@ class TestPackBatch:
         transport = InProcTransport()
         server = make_server(transport, address="dies")
         with server.running() as address:
-            proxy = ServiceProxy(transport, address, namespace=NS, service_name="EchoService")
+            proxy = build_proxy(ClientConfig(transport, address, namespace=NS, service_name="EchoService"))
         # server now stopped; listener gone
         batch = PackBatch(proxy)
         futures = [batch.call("echo", payload="x"), batch.call("echo", payload="y")]
@@ -186,7 +187,7 @@ class TestServerWithoutSpiHandlers:
 
         server = build_server(ServerConfig(services=[service_from_functions("EchoService", NS, {"echo": echo})], architecture="staged", transport=transport, address="nospi"))
         with server.running() as address:
-            proxy = ServiceProxy(transport, address, namespace=NS, service_name="EchoService")
+            proxy = build_proxy(ClientConfig(transport, address, namespace=NS, service_name="EchoService"))
             batch = PackBatch(proxy)
             futures = [batch.call("echo", payload="x")]
             batch.flush()

@@ -10,6 +10,7 @@ from repro.errors import (
     SoapFaultError,
     TransportError,
 )
+from repro.resilience.hedge import HedgePolicy
 from repro.resilience.policy import (
     CallPolicy,
     DEFAULT_POLICY,
@@ -65,9 +66,32 @@ class TestCallPolicyValidation:
         with pytest.raises(InvocationError):
             CallPolicy(retries=-1)
 
-    def test_hedging_reserved(self):
+    def test_hedging_bool_is_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning, match="hedging"):
+            policy = CallPolicy(hedging=True)
+        assert policy.hedge_policy == HedgePolicy()
+
+    def test_hedging_accepts_policy(self):
+        hedge = HedgePolicy(quantile=0.9, budget_rate=0.02)
+        policy = CallPolicy(hedging=hedge)
+        assert policy.hedge_policy is hedge
+        assert CallPolicy().hedge_policy is None
+
+    def test_hedging_rejects_other_types(self):
         with pytest.raises(InvocationError, match="hedging"):
-            CallPolicy(hedging=True)
+            CallPolicy(hedging="yes")
+
+    def test_hedge_policy_validation(self):
+        with pytest.raises(InvocationError, match="quantile"):
+            HedgePolicy(quantile=1.0)
+        with pytest.raises(InvocationError, match="quantile"):
+            HedgePolicy(quantile=0.0)
+        with pytest.raises(InvocationError, match="budget_rate"):
+            HedgePolicy(budget_rate=0.0)
+        with pytest.raises(InvocationError, match="max_hedges"):
+            HedgePolicy(max_hedges=2)
+        with pytest.raises(InvocationError, match="budget_burst"):
+            HedgePolicy(budget_burst=0.5)
 
     def test_jitter_range(self):
         with pytest.raises(InvocationError):

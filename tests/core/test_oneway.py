@@ -24,6 +24,7 @@ from repro.soap.constants import REQUEST_ID_ATTR
 from repro.soap.serializer import serialize_rpc_request
 from repro.transport.inproc import InProcTransport
 from repro.xmlcore.tree import Element
+from repro.client.config import ClientConfig, build_proxy
 
 
 class TestPrimitives:
@@ -86,7 +87,7 @@ class TestStagedOneWay:
     def env(self):
         transport, server, sink = make_env("staged")
         with server.running() as address:
-            proxy = ServiceProxy(transport, address, namespace="urn:sink", service_name="Sink")
+            proxy = build_proxy(ClientConfig(transport, address, namespace="urn:sink", service_name="Sink"))
             yield proxy, server, sink
             proxy.close()
 
@@ -155,7 +156,7 @@ class TestCommonArchOneWay:
     def test_executes_synchronously_but_acks(self):
         transport, server, sink = make_env("common")
         with server.running() as address:
-            proxy = ServiceProxy(transport, address, namespace="urn:sink", service_name="Sink")
+            proxy = build_proxy(ClientConfig(transport, address, namespace="urn:sink", service_name="Sink"))
             batch = PackBatch(proxy)
             future = batch.cast("notify", message="sync")
             start = time.monotonic()

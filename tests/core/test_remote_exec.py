@@ -17,6 +17,7 @@ from repro.server.service import service_from_functions
 from repro.soap.fault import ClientFaultCause
 from repro.transport.inproc import InProcTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 CALC_NS = "urn:svc:calc"
 TEXT_NS = "urn:svc:text"
@@ -116,9 +117,9 @@ class TestEndToEnd:
 
     def test_remote_pipeline_one_round_trip(self, env):
         transport, address = env
-        proxy = ServiceProxy(
+        proxy = build_proxy(ClientConfig(
             transport, address, namespace=REMOTE_EXEC_NS, service_name=REMOTE_EXEC_SERVICE
-        )
+        ))
         executor = RemoteExecutor(proxy)
         plan = ExecutionPlan()
         plan.step(CALC_NS, "add", {"a": 2, "b": 3})
@@ -129,7 +130,7 @@ class TestEndToEnd:
     def test_remote_fault_for_bad_plan(self, env):
         transport, address = env
         executor = RemoteExecutor(
-            ServiceProxy(transport, address, namespace=REMOTE_EXEC_NS)
+            build_proxy(ClientConfig(transport, address, namespace=REMOTE_EXEC_NS))
         )
         plan = ExecutionPlan()
         plan.step("urn:nowhere", "nothing", {})
@@ -138,7 +139,7 @@ class TestEndToEnd:
 
     def test_executor_rewraps_foreign_proxy(self, env):
         transport, address = env
-        foreign = ServiceProxy(transport, address, namespace=CALC_NS, service_name="Calc")
+        foreign = build_proxy(ClientConfig(transport, address, namespace=CALC_NS, service_name="Calc"))
         executor = RemoteExecutor(foreign)
         plan = ExecutionPlan()
         plan.step(CALC_NS, "add", {"a": 1, "b": 1})

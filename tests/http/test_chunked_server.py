@@ -9,6 +9,7 @@ from repro.http.message import Headers, HttpRequest, HttpResponse
 from repro.http.server import HttpServer
 from repro.transport.inproc import InProcTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 
 def echo_app(request):
@@ -81,8 +82,8 @@ class TestChunkedSoapServer:
         transport = InProcTransport()
         server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="chunked-soap", chunk_responses_over=256))
         with server.running() as address:
-            proxy = ServiceProxy(
+            proxy = build_proxy(ClientConfig(
                 transport, address, namespace=ECHO_NS, service_name="EchoService"
-            )
+            ))
             payload = make_echo_payload(10_000)
             assert proxy.call("echo", payload=payload) == payload

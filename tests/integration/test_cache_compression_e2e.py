@@ -31,6 +31,7 @@ from repro.transport.inproc import InProcTransport
 
 from repro.bench.workloads import echo_testbed
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 
 def full_stack_testbed(observability):
@@ -100,13 +101,13 @@ class TestRetryInterplay:
             from repro.apps.echo import ECHO_NS, ECHO_SERVICE
             from repro.client.proxy import ServiceProxy
 
-            proxy = ServiceProxy(
+            proxy = build_proxy(ClientConfig(
                 transport,
                 address,
                 namespace=ECHO_NS,
                 service_name=ECHO_SERVICE,
                 response_cache=cache,
-            )
+            ))
             policy = CallPolicy(timeout=30, retries=6, backoff_base=0.001)
             results = [
                 proxy.call_with_policy("echo", policy, payload=f"p{i}")

@@ -20,6 +20,7 @@ from repro.server.handlers import HandlerChain
 from repro.soap.constants import SOAP_CONTENT_TYPE
 from repro.transport.inproc import InProcTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 
 def make_server(transport, address):
@@ -29,7 +30,7 @@ def make_server(transport, address):
 class TestConnectionFailures:
     def test_connect_refused_surfaces_as_transport_error(self):
         transport = InProcTransport()
-        proxy = ServiceProxy(transport, "nobody-home", namespace=ECHO_NS)
+        proxy = build_proxy(ClientConfig(transport, "nobody-home", namespace=ECHO_NS))
         with pytest.raises(TransportError):
             proxy.call("echo", payload="x")
 
@@ -37,7 +38,7 @@ class TestConnectionFailures:
         transport = InProcTransport()
         server = make_server(transport, "short-lived")
         with server.running() as address:
-            proxy = ServiceProxy(transport, address, namespace=ECHO_NS)
+            proxy = build_proxy(ClientConfig(transport, address, namespace=ECHO_NS))
             assert proxy.call("echo", payload="ok") == "ok"
         with pytest.raises(ReproError):
             proxy.call("echo", payload="too late")
@@ -46,7 +47,7 @@ class TestConnectionFailures:
         transport = InProcTransport()
         server = make_server(transport, "dead")
         with server.running() as address:
-            proxy = ServiceProxy(transport, address, namespace=ECHO_NS)
+            proxy = build_proxy(ClientConfig(transport, address, namespace=ECHO_NS))
         batch = PackBatch(proxy)
         futures = [batch.call("echo", payload=str(i)) for i in range(3)]
         batch.flush()
@@ -61,7 +62,7 @@ class TestConnectionFailures:
             channel.sendall(b"POST /svc HTTP/1.1\r\nContent-Length: 999\r\n\r\npartial")
             channel.close()
             # server must still serve the next client
-            proxy = ServiceProxy(transport, address, namespace=ECHO_NS)
+            proxy = build_proxy(ClientConfig(transport, address, namespace=ECHO_NS))
             assert proxy.call("echo", payload="alive") == "alive"
 
 
@@ -118,7 +119,7 @@ class TestWireGarbage:
         transport, address = env
         for payload in (b"junk\r\n\r\n", b"GET\r\n\r\n", b"POST / HTTP/9.9\r\n\r\n"):
             self.raw_exchange(transport, address, payload)
-        proxy = ServiceProxy(transport, address, namespace=ECHO_NS)
+        proxy = build_proxy(ClientConfig(transport, address, namespace=ECHO_NS))
         assert proxy.call("echo", payload="fine") == "fine"
 
 
@@ -166,7 +167,7 @@ class TestBrokenResponses:
             f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
         ).encode() + body
         thread = self.serve_once(transport, "brokensoap", response)
-        proxy = ServiceProxy(transport, "brokensoap", namespace=ECHO_NS)
+        proxy = build_proxy(ClientConfig(transport, "brokensoap", namespace=ECHO_NS))
         batch = PackBatch(proxy)
         future = batch.call("echo", payload="x")
         batch.flush()

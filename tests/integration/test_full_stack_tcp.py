@@ -18,6 +18,7 @@ from repro.server.handlers import HandlerChain
 from repro.transport.tcp import TcpTransport
 from repro.resilience.policy import CallPolicy
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 
 @pytest.fixture(scope="module")
@@ -31,9 +32,9 @@ def tcp_env():
 
 def make_proxy(tcp_env, **kwargs):
     transport, address, _ = tcp_env
-    return ServiceProxy(
+    return build_proxy(ClientConfig(
         transport, address, namespace=ECHO_NS, service_name="EchoService", **kwargs
-    )
+    ))
 
 
 class TestOverRealSockets:

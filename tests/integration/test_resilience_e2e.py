@@ -39,6 +39,7 @@ from repro.transport.chaos import ChaosTransport
 from repro.transport.inproc import InProcTransport
 from repro.transport.tcp import TcpTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 
 @pytest.fixture(params=["threaded", "evented"])
@@ -80,14 +81,14 @@ def start_server(
 
 
 def make_proxy(transport, address, *, policy=None, tracer=None):
-    return ServiceProxy(
+    return build_proxy(ClientConfig(
         transport,
         address,
         namespace=ECHO_NS,
         service_name=ECHO_SERVICE,
         policy=policy,
         tracer=tracer,
-    )
+    ))
 
 
 class TestDeadlineEnforcement:

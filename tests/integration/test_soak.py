@@ -19,6 +19,7 @@ from repro.errors import SoapFaultError
 from repro.server.handlers import HandlerChain
 from repro.transport.inproc import InProcTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 CLIENTS = 8
 ITERATIONS = 12
@@ -41,10 +42,10 @@ def test_soak_mixed_load(soak_env):
 
     def client(seed: int) -> None:
         rng = random.Random(seed)
-        proxy = ServiceProxy(
+        proxy = build_proxy(ClientConfig(
             transport, address, namespace=ECHO_NS, service_name="EchoService",
             reuse_connections=True,
-        )
+        ))
         try:
             for i in range(ITERATIONS):
                 choice = rng.random()
@@ -116,9 +117,9 @@ class TestLargeBatchBoundaries:
         transport, address, server, _ = soak_env
         from repro.core.batch import PackBatch
 
-        proxy = ServiceProxy(
+        proxy = build_proxy(ClientConfig(
             transport, address, namespace=ECHO_NS, service_name="EchoService"
-        )
+        ))
         try:
             batch = PackBatch(proxy)
             futures = [batch.call("echo", payload=str(i)) for i in range(512)]
@@ -134,9 +135,9 @@ class TestLargeBatchBoundaries:
         from repro.core.packformat import MAX_PACKED_REQUESTS
         from repro.errors import PackError
 
-        proxy = ServiceProxy(
+        proxy = build_proxy(ClientConfig(
             transport, address, namespace=ECHO_NS, service_name="EchoService"
-        )
+        ))
         try:
             batch = PackBatch(proxy)
             futures = [

@@ -21,6 +21,7 @@ from repro.server.handlers import HandlerChain
 from repro.server.service import service_from_functions
 from repro.server import ServerConfig, build_server
 from repro.transport.inproc import InProcTransport
+from repro.client.config import ClientConfig, build_proxy
 
 FLAKY_NS = "urn:repro:flaky"
 
@@ -46,13 +47,13 @@ def _start(architecture):
         chain=HandlerChain(spi_server_handlers()),
     ))
     address = server.start()
-    proxy = ServiceProxy(
+    proxy = build_proxy(ClientConfig(
         transport,
         address,
         namespace=FLAKY_NS,
         service_name="FlakyService",
         reuse_connections=True,
-    )
+    ))
     return server, proxy
 
 

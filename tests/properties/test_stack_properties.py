@@ -20,6 +20,7 @@ from repro.server.handlers import HandlerChain
 from repro.transport.inproc import InProcTransport
 from repro.resilience.policy import CallPolicy
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 payload_lists = st.lists(
     st.text(
@@ -36,10 +37,10 @@ def stack():
     transport = InProcTransport()
     server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="prop-stack", chain=HandlerChain(spi_server_handlers())))
     address = server.start()
-    proxy = ServiceProxy(
+    proxy = build_proxy(ClientConfig(
         transport, address, namespace=ECHO_NS, service_name="EchoService",
         reuse_connections=True,
-    )
+    ))
     yield proxy
     proxy.close()
     server.stop()

@@ -15,6 +15,7 @@ from repro.diagnostics import (
 from repro.server.handlers import HandlerChain
 from repro.transport.inproc import InProcTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 
 class TestHistogram:
@@ -68,7 +69,7 @@ def instrumented_server():
     chain = HandlerChain([metrics, *spi_server_handlers(), tracing])
     server = build_server(ServerConfig(services=[make_echo_service()], architecture="staged", transport=transport, address="diag", chain=chain))
     with server.running() as address:
-        proxy = ServiceProxy(transport, address, namespace=ECHO_NS, service_name="EchoService")
+        proxy = build_proxy(ClientConfig(transport, address, namespace=ECHO_NS, service_name="EchoService"))
         yield proxy, metrics, tracing
         proxy.close()
 

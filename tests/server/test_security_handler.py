@@ -12,6 +12,7 @@ from repro.server.security_handler import SecurityVerifyHandler
 from repro.soap.wssecurity import Credentials
 from repro.transport.inproc import InProcTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 SECRETS = {"alice": b"alice-secret", "bob": b"bob-secret"}
 ALICE = Credentials("alice", SECRETS["alice"])
@@ -30,10 +31,10 @@ def secured_env(request):
 
 
 def proxy_for(transport, address, credentials=None):
-    return ServiceProxy(
+    return build_proxy(ClientConfig(
         transport, address, namespace=ECHO_NS, service_name="EchoService",
         credentials=credentials,
-    )
+    ))
 
 
 class TestSecurityEnforcement:

@@ -12,6 +12,7 @@ from repro.transport.chaos import BUSY, DROP, PASS, ChaosTransport
 from repro.transport.inproc import InProcTransport
 from repro.transport.tcp import TcpTransport
 from repro.server import ServerConfig, build_server
+from repro.client.config import ClientConfig, build_proxy
 
 
 @pytest.fixture(params=["threaded", "evented"])
@@ -48,13 +49,13 @@ def echo_server_factory():
 
 
 def make_proxy(transport, address, policy=None):
-    return ServiceProxy(
+    return build_proxy(ClientConfig(
         transport,
         address,
         namespace=ECHO_NS,
         service_name=ECHO_SERVICE,
         policy=policy,
-    )
+    ))
 
 
 class TestDeterminism:
