@@ -9,7 +9,16 @@ Commands:
 * ``report-locks <paths>`` — the lock-discipline analyzer's per-class
   view: which locks each class uses, which attributes they guard, and
   every observed nesting order.
+* ``report-callgraph <paths> [--format text|json|dot]`` — the
+  interprocedural call graph itself: nodes, resolved edges (call vs.
+  escaped-reference), and recursion clusters.
+* ``stats <paths>`` — rule-pack inventory, per-rule finding counts and
+  call-graph size, one screen for CI logs.
 * ``rules`` — list rule ids, severities and rationales.
+
+``check`` and ``baseline`` always run the per-module rule pack *and*
+the three interprocedural passes (may-block, wallclock-taint,
+fault-flow) over one shared call graph of all analyzed files.
 """
 
 from __future__ import annotations
@@ -26,15 +35,33 @@ from repro.analysis.baseline import (
     load_baseline,
     save_baseline,
 )
-from repro.analysis.engine import check_paths, iter_python_files
+from repro.analysis.callgraph import (
+    KIND_CALL,
+    KIND_REF,
+    ModuleSource,
+    build_call_graph,
+)
+from repro.analysis.engine import check_paths, iter_python_files, load_contexts
 from repro.analysis.findings import Finding
 from repro.analysis.locks import LockDiscipline, analyze_module, format_lock_report
 from repro.analysis.rules import lint_rules
+from repro.analysis.taint import project_analyses
 
 
 def default_rules():
     """The full rule set: lint pack + lock discipline."""
     return [*lint_rules(), LockDiscipline()]
+
+
+def _graph_for(paths, root=None):
+    contexts, _ = load_contexts(paths, root=root)
+    return (
+        build_call_graph(
+            ModuleSource(path=ctx.path, tree=ctx.tree)
+            for ctx in contexts.values()
+        ),
+        contexts,
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -76,6 +103,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     locks.add_argument("paths", nargs="+")
 
+    callgraph = commands.add_parser(
+        "report-callgraph", help="project call graph: nodes, edges, cycles"
+    )
+    callgraph.add_argument("paths", nargs="+")
+    callgraph.add_argument(
+        "--format",
+        choices=("text", "json", "dot"),
+        default="text",
+        dest="output_format",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="rule inventory, finding counts, call-graph size"
+    )
+    stats.add_argument("paths", nargs="+")
+    stats.add_argument(
+        "--baseline",
+        default=None,
+        help="optional baseline file, to split frozen vs. new counts",
+    )
+
     commands.add_parser("rules", help="list every rule with its rationale")
     return parser
 
@@ -89,7 +137,9 @@ def _render_text(
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    findings = check_paths(args.paths, default_rules())
+    findings = check_paths(
+        args.paths, default_rules(), project_analyses=project_analyses()
+    )
     if args.baseline:
         baseline_path = Path(args.baseline)
         if not baseline_path.exists():
@@ -139,7 +189,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_baseline(args: argparse.Namespace) -> int:
-    findings = check_paths(args.paths, default_rules())
+    findings = check_paths(
+        args.paths, default_rules(), project_analyses=project_analyses()
+    )
     output = Path(args.output)
     previous = []
     if output.exists():
@@ -179,6 +231,113 @@ def _cmd_report_locks(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report_callgraph(args: argparse.Namespace) -> int:
+    graph, _ = _graph_for(args.paths)
+    if args.output_format == "json":
+        document = {
+            "stats": graph.stats(),
+            "functions": [
+                {
+                    "qualname": fn.qualname,
+                    "path": fn.path,
+                    "line": fn.line,
+                    "is_property": fn.is_property,
+                }
+                for fn in sorted(
+                    graph.functions.values(), key=lambda f: f.qualname
+                )
+            ],
+            "edges": [
+                {
+                    "caller": e.caller,
+                    "callee": e.callee,
+                    "line": e.line,
+                    "kind": e.kind,
+                }
+                for e in sorted(
+                    graph.edges, key=lambda e: (e.caller, e.line, e.callee)
+                )
+            ],
+            "cycles": [sorted(c) for c in graph.sccs() if len(c) > 1],
+        }
+        print(json.dumps(document, indent=2))
+        return 0
+    if args.output_format == "dot":
+        print("digraph callgraph {")
+        print('  rankdir="LR"; node [shape=box, fontsize=10];')
+        for e in sorted(graph.edges, key=lambda e: (e.caller, e.callee)):
+            style = ' [style=dashed, label="ref"]' if e.kind == KIND_REF else ""
+            print(f'  "{e.caller}" -> "{e.callee}"{style};')
+        print("}")
+        return 0
+    stats = graph.stats()
+    print(
+        f"call graph: {stats['functions']} function(s) in "
+        f"{stats['modules']} module(s), {stats['call_edges']} call edge(s), "
+        f"{stats['ref_edges']} escaped reference(s)"
+    )
+    cycles = [c for c in graph.sccs() if len(c) > 1]
+    if cycles:
+        print(f"{len(cycles)} recursion cluster(s):")
+        for cycle in cycles:
+            print("  " + " <-> ".join(sorted(cycle)))
+    for qualname in sorted(graph.functions):
+        out = graph.edges_out(qualname, kinds=(KIND_CALL, KIND_REF))
+        if not out:
+            continue
+        print(qualname)
+        for e in sorted(out, key=lambda e: (e.line, e.callee)):
+            marker = "ref " if e.kind == KIND_REF else ""
+            print(f"  -> {marker}{e.callee}  (line {e.line})")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    rules = default_rules()
+    analyses = project_analyses()
+    findings = check_paths(args.paths, rules, project_analyses=analyses)
+    frozen: set = set()
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if baseline_path.exists():
+            try:
+                entries = load_baseline(baseline_path)
+            except (ValueError, KeyError, json.JSONDecodeError):
+                entries = []
+            frozen = {
+                fp for f in compare(findings, entries).baselined
+                for fp in (f.fingerprint,)
+            }
+    counts: dict[str, int] = {}
+    new_counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        if finding.fingerprint not in frozen:
+            new_counts[finding.rule_id] = new_counts.get(finding.rule_id, 0) + 1
+    print(f"rule pack: {len(rules)} per-module rule(s), "
+          f"{len(analyses)} interprocedural analysis(es)")
+    for rule in rules:
+        count = counts.get(rule.id, 0)
+        suffix = f" ({new_counts.get(rule.id, 0)} new)" if args.baseline else ""
+        print(f"  {rule.id} [{rule.severity}]: {count} finding(s){suffix}")
+    for analysis in analyses:
+        count = counts.get(analysis.id, 0)
+        suffix = (
+            f" ({new_counts.get(analysis.id, 0)} new)" if args.baseline else ""
+        )
+        print(f"  {analysis.id} [{analysis.severity}]: "
+              f"{count} finding(s){suffix} [interprocedural]")
+    graph, _ = _graph_for(args.paths)
+    stats = graph.stats()
+    print(
+        "call graph: "
+        f"{stats['functions']} node(s), {stats['call_edges']} call edge(s), "
+        f"{stats['ref_edges']} ref edge(s), {stats['sccs']} SCC(s) "
+        f"({stats['cyclic_sccs']} cyclic, largest {stats['largest_cycle']})"
+    )
+    return 0
+
+
 def _cmd_rules(_: argparse.Namespace) -> int:
     for rule in default_rules():
         print(f"{rule.id} [{rule.severity}]")
@@ -187,6 +346,9 @@ def _cmd_rules(_: argparse.Namespace) -> int:
             print(f"    exempt path parts: {', '.join(sorted(rule.exempt_parts))}")
         if rule.only_parts:
             print(f"    only path parts: {', '.join(sorted(rule.only_parts))}")
+    for analysis in project_analyses():
+        print(f"{analysis.id} [{analysis.severity}] (interprocedural)")
+        print(f"    {analysis.rationale}")
     return 0
 
 
@@ -197,6 +359,8 @@ def main(argv: list[str] | None = None) -> int:
         "check": _cmd_check,
         "baseline": _cmd_baseline,
         "report-locks": _cmd_report_locks,
+        "report-callgraph": _cmd_report_callgraph,
+        "stats": _cmd_stats,
         "rules": _cmd_rules,
     }[args.command]
     return handler(args)

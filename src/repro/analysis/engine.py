@@ -172,33 +172,35 @@ def check_source(
     return sort_findings(findings)
 
 
-def check_paths(
+def load_contexts(
     paths: Iterable[str | Path],
-    rules: list[Rule],
     *,
     root: Path | None = None,
-) -> list[Finding]:
-    """Run ``rules`` over every Python file under ``paths``.
+) -> tuple[dict[str, ModuleContext], list[Finding]]:
+    """Parse every Python file under ``paths`` into a ModuleContext.
 
-    ``root`` anchors repo-relative finding paths (defaults to the
-    current working directory); files outside ``root`` keep their
-    absolute path.
+    Returns ``(contexts_by_relative_path, parse_failures)`` — files
+    that do not parse become ``syntax-error`` findings instead of
+    contexts.
     """
     anchor = Path.cwd() if root is None else Path(root)
-    findings: list[Finding] = []
+    contexts: dict[str, ModuleContext] = {}
+    failures: list[Finding] = []
     for file_path in iter_python_files(paths, root=anchor):
         try:
             relative = file_path.relative_to(anchor).as_posix()
         except ValueError:
             relative = file_path.as_posix()
+        if relative in contexts:
+            continue
         try:
             source = file_path.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError):
             continue
         try:
-            findings.extend(check_source(source, path=relative, rules=rules))
+            tree = ast.parse(source, filename=relative)
         except SyntaxError as exc:
-            findings.append(
+            failures.append(
                 Finding(
                     rule_id="syntax-error",
                     severity="error",
@@ -207,4 +209,52 @@ def check_paths(
                     message=f"file does not parse: {exc.msg}",
                 )
             )
+            continue
+        contexts[relative] = ModuleContext(relative, source, tree)
+    return contexts, failures
+
+
+def check_contexts(
+    contexts: dict[str, ModuleContext], rules: list[Rule]
+) -> list[Finding]:
+    """Run the per-module ``rules`` over already-parsed contexts."""
+    findings: list[Finding] = []
+    for ctx in contexts.values():
+        for rule in rules:
+            if not rule.applies_to(ctx.path):
+                continue
+            for finding in rule.check_module(ctx):
+                if not ctx.is_suppressed(finding.rule_id, finding.line):
+                    findings.append(finding)
+    return findings
+
+
+def check_paths(
+    paths: Iterable[str | Path],
+    rules: list[Rule],
+    *,
+    root: Path | None = None,
+    project_analyses: list | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over every Python file under ``paths``.
+
+    ``root`` anchors repo-relative finding paths (defaults to the
+    current working directory); files outside ``root`` keep their
+    absolute path.  When ``project_analyses`` is given (objects with a
+    ``run(graph, contexts)`` method, see
+    :mod:`repro.analysis.taint`), a whole-program call graph is built
+    over *all* analyzed files and each analysis runs over it —
+    per-module rules stay file-local either way.
+    """
+    contexts, findings = load_contexts(paths, root=root)
+    findings.extend(check_contexts(contexts, rules))
+    if project_analyses:
+        from repro.analysis.callgraph import ModuleSource, build_call_graph
+
+        graph = build_call_graph(
+            ModuleSource(path=ctx.path, tree=ctx.tree)
+            for ctx in contexts.values()
+        )
+        for analysis in project_analyses:
+            findings.extend(analysis.run(graph, contexts))
     return sort_findings(findings)

@@ -29,6 +29,9 @@ class Finding:
     line: int
     message: str
     fix_hint: str = ""
+    #: interprocedural witness (entry → … → sink), function labels only;
+    #: empty for per-module findings
+    chain: tuple[str, ...] = ()
 
     @property
     def fingerprint(self) -> tuple[str, str, str]:
@@ -44,7 +47,7 @@ class Finding:
 
     def as_dict(self) -> dict:
         """JSON-friendly representation (the ``--format json`` shape)."""
-        return {
+        document = {
             "rule": self.rule_id,
             "severity": self.severity,
             "path": self.path,
@@ -52,6 +55,9 @@ class Finding:
             "message": self.message,
             "fix_hint": self.fix_hint,
         }
+        if self.chain:
+            document["chain"] = list(self.chain)
+        return document
 
 
 def sort_findings(findings: list[Finding]) -> list[Finding]:

@@ -581,7 +581,10 @@ class NoBlockingCallOnEventLoop(Rule):
     * ``.acquire()`` without a ``timeout=``/``blocking=`` argument can
       park the loop behind a worker;
     * ``.submit(...).result()`` makes the loop wait on its own handler
-      stage — a self-deadlock once the queue fills.
+      stage — a self-deadlock once the queue fills;
+    * ``.select()`` with no timeout parks forever when no fd is ready —
+      legal only in the main loop body (``_run_loop``), where waiting
+      *is* the job and the deadline sweep feeds the timeout.
     """
 
     id = "no-blocking-call-on-event-loop"
@@ -659,6 +662,19 @@ class NoBlockingCallOnEventLoop(Rule):
                 node.lineno,
                 ".submit(...).result() blocks the loop on its own stage "
                 "queue (self-deadlock once the queue fills)",
+            )
+        elif (
+            func.attr == "select"
+            and not node.args
+            and not node.keywords
+            and function != "_run_loop"
+        ):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                f".select() with no timeout outside the main loop body "
+                f"(in {function or '<module>'}) parks until an fd is "
+                "ready — deadline sweeps and shutdown never run",
             )
 
 

@@ -133,7 +133,15 @@ class SoapEndpoint:
         wanted = path.rstrip("/").rsplit("/", 1)[-1]
         for service in self.container.services():
             if service.name == wanted:
-                document = wsdl_for_service(service.describe(location=path))
+                try:
+                    document = wsdl_for_service(service.describe(location=path))
+                except ReproError as exc:
+                    # a WSDL generation failure must not escape as an
+                    # unclassified 500 (fault-flow-escape invariant)
+                    self.stats.envelope_faults += 1
+                    return HttpResponse(
+                        500, body=f"WSDL generation failed: {exc}".encode()
+                    )
                 return HttpResponse(
                     200, Headers({"Content-Type": "text/xml"}), document.encode("utf-8")
                 )
@@ -218,18 +226,24 @@ class SoapEndpoint:
             # time.  Mark the trace now, while the entries are still
             # unpacked, so tail sampling always retains it.
             self._mark_entry_faults(context.response_entries)
-        self.chain.run_response(context)
-
+        # Response phase: handler chain and serialization were the last
+        # dispatch segment that could leak a ReproError to the HTTP
+        # layer as an unclassified 500 (found by fault-flow-escape).
         start = time.perf_counter()
-        with obs_span("soap.serialize") as serialize_span:
-            response_envelope = Envelope()
-            response_envelope.header_entries = list(context.response_headers)
-            response_envelope.body_entries = list(context.response_entries)
-            if self.serialization_cache is not None:
-                body = self.serialization_cache.render_envelope(response_envelope)
-            else:
-                body = response_envelope.to_bytes()
-            serialize_span.detail = f"{len(body)}B"
+        try:
+            self.chain.run_response(context)
+            with obs_span("soap.serialize") as serialize_span:
+                response_envelope = Envelope()
+                response_envelope.header_entries = list(context.response_headers)
+                response_envelope.body_entries = list(context.response_entries)
+                if self.serialization_cache is not None:
+                    body = self.serialization_cache.render_envelope(response_envelope)
+                else:
+                    body = response_envelope.to_bytes()
+                serialize_span.detail = f"{len(body)}B"
+        except ReproError as exc:
+            self.stats.envelope_faults += 1
+            return self._fault_response(SoapFault.from_exception(exc), status=500)
         self.stats.serialize_time += time.perf_counter() - start
 
         status = 200

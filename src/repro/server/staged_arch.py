@@ -24,7 +24,7 @@ import contextlib
 import warnings
 from typing import Any, Iterator
 
-from repro.errors import PoolSaturatedError
+from repro.errors import PoolSaturatedError, ServiceError
 from repro.obs import trace as obs_trace
 from repro.server.config import ServerConfig, build_http_server, config_from_legacy
 from repro.server.container import ServiceContainer, entry_fault
@@ -135,9 +135,12 @@ class StagedSoapServer:
                     self.app_stage.submit(
                         self._execute_traced, ctx, entry, kind="one-way-execution"
                     )
-                except PoolSaturatedError as exc:
+                except (PoolSaturatedError, ServiceError) as exc:
                     # the ack is already committed; record the shed in
-                    # place of the silently-dropped execution
+                    # place of the silently-dropped execution.  A
+                    # ServiceError means the stage is draining for
+                    # shutdown — same retryable busy answer, not a
+                    # bare 500 (fault-flow-escape invariant).
                     results[index] = entry_fault(entry, busy_fault(str(exc)))
                     self._count("resilience.shed")
                     self._observe_skipped(entry, "shed")
@@ -170,8 +173,9 @@ class StagedSoapServer:
             for index, entry in waited:
                 try:
                     self.app_stage.submit(run, index, entry, kind="service-execution")
-                except PoolSaturatedError as exc:
-                    # stage saturated mid-pack: shed this entry alone
+                except (PoolSaturatedError, ServiceError) as exc:
+                    # stage saturated mid-pack (or draining for
+                    # shutdown): shed this entry alone, retryably
                     results[index] = entry_fault(entry, busy_fault(str(exc)))
                     self._count("resilience.shed")
                     self._observe_skipped(entry, "shed")

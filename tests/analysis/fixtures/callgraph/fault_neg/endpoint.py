@@ -1,0 +1,21 @@
+"""Negative corpus: the same raise two calls down, but the dispatch
+entry classifies it — catching the *base* class must absorb the
+derived exception (hierarchy-aware handler matching)."""
+
+from errors import DeepFaultError, MiniFaultError
+
+
+class SoapEndpoint:
+    def __call__(self, request):
+        try:
+            return self._dispatch(request)
+        except MiniFaultError:  # absorbs DeepFaultError via the hierarchy
+            return None
+
+    def _dispatch(self, request):
+        return self._decode(request)
+
+    def _decode(self, request):
+        if not request:
+            raise DeepFaultError("empty request body")
+        return request

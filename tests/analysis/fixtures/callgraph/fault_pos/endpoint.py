@@ -1,0 +1,18 @@
+"""Positive corpus: an exception raised two calls below the dispatch
+entry with no classifying handler anywhere — it escapes ``__call__``
+as a bare 500."""
+
+from errors import DeepFaultError
+
+
+class SoapEndpoint:
+    def __call__(self, request):
+        return self._dispatch(request)
+
+    def _dispatch(self, request):
+        return self._decode(request)
+
+    def _decode(self, request):
+        if not request:
+            raise DeepFaultError("empty request body")
+        return request

@@ -1,0 +1,9 @@
+"""A two-level exception hierarchy for the fault-flow corpus."""
+
+
+class MiniFaultError(Exception):
+    pass
+
+
+class DeepFaultError(MiniFaultError):
+    pass

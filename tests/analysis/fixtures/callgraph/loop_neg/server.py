@@ -1,0 +1,50 @@
+"""Negative corpus: the same call shape as loop_pos, but every path
+the loop can reach is non-blocking.  Also exercises a recursion cycle
+(``_drain`` <-> ``_pump``, SCC handling must terminate), a vouched-for
+``# repro: nonblocking`` barrier, and a worker-side sleep behind a
+``ref`` edge."""
+
+import time
+
+from stage import Stage
+from util import flush_metrics
+
+
+class EventedHttpServer:
+    def start(self):
+        self._stage = Stage()
+        self._completions = []
+
+    def _run_loop(self):
+        while True:
+            self._connection_ready(None)
+            self._drain(0)
+            self._try_take(None)
+
+    def _connection_ready(self, conn):
+        handler = self._on_readable
+        handler(conn)
+
+    def _on_readable(self, conn):
+        self._report(conn)
+        self._stage.submit(self._handle_request, conn)
+
+    def _report(self, conn):
+        flush_metrics(conn)  # clock-injected helper: clean
+
+    def _drain(self, depth):  # mutually recursive with _pump
+        if self._completions:
+            self._pump(depth)
+
+    def _pump(self, depth):
+        self._completions.pop()
+        self._drain(depth + 1)
+
+    def _try_take(self, queue):  # repro: nonblocking — emptiness checked first
+        if queue is None or queue.empty():
+            return None
+        return queue.get()  # vouched: cannot block after the check
+
+    def _handle_request(self, conn):
+        time.sleep(0.1)  # worker thread: behind a ref edge, never the loop
+        return conn

@@ -1,0 +1,9 @@
+"""A minimal bounded stage: submit appends, never blocks."""
+
+
+class Stage:
+    def __init__(self):
+        self._pending = []
+
+    def submit(self, func, *args):
+        self._pending.append((func, args))

@@ -1,0 +1,12 @@
+"""The injected-clock twin of loop_pos/util.py: same shape, no sink."""
+
+import time
+
+
+def flush_metrics(payload, clock=time.monotonic):
+    return push_upstream(payload, clock)
+
+
+def push_upstream(payload, clock=time.monotonic):
+    stamp = clock()  # injected clock: a reference default, called here
+    return (stamp, payload)

@@ -1,0 +1,34 @@
+"""Positive corpus: a loop callback reaches ``time.sleep`` three calls
+down, across a module boundary, through an assignment alias — exactly
+what ``may-block-on-event-loop-transitive`` must catch.  The escaped
+function reference handed to the stage sleeps too, but runs on a
+worker thread and must NOT be flagged."""
+
+import time
+
+from stage import Stage
+from util import flush_metrics
+
+
+class EventedHttpServer:
+    def start(self):
+        self._stage = Stage()
+
+    def _run_loop(self):
+        while True:
+            self._connection_ready(None)
+
+    def _connection_ready(self, conn):
+        handler = self._on_readable  # assignment alias to a bound method
+        handler(conn)
+
+    def _on_readable(self, conn):
+        self._report(conn)
+        self._stage.submit(self._handle_request, conn)  # ref escape: legal
+
+    def _report(self, conn):
+        flush_metrics(conn)  # blocks three calls down — the finding
+
+    def _handle_request(self, conn):
+        time.sleep(0.1)  # worker-side sleep: reached only via the ref
+        return conn

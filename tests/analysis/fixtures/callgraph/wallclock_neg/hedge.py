@@ -1,0 +1,14 @@
+"""Negative corpus: the same hedge shape with clocks injected
+throughout — wallclock-taint must stay silent."""
+
+import time
+
+from util import elapsed_since
+
+
+class HedgeTimer:
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+
+    def should_fire(self, start):
+        return elapsed_since(start, self._clock) > 0.1

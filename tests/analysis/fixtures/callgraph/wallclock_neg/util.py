@@ -1,0 +1,8 @@
+"""The injected-clock twin: the helper takes the clock as a parameter
+with a *reference* default — the sanctioned seam."""
+
+import time
+
+
+def elapsed_since(start, clock=time.monotonic):
+    return clock() - start

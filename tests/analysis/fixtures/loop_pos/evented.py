@@ -25,5 +25,11 @@ def _accept_ready(listener):
     return conn
 
 
+def _wait_for_events(selector):
+    # no-timeout select outside _run_loop: parks until an fd is ready,
+    # so deadline sweeps and shutdown never get a turn
+    return selector.select()
+
+
 def work(data):
     return data

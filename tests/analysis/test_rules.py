@@ -103,8 +103,13 @@ class TestPositiveFixtures:
         assert "time.sleep()" in messages
         assert ".acquire() without a timeout" in messages
         assert ".submit(...).result()" in messages
-        # recv + sendall + sleep + acquire + submit().result() + send + accept
-        assert len(findings) == 7
+        assert ".select() with no timeout outside the main loop body" in messages
+        # the no-arg select() inside _run_loop itself stays legal:
+        # waiting is the loop body's job
+        assert "(in _wait_for_events)" in messages
+        # recv + sendall + sleep + acquire + submit().result() + send
+        # + accept + helper select()
+        assert len(findings) == 8
         assert all(f.severity == "error" for f in findings)
 
     def test_no_wallclock_in_hedge(self):
